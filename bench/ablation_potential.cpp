@@ -1,0 +1,184 @@
+// Ablation study of ABM's potential function (design choices called out in
+// DESIGN.md):
+//
+//   * full ABM (w_D = w_I = 0.5)                — the paper's configuration
+//   * pure greedy (w_I = 0)                     — prior-work baseline
+//   * pure indirect (w_D = 0)                   — threshold-seeking only
+//   * no-acceptance-weighting (drop the q(u) factor)
+//   * no-proximity (P_I without the 1/(θ−mutual) denominator)
+//
+// plus a wall-clock comparison of the incremental potential maintenance vs
+// the O(n·Σdeg) per-round recomputation (identical decisions, tested).
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/strategies/abm.hpp"
+#include "core/strategies/lookahead.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace accu;
+
+/// ABM variant with pieces of the potential disabled; uses the reference
+/// (full-recompute) selection loop, which every variant shares so the
+/// comparison isolates the scoring rule.
+class AblatedAbm final : public Strategy {
+ public:
+  enum class Mode { kNoAcceptWeight, kNoProximity };
+
+  AblatedAbm(Mode mode, PotentialWeights weights)
+      : mode_(mode), weights_(weights) {}
+
+  void reset(const AccuInstance& instance, util::Rng&) override {
+    instance_ = &instance;
+  }
+
+  NodeId select(const AttackerView& view, util::Rng&) override {
+    NodeId best = kInvalidNode;
+    double best_value = 0.0;
+    for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+      if (view.is_requested(u)) continue;
+      const double value = score(view, u);
+      if (best == kInvalidNode || value > best_value) {
+        best = u;
+        best_value = value;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return mode_ == Mode::kNoAcceptWeight ? "ABM-noQ" : "ABM-noProximity";
+  }
+
+ private:
+  double score(const AttackerView& view, NodeId u) const {
+    const double direct = AbmStrategy::direct_gain(view, u);
+    double indirect = 0.0;
+    if (mode_ == Mode::kNoProximity) {
+      // P_I without threshold-proximity: every not-yet-befriendable
+      // cautious neighbor counts its full upgrade gain.
+      const AccuInstance& instance = view.instance();
+      if (!instance.is_cautious(u)) {
+        for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+          const NodeId v = nb.node;
+          if (!instance.is_cautious(v) || view.is_requested(v)) continue;
+          if (view.mutual_friends(v) >= instance.threshold(v)) continue;
+          const double belief = view.edge_belief(nb.edge);
+          if (belief <= 0.0) continue;
+          indirect += belief * instance.benefits().upgrade_gain(v);
+        }
+      }
+    } else {
+      indirect = AbmStrategy::indirect_gain(view, u);
+    }
+    const double value =
+        weights_.direct * direct + weights_.indirect * indirect;
+    if (mode_ == Mode::kNoAcceptWeight) {
+      // Still refuse to burn requests on cautious users that would reject.
+      const double q = AbmStrategy::effective_accept_prob(view, u);
+      return q > 0.0 ? value : 0.0;
+    }
+    return AbmStrategy::effective_accept_prob(view, u) * value;
+  }
+
+  Mode mode_;
+  PotentialWeights weights_;
+  const AccuInstance* instance_ = nullptr;
+};
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  bench::declare_common_options(opts);
+  opts.declare("dataset", "dataset to ablate on (default twitter)");
+  opts.check_unknown();
+  bench::CommonConfig config = bench::read_common_config(opts);
+  if (!opts.has("k")) config.budget = 300;
+  if (!opts.has("samples")) config.samples = 2;
+  const std::string dataset = opts.get("dataset", "twitter");
+
+  const std::vector<StrategyFactory> variants = {
+      {"ABM(0.5,0.5)",
+       [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
+      {"pure greedy (wI=0)",
+       [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }},
+      {"pure indirect (wD=0)",
+       [] { return std::make_unique<AbmStrategy>(0.0, 1.0); }},
+      {"no q(u) factor",
+       [] {
+         return std::make_unique<AblatedAbm>(
+             AblatedAbm::Mode::kNoAcceptWeight, PotentialWeights{0.5, 0.5});
+       }},
+      {"no 1/(θ−mutual) proximity",
+       [] {
+         return std::make_unique<AblatedAbm>(AblatedAbm::Mode::kNoProximity,
+                                             PotentialWeights{0.5, 0.5});
+       }},
+      {"lookahead (beam=6, s=3)",
+       [] {
+         LookaheadStrategy::Config lookahead_config;
+         lookahead_config.beam = 6;
+         lookahead_config.scenario_samples = 3;
+         lookahead_config.weights = {0.5, 0.5};
+         return std::make_unique<LookaheadStrategy>(lookahead_config);
+       }},
+  };
+  const ExperimentResult result =
+      run_experiment(bench::make_instance_factory(config, dataset), variants,
+                     bench::experiment_config(config));
+  util::Table table({"variant", "benefit", "±95%", "#cautious friends"});
+  for (std::size_t i = 0; i < result.strategy_names.size(); ++i) {
+    const TraceAggregator& agg = result.aggregates[i];
+    table.row()
+        .cell(result.strategy_names[i])
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(agg.total_benefit().ci95_halfwidth(), 1)
+        .cell(agg.cautious_friends().mean(), 2);
+  }
+  bench::emit(table,
+              "Ablation — ABM potential components (" + dataset + ", k=" +
+                  std::to_string(config.budget) + ")",
+              config.csv_path);
+
+  // Incremental vs reference maintenance: same decisions, different cost.
+  {
+    const InstanceFactory factory =
+        bench::make_instance_factory(config, dataset);
+    const AccuInstance instance = factory(0, config.seed);
+    util::Rng rng(config.seed);
+    const Realization truth = Realization::sample(instance, rng);
+    util::Table timing({"maintenance", "benefit", "wall ms"});
+    for (const bool incremental : {true, false}) {
+      AbmStrategy::Config abm_config;
+      abm_config.weights = {0.5, 0.5};
+      abm_config.incremental = incremental;
+      AbmStrategy strategy(abm_config);
+      util::Rng srng(1);
+      util::Timer timer;
+      const SimulationResult sim =
+          simulate(instance, truth, strategy, config.budget, srng);
+      timing.row()
+          .cell(incremental ? "incremental (dirty-set heap)"
+                            : "full recompute per round")
+          .cell(sim.total_benefit, 1)
+          .cell(timer.milliseconds(), 1);
+    }
+    bench::emit(timing, "Ablation — potential maintenance cost", "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,118 @@
+#include "bench_common.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "util/log.hpp"
+
+namespace accu::bench {
+
+void declare_common_options(util::Options& opts) {
+  opts.declare("scale", "global node-count scale multiplier (default: "
+                        "per-dataset bench scale; 1.0 = paper-sized)")
+      .declare("k", "friend-request budget per attack")
+      .declare("samples", "sample networks per dataset (paper: 100)")
+      .declare("runs", "repetitions per network (paper: 30)")
+      .declare("seed", "master random seed")
+      .declare("cautious-bf", "B_f for cautious users (paper: 50)")
+      .declare("theta", "θ as a fraction of degree (paper: 0.3)")
+      .declare("cautious", "number of cautious users (paper: 100)")
+      .declare("wd", "ABM direct weight w_D (paper default 0.5)")
+      .declare("wi", "ABM indirect weight w_I (paper default 0.5)")
+      .declare("csv", "also write results as CSV to this path")
+      .declare("verbose", "log sweep progress")
+      .declare("threads", "experiment worker threads (0 = hardware)")
+      .declare("options", "load option defaults from a response file");
+}
+
+CommonConfig read_common_config(util::Options& opts) {
+  if (opts.has("options")) {
+    opts.load_defaults_file(opts.get("options", ""));
+  }
+  CommonConfig config;
+  if (opts.has("scale")) {
+    const double s = opts.get_double("scale", 1.0);
+    // A global multiplier rescales every dataset relative to paper size.
+    config.scale_facebook = s;
+    config.scale_slashdot = s;
+    config.scale_twitter = s;
+    config.scale_dblp = s;
+  }
+  config.budget =
+      static_cast<std::uint32_t>(opts.get_int("k", config.budget));
+  config.samples =
+      static_cast<std::uint32_t>(opts.get_int("samples", config.samples));
+  config.runs = static_cast<std::uint32_t>(opts.get_int("runs", config.runs));
+  config.seed = static_cast<std::uint64_t>(
+      opts.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.cautious_bf = opts.get_double("cautious-bf", config.cautious_bf);
+  config.theta_fraction = opts.get_double("theta", config.theta_fraction);
+  config.num_cautious = static_cast<std::uint32_t>(
+      opts.get_int("cautious", config.num_cautious));
+  config.w_direct = opts.get_double("wd", config.w_direct);
+  config.w_indirect = opts.get_double("wi", config.w_indirect);
+  config.csv_path = opts.get("csv", "");
+  config.verbose = opts.get_bool("verbose", false);
+  config.threads =
+      static_cast<std::uint32_t>(opts.get_int("threads", config.threads));
+  if (config.verbose) util::set_log_level(util::LogLevel::kInfo);
+  return config;
+}
+
+double dataset_scale(const CommonConfig& config, const std::string& dataset) {
+  if (dataset == "facebook") return config.scale_facebook;
+  if (dataset == "slashdot") return config.scale_slashdot;
+  if (dataset == "twitter") return config.scale_twitter;
+  if (dataset == "dblp") return config.scale_dblp;
+  throw InvalidArgument("unknown dataset: " + dataset);
+}
+
+InstanceFactory make_instance_factory(const CommonConfig& config,
+                                      const std::string& dataset) {
+  datasets::DatasetConfig dataset_config;
+  dataset_config.scale = dataset_scale(config, dataset);
+  dataset_config.num_cautious = config.num_cautious;
+  dataset_config.cautious_friend_benefit = config.cautious_bf;
+  dataset_config.threshold_fraction = config.theta_fraction;
+  return [dataset, dataset_config](std::uint32_t sample, std::uint64_t seed) {
+    util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (sample + 1)));
+    return datasets::make_dataset(dataset, dataset_config, rng);
+  };
+}
+
+std::vector<StrategyFactory> paper_strategies(const CommonConfig& config) {
+  const double wd = config.w_direct;
+  const double wi = config.w_indirect;
+  return {
+      {"ABM", [wd, wi] { return std::make_unique<AbmStrategy>(wd, wi); }},
+      {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
+      {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
+      {"Random", [] { return std::make_unique<RandomStrategy>(); }},
+  };
+}
+
+ExperimentConfig experiment_config(const CommonConfig& config) {
+  ExperimentConfig out;
+  out.budget = config.budget;
+  out.samples = config.samples;
+  out.runs = config.runs;
+  out.seed = config.seed;
+  out.threads = config.threads;
+  return out;
+}
+
+void emit(const util::Table& table, const std::string& title,
+          const std::string& csv_path) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    if (!os) throw IoError("cannot open CSV output: " + csv_path);
+    table.write_csv(os);
+    std::cout << "(csv written to " << csv_path << ")\n";
+  }
+}
+
+}  // namespace accu::bench

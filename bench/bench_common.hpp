@@ -1,0 +1,69 @@
+// Shared plumbing for the figure/table reproduction binaries: common CLI
+// options, dataset-backed instance factories, the paper's strategy roster,
+// and output helpers.  Each bench binary reproduces one table or figure of
+// the paper (see DESIGN.md §5) and prints the series the paper plots, plus
+// optional CSV for external plotting.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "datasets/datasets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace accu::bench {
+
+/// Options shared by every experiment binary.
+struct CommonConfig {
+  double scale_facebook = 1.0;    // paper-sized: 4,039 nodes
+  double scale_slashdot = 0.10;   // ~7.7k of 77k nodes
+  double scale_twitter = 0.08;    // ~6.5k of 81k nodes
+  double scale_dblp = 0.025;      // ~7.9k of 317k nodes
+  std::uint32_t budget = 200;
+  std::uint32_t samples = 3;
+  std::uint32_t runs = 3;
+  std::uint64_t seed = 20190729;
+  double cautious_bf = 50.0;      // B_f for cautious users (paper: 50)
+  double theta_fraction = 0.3;    // θ_v = 0.3 · deg(v) (paper)
+  std::uint32_t num_cautious = 100;
+  double w_direct = 0.5;
+  double w_indirect = 0.5;
+  std::string csv_path;           // when set, write CSV next to the table
+  bool verbose = false;
+  std::uint32_t threads = 0;      // experiment workers; 0 = hardware
+};
+
+/// Declares the shared options on `opts`; call before check_unknown().
+void declare_common_options(util::Options& opts);
+
+/// Reads the shared options (already declared) into a config; honours an
+/// `--options=FILE` response file for defaults.
+[[nodiscard]] CommonConfig read_common_config(util::Options& opts);
+
+/// Scale multiplier for a dataset under this config.
+[[nodiscard]] double dataset_scale(const CommonConfig& config,
+                                   const std::string& dataset);
+
+/// An InstanceFactory for one paper dataset under this config.  Each sample
+/// index gets an independent network, as in the paper's 100-sample design.
+[[nodiscard]] InstanceFactory make_instance_factory(
+    const CommonConfig& config, const std::string& dataset);
+
+/// The paper's four-strategy roster (ABM with the config's weights,
+/// MaxDegree, PageRank, Random).
+[[nodiscard]] std::vector<StrategyFactory> paper_strategies(
+    const CommonConfig& config);
+
+/// An ExperimentConfig carrying the shared knobs.
+[[nodiscard]] ExperimentConfig experiment_config(const CommonConfig& config);
+
+/// Prints the table to stdout and, when `csv_path` is non-empty, writes the
+/// CSV file as well (logging the path).
+void emit(const util::Table& table, const std::string& title,
+          const std::string& csv_path);
+
+}  // namespace accu::bench

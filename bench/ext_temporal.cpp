@@ -1,0 +1,110 @@
+// Extension study: attacking a growing network (future-work direction).
+//
+// A fraction of the users only joins the network while the attack is in
+// flight (uniform arrivals over the first `horizon` rounds).  Expected
+// shape: mid-growth benefit (the "benefit @ round h/2" column) drops
+// sharply as more of the network arrives late — early requests face a
+// poorer candidate pool — while the final benefit recovers most of the gap
+// given enough rounds; cautious captures decline with the late fraction
+// because mutual-friend thresholds complete later.
+
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "core/temporal/temporal.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace accu;
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  bench::declare_common_options(opts);
+  opts.declare("dataset", "dataset to sweep (default twitter)");
+  opts.declare("horizon-factor",
+               "arrival horizon as a multiple of k (default 0.5)");
+  opts.check_unknown();
+  bench::CommonConfig config = bench::read_common_config(opts);
+  if (!opts.has("k")) config.budget = 300;
+  if (!opts.has("samples")) config.samples = 2;
+  if (!opts.has("runs")) config.runs = 2;
+  if (!opts.has("scale")) {
+    // Growth effects only bite when the budget is comparable to the early
+    // candidate pool; default to a quarter of the usual bench scale.
+    config.scale_facebook *= 0.25;
+    config.scale_slashdot *= 0.25;
+    config.scale_twitter *= 0.25;
+    config.scale_dblp *= 0.25;
+  }
+  const std::string dataset = opts.get("dataset", "twitter");
+  const double horizon_factor = opts.get_double("horizon-factor", 0.5);
+  const auto horizon = static_cast<std::uint32_t>(
+      horizon_factor * config.budget);
+  const auto rounds = config.budget + horizon;  // room to finish
+
+  const InstanceFactory factory =
+      bench::make_instance_factory(config, dataset);
+  util::Table table({"late fraction", "benefit @ round h/2",
+                     "final benefit", "±95%", "cautious friends",
+                     "rounds waited"});
+  for (const double late : {0.0, 0.25, 0.5, 0.75}) {
+    util::RunningStat midway, final_benefit, cautious, waited;
+    for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
+      util::Rng sample_rng(config.seed ^ (0x51ULL * (sample + 1)));
+      const AccuInstance instance = factory(sample, sample_rng());
+      for (std::uint32_t r = 0; r < config.runs; ++r) {
+        util::Rng run_rng = sample_rng.split(r + 1);
+        const Realization truth = Realization::sample(instance, run_rng);
+        util::Rng schedule_rng = run_rng.split(5);
+        const ArrivalSchedule schedule = ArrivalSchedule::uniform_arrivals(
+            instance.num_nodes(), late, horizon, schedule_rng);
+        TemporalAbm strategy({config.w_direct, config.w_indirect});
+        util::Rng policy_rng = run_rng.split(6);
+        const TemporalResult result =
+            simulate_temporal(instance, schedule, truth, strategy, rounds,
+                              config.budget, policy_rng);
+        final_benefit.add(result.total_benefit);
+        cautious.add(result.num_cautious_friends);
+        // Sample the running benefit mid-growth (round horizon/2), when
+        // the candidate-pool handicap is at its largest.
+        const std::size_t probe = std::max<std::size_t>(1, horizon / 2) - 1;
+        const std::size_t midpoint = std::min<std::size_t>(
+            probe, result.trace.empty() ? 0 : result.trace.size() - 1);
+        midway.add(result.trace.empty()
+                       ? 0.0
+                       : result.trace[midpoint].benefit_after);
+        std::size_t waits = 0;
+        for (const TemporalRequestRecord& record : result.trace) {
+          waits += record.target == kInvalidNode;
+        }
+        waited.add(static_cast<double>(waits));
+      }
+    }
+    table.row()
+        .cell(late, 2)
+        .cell(midway.mean(), 1)
+        .cell(final_benefit.mean(), 1)
+        .cell(final_benefit.ci95_halfwidth(), 1)
+        .cell(cautious.mean(), 2)
+        .cell(waited.mean(), 1);
+  }
+  bench::emit(table,
+              "Extension — growing network (" + dataset + ", k=" +
+                  std::to_string(config.budget) + ", arrivals over " +
+                  std::to_string(horizon) + " rounds)",
+              config.csv_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

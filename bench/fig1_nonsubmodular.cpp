@@ -1,0 +1,78 @@
+// Fig. 1 / §III-B reproduction: the two-user witness showing that the ACCU
+// benefit function is not adaptive submodular, and that the adaptive total
+// primal curvature of prior work is unbounded on it (so the curvature
+// ratio 1 − (1 − 1/(δk))^k collapses to 0).
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "core/theory/exact.hpp"
+#include "core/theory/ratios.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  opts.declare("bf", "B_f of the cautious user v1 (default 5)")
+      .declare("bfof", "B_fof of the cautious user v1 (default 1)");
+  opts.check_unknown();
+  const double bf = opts.get_double("bf", 5.0);
+  const double bfof = opts.get_double("bfof", 1.0);
+
+  // v0: reckless, q = 1.  v1: cautious, θ = 1.  Certain edge (v0, v1).
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  const std::vector<UserClass> classes = {UserClass::kReckless,
+                                          UserClass::kCautious};
+  const AccuInstance instance(b.build(), classes, {1.0, 0.0}, {1, 1},
+                              BenefitModel({2.0, bf}, {1.0, bfof}));
+  const auto worlds = enumerate_realizations(instance);
+
+  AttackerView omega1(instance);  // ω1 = ∅
+  const double delta1 = exact_marginal_gain(omega1, 1, worlds);
+
+  AttackerView omega2(instance);  // ω2 = {v0 accepted, edge observed}
+  omega2.record_acceptance(0, worlds.front().first);
+  const double delta2 = exact_marginal_gain(omega2, 1, worlds);
+
+  util::Table table({"partial realization", "Δ(v1|ω)", "comment"});
+  table.row().cell("ω1 = ∅").cell(delta1, 3).cell(
+      "v1 rejects: no mutual friends yet");
+  table.row().cell("ω2 = {v2 accepted}").cell(delta2, 3).cell(
+      "v1 accepts: B_f − B_fof");
+  std::cout << "\n== Fig. 1 — non-submodularity witness ==\n";
+  table.print(std::cout);
+  std::cout << "Δ(v1|ω2) > Δ(v1|ω1) with ω1 ⊆ ω2 ⇒ adaptive submodularity "
+               "fails.\n";
+  const double gamma = total_primal_curvature(delta2, delta1);
+  std::cout << "adaptive total primal curvature Γ(v1 | ω2, ω1) = "
+            << (std::isinf(gamma) ? "∞ (unbounded)"
+                                  : util::Table::format(gamma, 3))
+            << "\n";
+  std::cout << "curvature ratio with δ=10, k=20 (paper's generalized-model "
+               "example): "
+            << util::Table::format(curvature_ratio(10.0, 20), 3) << "\n";
+  // The paper's own alternative: adaptive submodular ratio of this witness.
+  const double lambda = adaptive_submodular_ratio(instance);
+  std::cout << "adaptive submodular ratio λ = "
+            << util::Table::format(lambda, 4)
+            << " ⇒ Theorem 1 greedy guarantee 1 − e^{−λ} = "
+            << util::Table::format(theorem1_ratio(lambda, 2, 2), 4) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,80 @@
+// Fig. 2 reproduction: amount of benefit obtained vs number of friend
+// requests, for ABM / MaxDegree / PageRank / Random on all four datasets.
+//
+// Paper settings: B_f = 50 for cautious users, θ_v = 0.3·deg(v),
+// w_D = w_I = 0.5.  Expected shape (paper): ABM clearly on top, Random at
+// the bottom, PageRank slightly above MaxDegree; ABM's curve shows a
+// convex segment on Slashdot/Twitter where it invests in cautious users.
+
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  bench::declare_common_options(opts);
+  opts.declare("datasets", "comma-separated subset (default: all four)");
+  opts.check_unknown();
+  const bench::CommonConfig config = bench::read_common_config(opts);
+
+  std::vector<std::string> names;
+  {
+    const std::string raw =
+        opts.get("datasets", "facebook,slashdot,twitter,dblp");
+    std::size_t start = 0;
+    while (start <= raw.size()) {
+      const std::size_t comma = raw.find(',', start);
+      const std::size_t end = comma == std::string::npos ? raw.size() : comma;
+      if (end > start) names.push_back(raw.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+
+  // Report the curves at 10 evenly spaced checkpoints, like the figure's
+  // x-axis ticks.
+  const std::uint32_t checkpoints = 10;
+  for (const std::string& dataset : names) {
+    const ExperimentResult result =
+        run_experiment(bench::make_instance_factory(config, dataset),
+                       bench::paper_strategies(config),
+                       bench::experiment_config(config));
+    std::vector<std::string> header = {"k"};
+    for (const std::string& name : result.strategy_names) {
+      header.push_back(name);
+      header.push_back(name + " ±95%");
+    }
+    util::Table table(header);
+    for (std::uint32_t c = 1; c <= checkpoints; ++c) {
+      const std::uint32_t k = config.budget * c / checkpoints;
+      table.row().cell_int(k);
+      for (const TraceAggregator& agg : result.aggregates) {
+        const auto& cell = agg.cumulative_benefit().at(k - 1);
+        table.cell(cell.mean(), 1).cell(cell.ci95_halfwidth(), 1);
+      }
+    }
+    bench::emit(table,
+                "Fig. 2 — benefit vs #requests (" + dataset + ", B_f(Vc)=" +
+                    util::Table::format(config.cautious_bf, 0) + ", θ=" +
+                    util::Table::format(config.theta_fraction, 2) +
+                    "·deg, wD=wI=0.5)",
+                config.csv_path.empty() ? ""
+                                        : config.csv_path + "." + dataset +
+                                              ".csv");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

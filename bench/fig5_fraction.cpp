@@ -1,0 +1,72 @@
+// Fig. 5 reproduction: the fraction of runs in which request number X was
+// sent to a cautious user, for several ABM indirect weights w_I
+// (w_D = 1 − w_I) on the Twitter-like dataset, k = 500.
+//
+// Expected shape (paper): higher w_I both raises the total mass (more
+// cautious targets) and shifts it left (cautious users befriended earlier).
+
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "core/strategies/abm.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  bench::declare_common_options(opts);
+  opts.declare("dataset", "dataset to sweep (default twitter)");
+  opts.declare("buckets", "number of request-index buckets (default 20)");
+  opts.check_unknown();
+  bench::CommonConfig config = bench::read_common_config(opts);
+  if (!opts.has("k")) config.budget = 500;  // the paper's Fig. 5 setting
+  const std::string dataset = opts.get("dataset", "twitter");
+  const auto buckets =
+      static_cast<std::uint32_t>(opts.get_int("buckets", 20));
+
+  const std::vector<double> wi_values = {0.1, 0.3, 0.5};
+  std::vector<StrategyFactory> strategies;
+  for (const double wi : wi_values) {
+    const double wd = 1.0 - wi;
+    strategies.push_back(
+        {"wI=" + util::Table::format(wi, 1),
+         [wd, wi] { return std::make_unique<AbmStrategy>(wd, wi); }});
+  }
+  const ExperimentResult result =
+      run_experiment(bench::make_instance_factory(config, dataset),
+                     strategies, bench::experiment_config(config));
+
+  std::vector<std::string> header = {"requests"};
+  for (const std::string& name : result.strategy_names) header.push_back(name);
+  util::Table table(header);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const std::uint32_t lo = config.budget * b / buckets;
+    const std::uint32_t hi = config.budget * (b + 1) / buckets;
+    table.row().cell(std::to_string(lo + 1) + "-" + std::to_string(hi));
+    for (const TraceAggregator& agg : result.aggregates) {
+      util::RunningStat fraction;
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        fraction.add(agg.cautious_fraction().at(i).mean());
+      }
+      table.cell(fraction.mean(), 4);
+    }
+  }
+  bench::emit(table,
+              "Fig. 5 — fraction of requests sent to cautious users (" +
+                  dataset + ", k=" + std::to_string(config.budget) + ")",
+              config.csv_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,12 @@
+// Fig. 6 reproduction — see heatmap_shared.cpp.
+//
+// Expected shape (paper): benefit grows with higher cautious B_f and lower
+// thresholds, except at B_f = 20 where *raising* the threshold can help
+// (over-investing in cheap cautious users hurts).
+
+#include "heatmap_shared.hpp"
+
+int main(int argc, char** argv) {
+  return accu::bench::run_heatmap(argc, argv,
+                                  accu::bench::HeatmapMetric::kBenefit);
+}

@@ -1,0 +1,11 @@
+// Fig. 7 reproduction — see heatmap_shared.cpp.
+//
+// Expected shape (paper): the number of cautious friends grows with higher
+// cautious B_f and lower thresholds.
+
+#include "heatmap_shared.hpp"
+
+int main(int argc, char** argv) {
+  return accu::bench::run_heatmap(
+      argc, argv, accu::bench::HeatmapMetric::kCautiousFriends);
+}

@@ -1,0 +1,15 @@
+// Shared implementation of the Fig. 6 / Fig. 7 heat maps: sweep the
+// cautious users' friend benefit B_f and the threshold fraction
+// (θ_v = frac·deg(v)) on one dataset and report either total benefit
+// (Fig. 6) or the number of cautious friends (Fig. 7) per grid cell.
+
+#pragma once
+
+namespace accu::bench {
+
+enum class HeatmapMetric { kBenefit, kCautiousFriends };
+
+/// Entry point used by the two heat-map binaries.
+int run_heatmap(int argc, char** argv, HeatmapMetric metric);
+
+}  // namespace accu::bench

@@ -1,0 +1,151 @@
+// Google-Benchmark microbenchmarks for the hot paths: potential evaluation,
+// observation updates, realization sampling, PageRank, generators, and a
+// full ABM attack.  These are engineering benchmarks (not paper figures);
+// they guard the complexity claims in DESIGN.md §7.
+
+#include <benchmark/benchmark.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "datasets/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/pagerank.hpp"
+
+namespace {
+
+using namespace accu;
+
+const AccuInstance& twitter_instance() {
+  static const AccuInstance instance = [] {
+    util::Rng rng(7);
+    datasets::DatasetConfig config;
+    config.scale = 0.03;  // ~2.4k nodes, mean degree ~44
+    return datasets::make_dataset("twitter", config, rng);
+  }();
+  return instance;
+}
+
+void BM_RealizationSample(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Realization::sample(instance, rng));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      instance.graph().num_edges());
+}
+BENCHMARK(BM_RealizationSample);
+
+void BM_PotentialEvaluation(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  const AttackerView view(instance);
+  const AbmStrategy abm(0.5, 0.5);
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abm.potential(view, u));
+    u = (u + 1) % instance.num_nodes();
+  }
+}
+BENCHMARK(BM_PotentialEvaluation);
+
+void BM_ObservationUpdate(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(2);
+  const Realization truth = Realization::sample(instance, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    AttackerView view(instance);
+    state.ResumeTiming();
+    for (NodeId v = 0; v < 64; ++v) view.record_acceptance(v, truth);
+    benchmark::DoNotOptimize(view.current_benefit());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ObservationUpdate);
+
+void BM_SimulateAbm(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(3);
+  const Realization truth = Realization::sample(instance, rng);
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AbmStrategy abm(0.5, 0.5);
+    util::Rng srng(4);
+    benchmark::DoNotOptimize(
+        simulate(instance, truth, abm, budget, srng).total_benefit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          budget);
+}
+BENCHMARK(BM_SimulateAbm)->Arg(50)->Arg(200);
+
+void BM_SimulateAbmReference(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(3);
+  const Realization truth = Realization::sample(instance, rng);
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AbmStrategy::Config config;
+    config.weights = {0.5, 0.5};
+    config.incremental = false;
+    AbmStrategy abm(config);
+    util::Rng srng(4);
+    benchmark::DoNotOptimize(
+        simulate(instance, truth, abm, budget, srng).total_benefit);
+  }
+}
+BENCHMARK(BM_SimulateAbmReference)->Arg(50);
+
+void BM_SimulateRandom(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(5);
+  const Realization truth = Realization::sample(instance, rng);
+  for (auto _ : state) {
+    RandomStrategy random;
+    util::Rng srng(6);
+    benchmark::DoNotOptimize(
+        simulate(instance, truth, random, 200, srng).total_benefit);
+  }
+}
+BENCHMARK(BM_SimulateRandom);
+
+void BM_PageRank(benchmark::State& state) {
+  const AccuInstance& instance = twitter_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::pagerank(instance.graph()));
+  }
+}
+BENCHMARK(BM_PageRank);
+
+void BM_GenerateFacebookLike(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(8);
+    benchmark::DoNotOptimize(
+        datasets::make_topology("facebook", 0.25, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateFacebookLike);
+
+void BM_GenerateDblpLike(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(9);
+    benchmark::DoNotOptimize(
+        datasets::make_topology("dblp", 0.01, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateDblpLike);
+
+void BM_CsrBuild(benchmark::State& state) {
+  util::Rng rng(10);
+  const graph::GraphBuilder builder =
+      graph::barabasi_albert(5000, 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build().num_edges());
+  }
+}
+BENCHMARK(BM_CsrBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

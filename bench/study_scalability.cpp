@@ -1,0 +1,91 @@
+// Engineering study: runtime scaling of the full attack pipeline.
+//
+// Sweeps the network scale and reports wall time per component (dataset
+// generation, PageRank, one full ABM attack with incremental vs reference
+// potential maintenance).  Backs the complexity claims of DESIGN.md §7:
+// the incremental maintenance turns ABM's per-request cost from O(Σdeg)
+// into (amortized) the size of the 2-hop dirty neighbourhood.
+
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "core/strategies/abm.hpp"
+#include "graph/pagerank.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  bench::declare_common_options(opts);
+  opts.declare("dataset", "dataset to scale (default twitter)");
+  opts.declare("max-scale", "largest scale in the sweep (default 0.32)");
+  opts.check_unknown();
+  bench::CommonConfig config = bench::read_common_config(opts);
+  if (!opts.has("k")) config.budget = 300;
+  const std::string dataset = opts.get("dataset", "twitter");
+  const double max_scale = opts.get_double("max-scale", 0.32);
+
+  util::Table table({"scale", "nodes", "edges", "generate ms", "pagerank ms",
+                     "ABM ms (incremental)", "ABM ms (reference)",
+                     "benefit"});
+  for (double scale = 0.02; scale <= max_scale + 1e-9; scale *= 2.0) {
+    datasets::DatasetConfig dataset_config;
+    dataset_config.scale = scale;
+    dataset_config.num_cautious = config.num_cautious;
+    util::Rng rng(config.seed);
+    util::Timer generate_timer;
+    const AccuInstance instance =
+        datasets::make_dataset(dataset, dataset_config, rng);
+    const double generate_ms = generate_timer.milliseconds();
+
+    util::Timer pagerank_timer;
+    const auto scores = graph::pagerank(instance.graph());
+    const double pagerank_ms = pagerank_timer.milliseconds();
+    (void)scores;
+
+    const Realization truth = Realization::sample(instance, rng);
+    double benefit = 0.0;
+    double incremental_ms = 0.0, reference_ms = 0.0;
+    for (const bool incremental : {true, false}) {
+      AbmStrategy::Config abm_config;
+      abm_config.weights = {config.w_direct, config.w_indirect};
+      abm_config.incremental = incremental;
+      AbmStrategy strategy(abm_config);
+      util::Rng srng(1);
+      util::Timer attack_timer;
+      const SimulationResult result =
+          simulate(instance, truth, strategy, config.budget, srng);
+      (incremental ? incremental_ms : reference_ms) =
+          attack_timer.milliseconds();
+      benefit = result.total_benefit;
+    }
+    table.row()
+        .cell(scale, 2)
+        .cell_int(instance.num_nodes())
+        .cell_int(instance.graph().num_edges())
+        .cell(generate_ms, 1)
+        .cell(pagerank_ms, 1)
+        .cell(incremental_ms, 1)
+        .cell(reference_ms, 1)
+        .cell(benefit, 1);
+  }
+  bench::emit(table,
+              "Study — runtime scaling (" + dataset + ", k=" +
+                  std::to_string(config.budget) + ")",
+              config.csv_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

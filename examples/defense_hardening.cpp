@@ -1,0 +1,116 @@
+// Defense hardening: the defender's view of ACCU.
+//
+// The paper frames cautious (linear-threshold) acceptance as a *defense*
+// adopted by high-profile users.  This example quantifies how much that
+// defense is worth: it sweeps (a) the acceptance threshold fraction and
+// (b) the number of users adopting cautious behaviour, measures how much
+// benefit an optimal-ish attacker (ABM) still extracts, and reports the
+// protection rate of the cautious population.
+//
+// Usage: ./build/examples/defense_hardening [--scale=0.3] [--k=150]
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/strategies/abm.hpp"
+#include "datasets/datasets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace accu;
+
+struct SweepPoint {
+  double theta_fraction;
+  std::uint32_t num_cautious;
+};
+
+TraceAggregator attack(const SweepPoint& point, double scale,
+                       std::uint32_t k, std::uint64_t seed) {
+  datasets::DatasetConfig dataset_config;
+  dataset_config.scale = scale;
+  dataset_config.threshold_fraction = point.theta_fraction;
+  dataset_config.num_cautious = point.num_cautious;
+  const InstanceFactory factory = [dataset_config](std::uint32_t sample,
+                                                   std::uint64_t s) {
+    util::Rng rng(s + 97 * sample);
+    return datasets::make_dataset("facebook", dataset_config, rng);
+  };
+  const std::vector<StrategyFactory> attacker = {
+      {"ABM", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }}};
+  ExperimentConfig config;
+  config.budget = k;
+  config.samples = 2;
+  config.runs = 3;
+  config.seed = seed;
+  return run_experiment(factory, attacker, config).aggregates.front();
+}
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  opts.declare("scale", "network scale vs the 4k Facebook snapshot "
+                        "(default 0.3)")
+      .declare("k", "attacker budget (default 150)")
+      .declare("seed", "random seed (default 23)");
+  opts.check_unknown();
+  const double scale = opts.get_double("scale", 0.3);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 150));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 23));
+
+  std::printf("Evaluating the cautious-user defense on a Facebook-like "
+              "network (scale %.2f, attacker budget %u)...\n\n", scale, k);
+
+  // (a) Threshold sweep: how strict must cautious users be?
+  util::Table thresholds({"θ fraction", "attacker benefit",
+                          "cautious friends (of 50)", "protection rate"});
+  for (const double theta : {0.1, 0.2, 0.3, 0.4, 0.5, 0.7}) {
+    const TraceAggregator agg =
+        attack({theta, 50}, scale, k, seed);
+    const double befriended = agg.cautious_friends().mean();
+    thresholds.row()
+        .cell(theta, 1)
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(befriended, 2)
+        .cell(1.0 - befriended / 50.0, 3);
+  }
+  std::cout << "== Defense A: raising the mutual-friend threshold ==\n";
+  thresholds.print(std::cout);
+
+  // (b) Adoption sweep: how many users need to adopt the behaviour?
+  util::Table adoption({"#cautious users", "attacker benefit",
+                        "cautious friends", "protection rate"});
+  for (const std::uint32_t count : {10u, 25u, 50u, 100u}) {
+    const TraceAggregator agg =
+        attack({0.3, count}, scale, k, seed + 1);
+    const double befriended = agg.cautious_friends().mean();
+    adoption.row()
+        .cell_int(count)
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(befriended, 2)
+        .cell(1.0 - befriended / count, 3);
+  }
+  std::cout << "\n== Defense B: growing the cautious population ==\n";
+  adoption.print(std::cout);
+
+  std::cout <<
+      "\nReading: higher thresholds directly cut how many high-profile "
+      "accounts the\nattacker reaches, but the paper's Fig. 6 caveat shows "
+      "in the benefit column —\nonce cautious users are expensive enough to "
+      "reach, the attacker reallocates\nits budget to reckless users, so "
+      "total benefit saturates rather than collapses.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

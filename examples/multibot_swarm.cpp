@@ -1,0 +1,125 @@
+// Multi-bot swarm: splitting one attack budget across a bot coalition.
+//
+// Demonstrates the multi-bot extension (src/core/multibot): m colluding
+// socialbots that pool observations and harvested information but hold
+// separate friendships — so cautious users' mutual-friend thresholds must
+// be met by each bot on its own.  The example sweeps the coalition size at
+// a fixed total budget and reports the latency/effectiveness trade-off,
+// plus a per-bot breakdown for one swarm.
+//
+// Usage: ./build/examples/multibot_swarm [--scale=0.04] [--k=200]
+//        [--seed=11]
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <map>
+
+#include "core/multibot/multibot.hpp"
+#include "datasets/datasets.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  opts.declare("scale", "network scale vs the 81k-node snapshot (default "
+                        "0.04)")
+      .declare("k", "total friend-request budget (default 200)")
+      .declare("repeats", "repetitions per swarm size (default 5)")
+      .declare("seed", "random seed (default 11)");
+  opts.check_unknown();
+  const double scale = opts.get_double("scale", 0.04);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 200));
+  const auto repeats =
+      static_cast<std::uint32_t>(opts.get_int("repeats", 5));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 11));
+
+  util::Rng rng(seed);
+  datasets::DatasetConfig dataset_config;
+  dataset_config.scale = scale;
+  const AccuInstance instance =
+      datasets::make_dataset("twitter", dataset_config, rng);
+  std::printf("Twitter-like network: %u users (%u cautious), budget %u\n\n",
+              instance.num_nodes(), instance.num_cautious(), k);
+
+  util::Table sweep({"#bots", "rounds", "benefit", "±95%",
+                     "cautious friends", "coalition friends"});
+  for (const BotId bots : {1u, 2u, 4u, 8u}) {
+    util::RunningStat benefit, cautious, rounds, friends;
+    for (std::uint32_t r = 0; r < repeats; ++r) {
+      util::Rng run_rng = rng.split(bots * 100 + r);
+      const MultiBotRealization truth =
+          MultiBotRealization::sample(instance, bots, run_rng);
+      MultiBotAbm coalition({0.5, 0.5});
+      util::Rng policy_rng = run_rng.split(1);
+      const MultiBotResult result =
+          simulate_multibot(instance, truth, coalition, k, bots, policy_rng);
+      benefit.add(result.total_benefit);
+      cautious.add(result.num_cautious_friends);
+      rounds.add(result.rounds);
+      friends.add(static_cast<double>(result.coalition_friends.size()));
+    }
+    sweep.row()
+        .cell_int(bots)
+        .cell(rounds.mean(), 1)
+        .cell(benefit.mean(), 1)
+        .cell(benefit.ci95_halfwidth(), 1)
+        .cell(cautious.mean(), 2)
+        .cell(friends.mean(), 1);
+  }
+  std::cout << "== Swarm size sweep (fixed total budget) ==\n";
+  sweep.print(std::cout);
+
+  // Per-bot anatomy of one 4-bot attack.
+  {
+    util::Rng run_rng = rng.split(424242);
+    const MultiBotRealization truth =
+        MultiBotRealization::sample(instance, 4, run_rng);
+    MultiBotAbm coalition({0.5, 0.5});
+    util::Rng policy_rng = run_rng.split(1);
+    const MultiBotResult result =
+        simulate_multibot(instance, truth, coalition, k, 4, policy_rng);
+    std::map<BotId, std::pair<int, int>> per_bot;  // requests, accepts
+    for (const MultiBotRequestRecord& r : result.trace) {
+      ++per_bot[r.bot].first;
+      per_bot[r.bot].second += r.accepted;
+    }
+    util::Table anatomy({"bot", "requests", "accepted", "acceptance rate"});
+    for (const auto& [bot, counts] : per_bot) {
+      anatomy.row()
+          .cell_int(bot)
+          .cell_int(counts.first)
+          .cell_int(counts.second)
+          .cell(counts.first > 0 ? static_cast<double>(counts.second) /
+                                       counts.first
+                                 : 0.0,
+                3);
+    }
+    std::cout << "\n== Anatomy of one 4-bot attack (" << result.rounds
+              << " rounds, benefit "
+              << util::Table::format(result.total_benefit, 1) << ") ==\n";
+    anatomy.print(std::cout);
+  }
+
+  std::cout << "\nReading: the swarm finishes in ~k/m rounds, but each bot "
+               "must rebuild mutual\nfriends from scratch, so cautious "
+               "captures shrink as the budget fragments —\none persistent "
+               "identity beats a burst of shallow ones against threshold "
+               "defenses.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete tour of the public API.
+//
+//   1. Build a probabilistic social network.
+//   2. Mark a cautious (linear-threshold) user and set benefits.
+//   3. Sample a ground-truth realization.
+//   4. Run the ABM socialbot for a handful of friend requests.
+//   5. Inspect the per-request trace.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "core/strategies/abm.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace accu;
+
+  // 1. A 6-user network: a small friendship cluster around user 2, who is
+  //    the high-profile target.  Edge probabilities are the attacker's
+  //    prior knowledge (p_uv from the paper's network model).
+  graph::GraphBuilder builder(6);
+  builder.add_edge(0, 1, 0.9);
+  builder.add_edge(1, 2, 0.8);
+  builder.add_edge(2, 3, 0.8);
+  builder.add_edge(3, 4, 0.9);
+  builder.add_edge(1, 4, 0.5);
+  builder.add_edge(4, 5, 0.7);
+  const Graph network = builder.build();
+
+  // 2. User 2 is cautious: it only accepts once it shares 2 mutual friends
+  //    with the requester.  Everyone else accepts with probability q_u.
+  std::vector<UserClass> classes(6, UserClass::kReckless);
+  classes[2] = UserClass::kCautious;
+  const std::vector<double> accept_prob = {0.9, 0.8, 0.0, 0.7, 0.9, 0.6};
+  const std::vector<std::uint32_t> threshold = {1, 1, 2, 1, 1, 1};
+  // Benefits: the cautious user is worth 50 as a friend; everyone else 2;
+  // a friend-of-friend always yields 1.
+  const BenefitModel benefits =
+      BenefitModel::paper_default(classes, 2.0, 50.0, 1.0);
+  const AccuInstance instance(network, classes, accept_prob, threshold,
+                              benefits);
+
+  // 3. The hidden ground truth: which potential edges actually exist and
+  //    which users would accept.
+  util::Rng rng(/*seed=*/2019);
+  const Realization truth = Realization::sample(instance, rng);
+
+  // 4. The attack: ABM with the paper's default weights w_D = w_I = 0.5
+  //    and a budget of 5 friend requests.
+  AbmStrategy abm(0.5, 0.5);
+  const SimulationResult result = simulate(instance, truth, abm, 5, rng);
+
+  // 5. Report.
+  std::printf("ABM attack, budget 5:\n");
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    const RequestRecord& r = result.trace[i];
+    std::printf("  request %zu -> user %u (%s): %s, marginal benefit %.1f\n",
+                i + 1, r.target, r.cautious_target ? "cautious" : "reckless",
+                r.accepted ? "accepted" : "rejected", r.marginal());
+  }
+  std::printf("total benefit: %.1f  (friends: %u, cautious friends: %u)\n",
+              result.total_benefit, result.num_accepted,
+              result.num_cautious_friends);
+  return 0;
+}

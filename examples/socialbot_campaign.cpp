@@ -1,0 +1,118 @@
+// Socialbot campaign: a full attack study on a Twitter-like network.
+//
+// Generates a synthetic OSN with 100 cautious high-profile users (the
+// paper's §IV setup), then runs every policy — ABM, the classic adaptive
+// greedy, MaxDegree, PageRank, Random — against identical ground truths and
+// prints a campaign report: benefit over time, who got the cautious users,
+// and how request outcomes differed.
+//
+// Usage: ./build/examples/socialbot_campaign [--scale=0.05] [--k=300]
+//        [--samples=2] [--runs=3] [--seed=7]
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "datasets/datasets.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace accu;
+  util::Options opts(argc, argv);
+  opts.declare("scale", "network scale vs the 81k-node snapshot (default "
+                        "0.05 ≈ 4k users)")
+      .declare("k", "friend-request budget (default 300)")
+      .declare("samples", "sample networks (default 2)")
+      .declare("runs", "runs per network (default 3)")
+      .declare("seed", "random seed (default 7)");
+  opts.check_unknown();
+  const double scale = opts.get_double("scale", 0.05);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 300));
+
+  datasets::DatasetConfig dataset_config;
+  dataset_config.scale = scale;
+  const InstanceFactory factory = [dataset_config](std::uint32_t sample,
+                                                   std::uint64_t seed) {
+    util::Rng rng(seed + 31 * sample);
+    return datasets::make_dataset("twitter", dataset_config, rng);
+  };
+
+  const std::vector<StrategyFactory> strategies = {
+      {"ABM(0.5,0.5)", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
+      {"Greedy(wI=0)", [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }},
+      {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
+      {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
+      {"Random", [] { return std::make_unique<RandomStrategy>(); }},
+  };
+
+  ExperimentConfig config;
+  config.budget = k;
+  config.samples = static_cast<std::uint32_t>(opts.get_int("samples", 2));
+  config.runs = static_cast<std::uint32_t>(opts.get_int("runs", 3));
+  config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 7));
+
+  std::printf("Simulating a socialbot campaign on a Twitter-like network "
+              "(scale %.3f, budget %u, %u networks x %u runs)...\n",
+              scale, k, config.samples, config.runs);
+  const ExperimentResult result = run_experiment(factory, strategies, config);
+
+  util::Table summary({"policy", "benefit", "±95%", "friends",
+                       "cautious friends", "benefit@k/4", "benefit@k/2"});
+  for (std::size_t i = 0; i < result.strategy_names.size(); ++i) {
+    const TraceAggregator& agg = result.aggregates[i];
+    summary.row()
+        .cell(result.strategy_names[i])
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(agg.total_benefit().ci95_halfwidth(), 1)
+        .cell(agg.accepted_requests().mean(), 1)
+        .cell(agg.cautious_friends().mean(), 2)
+        .cell(agg.cumulative_benefit().at(k / 4 - 1).mean(), 1)
+        .cell(agg.cumulative_benefit().at(k / 2 - 1).mean(), 1);
+  }
+  std::cout << "\n== Campaign summary ==\n";
+  summary.print(std::cout);
+
+  // How the attack unfolds: the ABM benefit curve vs the best static
+  // baseline at 10 checkpoints.
+  const TraceAggregator& abm = result.by_name("ABM(0.5,0.5)");
+  const TraceAggregator& pagerank = result.by_name("PageRank");
+  util::Table curve({"requests", "ABM benefit", "PageRank benefit",
+                     "ABM frac→cautious"});
+  for (std::uint32_t c = 1; c <= 10; ++c) {
+    const std::uint32_t at = k * c / 10;
+    util::RunningStat frac;
+    for (std::uint32_t i = k * (c - 1) / 10; i < at; ++i) {
+      frac.add(abm.cautious_fraction().at(i).mean());
+    }
+    curve.row()
+        .cell_int(at)
+        .cell(abm.cumulative_benefit().at(at - 1).mean(), 1)
+        .cell(pagerank.cumulative_benefit().at(at - 1).mean(), 1)
+        .cell(frac.mean(), 3);
+  }
+  std::cout << "\n== Attack progression ==\n";
+  curve.print(std::cout);
+
+  std::cout << "\nReading: ABM invests mid-campaign requests into friends "
+               "of cautious users\n(the frac→cautious column shows when the "
+               "thresholds are harvested), which is\nexactly the behaviour "
+               "behind Fig. 3 of the paper.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,111 @@
+// Theory playground: the paper's §III machinery on inspectable instances.
+//
+//   * reproduces the Fig. 1 non-submodularity witness with exact marginals;
+//   * computes the realization-specific and adaptive submodular ratios by
+//     brute force on a small instance;
+//   * evaluates Lemma 4's closed form next to the exact ratio;
+//   * pits the exact adaptive greedy against the exact optimal adaptive
+//     policy and checks Theorem 1's bound 1 − e^{−λ}.
+//
+// Usage: ./build/examples/theory_playground [--seed=5]
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+
+#include "core/strategies/abm.hpp"
+#include "core/theory/exact.hpp"
+#include "core/theory/ratios.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace accu;
+
+void fig1_witness() {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  const std::vector<UserClass> classes = {UserClass::kReckless,
+                                          UserClass::kCautious};
+  const AccuInstance instance(b.build(), classes, {1.0, 0.0}, {1, 1},
+                              BenefitModel({2.0, 5.0}, {1.0, 1.0}));
+  const auto worlds = enumerate_realizations(instance);
+  AttackerView empty(instance);
+  AttackerView informed(instance);
+  informed.record_acceptance(0, worlds.front().first);
+  std::printf("Fig. 1 witness: Δ(v1|∅) = %.1f, Δ(v1|{v2 accepted}) = %.1f\n",
+              exact_marginal_gain(empty, 1, worlds),
+              exact_marginal_gain(informed, 1, worlds));
+  std::printf("  ⇒ the marginal gain *increased* as the observation grew: "
+              "not adaptive submodular.\n\n");
+}
+
+void ratios_and_bound(std::uint64_t seed) {
+  // A 6-node instance with one cautious hub (θ=2): 0-1-2 triangle plus the
+  // hub 3 attached to 1 and 2, pendant 4-0, and a probabilistic edge 5-2.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(0, 2, 1.0);
+  b.add_edge(1, 3, 1.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(0, 4, 1.0);
+  b.add_edge(2, 5, 0.5);
+  std::vector<UserClass> classes(6, UserClass::kReckless);
+  classes[3] = UserClass::kCautious;
+  util::Rng rng(seed);
+  std::vector<double> q = {1.0, 0.5, 1.0, 0.0, 1.0, 0.7};
+  const AccuInstance instance(
+      b.build(), classes, q, {1, 1, 1, 2, 1, 1},
+      BenefitModel::paper_default(classes, 2.0, 12.0, 1.0));
+
+  const Realization certain = Realization::certain(instance);
+  const double rasr = realization_submodular_ratio(instance, certain);
+  const double lambda = adaptive_submodular_ratio(instance);
+  const double lemma4 = lemma4_lambda(instance, certain);
+  std::printf("Submodularity ratios on the 6-node playground instance:\n");
+  std::printf("  RASR λ_φ (certain world, brute force) = %.4f\n", rasr);
+  std::printf("  adaptive submodular ratio λ = min_φ λ_φ = %.4f\n", lambda);
+  std::printf("  Lemma 4 closed-form estimate           = %.4f\n\n", lemma4);
+
+  const auto worlds = enumerate_realizations(instance);
+  util::Table table({"k", "greedy (exact)", "optimal (exact)", "ratio",
+                     "Theorem-1 bound"});
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    const double greedy = exact_policy_value(
+        instance, [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }, k,
+        worlds);
+    const double optimal = optimal_adaptive_value(instance, k, worlds);
+    table.row()
+        .cell_int(k)
+        .cell(greedy, 3)
+        .cell(optimal, 3)
+        .cell(optimal > 0 ? greedy / optimal : 1.0, 4)
+        .cell(theorem1_ratio(lambda, k, k), 4);
+  }
+  std::cout << "Exact adaptive greedy vs exact optimal policy "
+               "(Theorem 1 says ratio ≥ bound):\n";
+  table.print(std::cout);
+}
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  opts.declare("seed", "seed for the playground instance (default 5)");
+  opts.check_unknown();
+  fig1_witness();
+  ratios_and_bound(static_cast<std::uint64_t>(opts.get_int("seed", 5)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+#include "core/benefit.hpp"
+
+#include <string>
+
+namespace accu {
+
+BenefitModel::BenefitModel(std::vector<double> friend_benefit,
+                           std::vector<double> fof_benefit)
+    : friend_benefit_(std::move(friend_benefit)),
+      fof_benefit_(std::move(fof_benefit)) {
+  if (friend_benefit_.size() != fof_benefit_.size()) {
+    throw InvalidArgument("BenefitModel: vector sizes differ");
+  }
+  for (std::size_t u = 0; u < friend_benefit_.size(); ++u) {
+    if (!(fof_benefit_[u] >= 0.0)) {
+      throw InvalidArgument("BenefitModel: B_fof(" + std::to_string(u) +
+                            ") must be >= 0");
+    }
+    if (!(friend_benefit_[u] >= fof_benefit_[u])) {
+      throw InvalidArgument("BenefitModel: B_f(" + std::to_string(u) +
+                            ") must be >= B_fof");
+    }
+  }
+}
+
+BenefitModel BenefitModel::uniform(NodeId num_nodes, double friend_benefit,
+                                   double fof_benefit) {
+  return BenefitModel(std::vector<double>(num_nodes, friend_benefit),
+                      std::vector<double>(num_nodes, fof_benefit));
+}
+
+BenefitModel BenefitModel::paper_default(
+    const std::vector<UserClass>& classes, double reckless_f,
+    double cautious_f, double fof) {
+  std::vector<double> bf(classes.size());
+  for (std::size_t u = 0; u < classes.size(); ++u) {
+    bf[u] = classes[u] == UserClass::kCautious ? cautious_f : reckless_f;
+  }
+  return BenefitModel(std::move(bf),
+                      std::vector<double>(classes.size(), fof));
+}
+
+BenefitModel BenefitModel::degree_proportional(const Graph& graph,
+                                               double base, double alpha,
+                                               double fof_fraction) {
+  if (!(base > 0.0) || !(alpha >= 0.0)) {
+    throw InvalidArgument(
+        "degree_proportional: need base > 0 and alpha >= 0");
+  }
+  if (!(fof_fraction >= 0.0 && fof_fraction < 1.0)) {
+    throw InvalidArgument(
+        "degree_proportional: fof_fraction must be in [0, 1)");
+  }
+  const NodeId n = graph.num_nodes();
+  std::vector<double> bf(n), bfof(n);
+  for (NodeId u = 0; u < n; ++u) {
+    bf[u] = base + alpha * graph.expected_degree(u);
+    bfof[u] = fof_fraction * bf[u];
+  }
+  return BenefitModel(std::move(bf), std::move(bfof));
+}
+
+bool BenefitModel::has_strict_gap() const noexcept {
+  for (std::size_t u = 0; u < friend_benefit_.size(); ++u) {
+    if (!(friend_benefit_[u] > fof_benefit_[u])) return false;
+  }
+  return true;
+}
+
+}  // namespace accu

@@ -1,0 +1,77 @@
+// Benefit model (paper §II-A, "Benefit Model").
+//
+// The attacker harvests B_f(u) from every friend u and B_fof(u) from every
+// friend-of-friend.  The model requires B_f(u) >= B_fof(u) >= 0 (a friend
+// sees at least what a friend-of-friend sees); the theoretical guarantee
+// (Theorem 1) additionally needs the strict gap B_f(u) - B_fof(u) > 0,
+// exposed here as `has_strict_gap()`.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/error.hpp"
+
+namespace accu {
+
+class BenefitModel {
+ public:
+  /// Per-node benefits; both vectors must have one entry per user and
+  /// satisfy B_f(u) >= B_fof(u) >= 0.
+  BenefitModel(std::vector<double> friend_benefit,
+               std::vector<double> fof_benefit);
+
+  /// Uniform benefits for all users.
+  static BenefitModel uniform(NodeId num_nodes, double friend_benefit,
+                              double fof_benefit);
+
+  /// The paper's experimental assignment (§IV-A): B_fof(u) = `fof` for all
+  /// users, B_f(u) = `reckless_f` for reckless users and `cautious_f` for
+  /// cautious users.
+  static BenefitModel paper_default(const std::vector<UserClass>& classes,
+                                    double reckless_f = 2.0,
+                                    double cautious_f = 50.0,
+                                    double fof = 1.0);
+
+  /// Extension: information access scales with the user's contact list —
+  /// B_f(u) = base + alpha·E[deg(u)] (expected degree under the prior) and
+  /// B_fof(u) = fof_fraction·B_f(u).  Requires base > 0, alpha >= 0 and
+  /// fof_fraction in [0, 1); the strict gap needed by Corollary 1 holds by
+  /// construction.
+  static BenefitModel degree_proportional(const Graph& graph, double base,
+                                          double alpha, double fof_fraction);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(friend_benefit_.size());
+  }
+
+  /// B_f(u): benefit once u is a friend.
+  [[nodiscard]] double friend_benefit(NodeId u) const {
+    ACCU_ASSERT(u < num_nodes());
+    return friend_benefit_[u];
+  }
+
+  /// B_fof(u): benefit while u is only a friend-of-friend.
+  [[nodiscard]] double fof_benefit(NodeId u) const {
+    ACCU_ASSERT(u < num_nodes());
+    return fof_benefit_[u];
+  }
+
+  /// B_f(u) - B_fof(u): the marginal value of upgrading u from FOF to
+  /// friend; appears throughout the potential function and the theory.
+  [[nodiscard]] double upgrade_gain(NodeId u) const {
+    return friend_benefit(u) - fof_benefit(u);
+  }
+
+  /// True iff B_f(u) - B_fof(u) > 0 for every user — the condition under
+  /// which Corollary 1 guarantees a positive adaptive submodular ratio.
+  [[nodiscard]] bool has_strict_gap() const noexcept;
+
+ private:
+  std::vector<double> friend_benefit_;
+  std::vector<double> fof_benefit_;
+};
+
+}  // namespace accu

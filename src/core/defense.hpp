@@ -1,0 +1,89 @@
+// Defender-side analysis tools.
+//
+// The paper's cautious (linear-threshold) acceptance is a *defense* that
+// high-profile users adopt; its evaluation section studies the attack.
+// This module flips the table for the defender:
+//
+//   * `assess` Monte-Carlo-simulates the paper's strongest attacker (ABM)
+//     against an instance and reports, per cautious user, the probability
+//     of being befriended within the attacker's budget, plus aggregate
+//     exposure numbers.
+//   * `recommend_threshold` sweeps candidate threshold fractions through a
+//     caller-supplied instance factory and returns the smallest fraction
+//     whose protection rate (1 − expected captured fraction of cautious
+//     users) meets the target.
+//
+// These tools power the `defense_hardening` example.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace accu::defense {
+
+/// The attacker the defender plans against.
+struct AttackModel {
+  PotentialWeights weights{0.5, 0.5};  ///< ABM weights (paper defaults)
+  std::uint32_t budget = 200;          ///< friend requests per attack
+  std::uint32_t trials = 20;           ///< Monte Carlo repetitions
+  std::uint64_t seed = 1;
+};
+
+struct VulnerabilityReport {
+  /// Cautious users of the assessed instance, ascending ids.
+  std::vector<NodeId> cautious_users;
+  /// Per-cautious-user probability of ending up the attacker's friend,
+  /// parallel to `cautious_users`.
+  std::vector<double> capture_probability;
+  /// Attacker's Eq.-(1) benefit across the trials.
+  util::RunningStat attacker_benefit;
+  /// Expected fraction of cautious users captured.
+  double mean_capture_rate = 0.0;
+  /// Gateway scores: for every user, the expected number of cautious
+  /// captures per attack in which that user served as one of the mutual
+  /// friends satisfying the victim's threshold.  High-score reckless users
+  /// are the accounts whose friendships (or their visibility) the defender
+  /// should protect first.
+  std::vector<double> gateway_score;
+
+  /// The `count` most-at-risk cautious users, most vulnerable first (ties
+  /// to the smaller id).
+  [[nodiscard]] std::vector<NodeId> most_vulnerable(std::size_t count) const;
+
+  /// The `count` highest-scoring gateway users, descending score (ties to
+  /// the smaller id); zero-score users are omitted.
+  [[nodiscard]] std::vector<NodeId> top_gateways(std::size_t count) const;
+};
+
+/// Simulates `model.trials` independent ABM attacks (fresh realization
+/// each) and aggregates capture statistics.
+[[nodiscard]] VulnerabilityReport assess(const AccuInstance& instance,
+                                         const AttackModel& model);
+
+/// Builds an instance with the given threshold fraction; `seed` derives all
+/// of its randomness.
+using ThresholdInstanceFactory =
+    std::function<AccuInstance(double theta_fraction, std::uint64_t seed)>;
+
+struct ThresholdRecommendation {
+  double theta_fraction = 0.0;    ///< the recommended setting
+  double protection_rate = 0.0;   ///< achieved at that setting
+  double attacker_benefit = 0.0;  ///< attacker's residual benefit
+  bool target_met = false;        ///< false: even the largest candidate fails
+};
+
+/// Sweeps `candidates` (ascending) and returns the first fraction whose
+/// protection rate reaches `target_protection`; when none does, returns the
+/// best candidate with `target_met = false`.
+[[nodiscard]] ThresholdRecommendation recommend_threshold(
+    const ThresholdInstanceFactory& make_instance,
+    const std::vector<double>& candidates, double target_protection,
+    const AttackModel& model);
+
+}  // namespace accu::defense

@@ -1,0 +1,159 @@
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace accu {
+
+void TraceAggregator::add(const SimulationResult& result,
+                          std::uint32_t budget) {
+  double running = 0.0;
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    const RequestRecord& record = result.trace[i];
+    running = record.benefit_after;
+    cumulative_benefit_.add_at(i, running);
+    marginal_.add_at(i, record.marginal());
+    if (record.cautious_target) {
+      marginal_cautious_.add_at(i, record.marginal());
+      marginal_reckless_.add_at(i, 0.0);
+      cautious_fraction_.add_at(i, 1.0);
+    } else {
+      marginal_cautious_.add_at(i, 0.0);
+      marginal_reckless_.add_at(i, record.marginal());
+      cautious_fraction_.add_at(i, 0.0);
+    }
+  }
+  // Hold the final benefit for unused budget so per-index averages compare
+  // policies over the same horizon.
+  for (std::size_t i = result.trace.size(); i < budget; ++i) {
+    cumulative_benefit_.add_at(i, running);
+    marginal_.add_at(i, 0.0);
+    marginal_cautious_.add_at(i, 0.0);
+    marginal_reckless_.add_at(i, 0.0);
+    cautious_fraction_.add_at(i, 0.0);
+  }
+  total_benefit_.add(result.total_benefit);
+  cautious_friends_.add(result.num_cautious_friends);
+  accepted_.add(result.num_accepted);
+}
+
+void TraceAggregator::merge(const TraceAggregator& other) {
+  cumulative_benefit_.merge(other.cumulative_benefit_);
+  marginal_.merge(other.marginal_);
+  marginal_cautious_.merge(other.marginal_cautious_);
+  marginal_reckless_.merge(other.marginal_reckless_);
+  cautious_fraction_.merge(other.cautious_fraction_);
+  total_benefit_.merge(other.total_benefit_);
+  cautious_friends_.merge(other.cautious_friends_);
+  accepted_.merge(other.accepted_);
+}
+
+const TraceAggregator& ExperimentResult::by_name(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < strategy_names.size(); ++i) {
+    if (strategy_names[i] == name) return aggregates[i];
+  }
+  throw InvalidArgument("no strategy named '" + name + "' in this result");
+}
+
+namespace {
+
+/// Stateless seed derivation so any (sample, run, strategy) cell can be
+/// reproduced in isolation and in any execution order.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                          std::uint64_t b = 0, std::uint64_t c = 0) {
+  std::uint64_t state = base;
+  state ^= 0x9e3779b97f4a7c15ULL * (a + 1);
+  (void)util::splitmix64_next(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (b + 1);
+  (void)util::splitmix64_next(state);
+  state ^= 0x94d049bb133111ebULL * (c + 1);
+  return util::splitmix64_next(state);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const InstanceFactory& make_instance,
+                                const std::vector<StrategyFactory>& strategies,
+                                const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.strategy_names.reserve(strategies.size());
+  for (const StrategyFactory& factory : strategies) {
+    result.strategy_names.push_back(factory.name);
+  }
+  result.aggregates.resize(strategies.size());
+
+  util::Timer timer;
+  // One instance per sample network, generated up front so runs can share
+  // it (the factory owns all dataset-level randomness through the seed).
+  std::vector<AccuInstance> instances;
+  instances.reserve(config.samples);
+  for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
+    instances.push_back(
+        make_instance(sample, derive_seed(config.seed, sample)));
+    util::log_info("experiment: sample %u/%u generated (%.1fs elapsed)",
+                   sample + 1, config.samples, timer.seconds());
+  }
+
+  // Task grid: one (sample, run) cell produces one partial aggregate per
+  // strategy; cells are independent and merged in fixed task order below.
+  const std::size_t tasks =
+      static_cast<std::size_t>(config.samples) * config.runs;
+  std::vector<std::vector<TraceAggregator>> partials(
+      tasks, std::vector<TraceAggregator>(strategies.size()));
+
+  auto run_task = [&](std::size_t task) {
+    const std::uint32_t sample =
+        static_cast<std::uint32_t>(task / config.runs);
+    const std::uint32_t run = static_cast<std::uint32_t>(task % config.runs);
+    const AccuInstance& instance = instances[sample];
+    // One ground truth per (sample, run), shared by every policy.
+    util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
+    const Realization truth = Realization::sample(instance, truth_rng);
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      util::Rng policy_rng(derive_seed(config.seed, sample, run + 1, s + 1));
+      const std::unique_ptr<Strategy> strategy = strategies[s].make();
+      const SimulationResult outcome =
+          simulate(instance, truth, *strategy, config.budget, policy_rng);
+      partials[task][s].add(outcome, config.budget);
+    }
+  };
+
+  std::uint32_t workers = config.threads;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<std::uint32_t>(
+      std::min<std::size_t>(workers, tasks == 0 ? 1 : tasks));
+
+  if (workers <= 1) {
+    for (std::size_t task = 0; task < tasks; ++task) run_task(task);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t task = next.fetch_add(1); task < tasks;
+             task = next.fetch_add(1)) {
+          run_task(task);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // Deterministic merge order: task-major, strategy-minor.
+  for (std::size_t task = 0; task < tasks; ++task) {
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      result.aggregates[s].merge(partials[task][s]);
+    }
+  }
+  util::log_info("experiment: %zu cells × %zu strategies done in %.1fs",
+                 tasks, strategies.size(), timer.seconds());
+  return result;
+}
+
+}  // namespace accu

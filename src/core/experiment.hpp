@@ -1,0 +1,119 @@
+// Experiment harness implementing the paper's evaluation protocol (§IV-A):
+// generate S sample networks per dataset, run every policy R times on each,
+// and average — with the refinement that all policies within one
+// (sample, run) pair face the *same* ground-truth realization, a paired
+// design that tightens the comparisons the paper plots.
+//
+// Aggregation covers every figure of the paper:
+//   * cumulative benefit per request index                      (Fig. 2)
+//   * per-request marginal gain, split by target class          (Fig. 3)
+//   * totals: benefit, #cautious friends, #accepted             (Fig. 4, 6, 7)
+//   * fraction of runs whose i-th request targeted a cautious
+//     user                                                      (Fig. 5)
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace accu {
+
+/// Accumulates per-request curves and totals across repeated simulations.
+class TraceAggregator {
+ public:
+  /// Folds one simulation into the aggregate.  Short traces (policy ran out
+  /// of candidates) hold their final benefit for the remaining indices so
+  /// cumulative curves stay comparable; `budget` fixes that horizon.
+  void add(const SimulationResult& result, std::uint32_t budget);
+
+  /// Merges another aggregator (shards of a parallel sweep).  Statistically
+  /// exact: means/variances/CIs equal the sequential accumulation.
+  void merge(const TraceAggregator& other);
+
+  /// Cumulative Eq.-(1) benefit after request i (0-based).
+  [[nodiscard]] const util::SeriesAccumulator& cumulative_benefit() const {
+    return cumulative_benefit_;
+  }
+  /// Marginal gain of request i.
+  [[nodiscard]] const util::SeriesAccumulator& marginal() const {
+    return marginal_;
+  }
+  /// Marginal gain of request i when it targeted a cautious user, else 0 —
+  /// the paper's Fig. 3 "benefit from cautious users" decomposition.
+  [[nodiscard]] const util::SeriesAccumulator& marginal_cautious() const {
+    return marginal_cautious_;
+  }
+  [[nodiscard]] const util::SeriesAccumulator& marginal_reckless() const {
+    return marginal_reckless_;
+  }
+  /// Indicator that request i targeted a cautious user; its mean over runs
+  /// is the paper's Fig. 5 fraction.
+  [[nodiscard]] const util::SeriesAccumulator& cautious_fraction() const {
+    return cautious_fraction_;
+  }
+
+  [[nodiscard]] const util::RunningStat& total_benefit() const {
+    return total_benefit_;
+  }
+  [[nodiscard]] const util::RunningStat& cautious_friends() const {
+    return cautious_friends_;
+  }
+  [[nodiscard]] const util::RunningStat& accepted_requests() const {
+    return accepted_;
+  }
+
+ private:
+  util::SeriesAccumulator cumulative_benefit_;
+  util::SeriesAccumulator marginal_;
+  util::SeriesAccumulator marginal_cautious_;
+  util::SeriesAccumulator marginal_reckless_;
+  util::SeriesAccumulator cautious_fraction_;
+  util::RunningStat total_benefit_;
+  util::RunningStat cautious_friends_;
+  util::RunningStat accepted_;
+};
+
+/// Builds a fresh policy instance per simulation (policies are stateful).
+struct StrategyFactory {
+  std::string name;
+  std::function<std::unique_ptr<Strategy>()> make;
+};
+
+/// Builds the instance for sample network number `sample` from a derived
+/// seed; the factory owns all dataset-level randomness.
+using InstanceFactory =
+    std::function<AccuInstance(std::uint32_t sample, std::uint64_t seed)>;
+
+struct ExperimentConfig {
+  std::uint32_t budget = 100;  ///< k — friend requests per attack
+  std::uint32_t samples = 3;   ///< sample networks per dataset (paper: 100)
+  std::uint32_t runs = 5;      ///< repetitions per network (paper: 30)
+  std::uint64_t seed = 1;      ///< master seed; everything derives from it
+  /// Worker threads for the (sample, run) grid.  1 = sequential;
+  /// 0 = one per hardware thread.  Every cell's randomness is derived
+  /// statelessly from (seed, sample, run, strategy) and shards merge in a
+  /// fixed order, so simulation outcomes are identical for any thread
+  /// count (aggregate moments agree up to floating-point re-association).
+  std::uint32_t threads = 1;
+};
+
+struct ExperimentResult {
+  std::vector<std::string> strategy_names;
+  std::vector<TraceAggregator> aggregates;  // parallel to strategy_names
+
+  [[nodiscard]] const TraceAggregator& by_name(const std::string& name) const;
+};
+
+/// Runs the full samples × runs × strategies sweep.
+[[nodiscard]] ExperimentResult run_experiment(
+    const InstanceFactory& make_instance,
+    const std::vector<StrategyFactory>& strategies,
+    const ExperimentConfig& config);
+
+}  // namespace accu

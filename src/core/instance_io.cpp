@@ -1,0 +1,144 @@
+#include "core/instance_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace accu {
+
+void write_instance(const AccuInstance& instance, std::ostream& os) {
+  const Graph& g = instance.graph();
+  os << "# accu-instance v1\n";
+  os << "nodes " << g.num_nodes() << " edges " << g.num_edges() << '\n';
+  char buf[160];
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::EdgeEndpoints ep = g.endpoints(e);
+    std::snprintf(buf, sizeof buf, "e %u %u %.17g\n", ep.lo, ep.hi,
+                  g.edge_prob(e));
+    os << buf;
+  }
+  const BenefitModel& benefits = instance.benefits();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const bool cautious = instance.is_cautious(u);
+    std::snprintf(buf, sizeof buf, "n %u %c %.17g %u %.17g %.17g %.17g %.17g\n",
+                  u, cautious ? 'C' : 'R', instance.accept_prob(u),
+                  instance.threshold(u), benefits.friend_benefit(u),
+                  benefits.fof_benefit(u),
+                  cautious ? instance.cautious_accept_prob(u, false) : 0.0,
+                  cautious ? instance.cautious_accept_prob(u, true) : 1.0);
+    os << buf;
+  }
+}
+
+void write_instance_file(const AccuInstance& instance,
+                         const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_instance(instance, os);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
+}
+
+namespace {
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& what) {
+  throw IoError("accu-instance line " + std::to_string(line_no) + ": " +
+                what);
+}
+
+}  // namespace
+
+AccuInstance read_instance(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) throw IoError("accu-instance: empty input");
+  NodeId n = 0;
+  std::size_t m = 0;
+  {
+    std::istringstream header(line);
+    std::string nodes_kw, edges_kw;
+    unsigned long n_raw = 0, m_raw = 0;
+    if (!(header >> nodes_kw >> n_raw >> edges_kw >> m_raw) ||
+        nodes_kw != "nodes" || edges_kw != "edges") {
+      malformed(line_no, "expected 'nodes <n> edges <m>'");
+    }
+    n = static_cast<NodeId>(n_raw);
+    m = m_raw;
+  }
+
+  graph::GraphBuilder builder(n);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!next_line()) malformed(line_no, "missing edge line");
+    std::istringstream ls(line);
+    std::string tag;
+    unsigned long u = 0, v = 0;
+    double p = 0.0;
+    if (!(ls >> tag >> u >> v >> p) || tag != "e") {
+      malformed(line_no, "expected 'e <u> <v> <p>'");
+    }
+    if (u >= n || v >= n) malformed(line_no, "edge endpoint out of range");
+    if (!(p >= 0.0 && p <= 1.0)) malformed(line_no, "probability outside "
+                                                    "[0,1]");
+    if (!builder.try_add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                              p)) {
+      malformed(line_no, "duplicate edge");
+    }
+  }
+
+  std::vector<UserClass> classes(n, UserClass::kReckless);
+  std::vector<double> q(n, 0.0), bf(n, 0.0), bfof(n, 0.0);
+  std::vector<std::uint32_t> theta(n, 1);
+  GeneralizedCautiousParams cautious{std::vector<double>(n, 0.0),
+                                     std::vector<double>(n, 1.0)};
+  std::vector<bool> seen(n, false);
+  for (NodeId i = 0; i < n; ++i) {
+    if (!next_line()) malformed(line_no, "missing node line");
+    std::istringstream ls(line);
+    std::string tag, klass;
+    unsigned long id = 0, th = 0;
+    double qu = 0.0, f = 0.0, fof = 0.0, q1 = 0.0, q2 = 1.0;
+    if (!(ls >> tag >> id >> klass >> qu >> th >> f >> fof >> q1 >> q2) ||
+        tag != "n") {
+      malformed(line_no,
+                "expected 'n <id> <R|C> <q> <theta> <B_f> <B_fof> <q1> <q2>'");
+    }
+    if (id >= n) malformed(line_no, "node id out of range");
+    if (seen[id]) malformed(line_no, "duplicate node line");
+    seen[id] = true;
+    if (klass == "C") {
+      classes[id] = UserClass::kCautious;
+    } else if (klass != "R") {
+      malformed(line_no, "user class must be R or C");
+    }
+    q[id] = qu;
+    theta[id] = static_cast<std::uint32_t>(th);
+    bf[id] = f;
+    bfof[id] = fof;
+    cautious.below[id] = q1;
+    cautious.above[id] = q2;
+  }
+
+  // AccuInstance / BenefitModel constructors re-validate everything else.
+  return AccuInstance(builder.build(), std::move(classes), std::move(q),
+                      std::move(theta),
+                      BenefitModel(std::move(bf), std::move(bfof)),
+                      std::move(cautious));
+}
+
+AccuInstance read_instance_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return read_instance(is);
+}
+
+}  // namespace accu

@@ -1,0 +1,32 @@
+// Text serialization of complete ACCU instances.
+//
+// Lets an experiment (network + partition + acceptance parameters +
+// benefits) be frozen to a file and re-run elsewhere — the reproduction
+// analogue of shipping the paper's exact evaluation inputs.  The format is
+// line-oriented and versioned:
+//
+//   # accu-instance v1
+//   nodes <n> edges <m>
+//   e <u> <v> <p>                                        (m lines)
+//   n <id> <R|C> <q> <theta> <B_f> <B_fof> <q1> <q2>     (n lines)
+//
+// Doubles round-trip exactly (%.17g).  Readers reject malformed input with
+// IoError and re-validate the instance through its constructor.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace accu {
+
+void write_instance(const AccuInstance& instance, std::ostream& os);
+void write_instance_file(const AccuInstance& instance,
+                         const std::string& path);
+
+[[nodiscard]] AccuInstance read_instance(std::istream& is);
+[[nodiscard]] AccuInstance read_instance_file(const std::string& path);
+
+}  // namespace accu

@@ -1,0 +1,189 @@
+#include "core/multibot/multibot.hpp"
+
+#include <cstdio>
+
+namespace accu {
+
+MultiBotRealization MultiBotRealization::sample(const AccuInstance& instance,
+                                                BotId num_bots,
+                                                util::Rng& rng) {
+  ACCU_ASSERT_MSG(!instance.has_generalized_cautious(),
+                  "multi-bot attacks cover the deterministic cautious model");
+  if (num_bots == 0) {
+    throw InvalidArgument("MultiBotRealization: need at least one bot");
+  }
+  Realization base = Realization::sample(instance, rng);
+  std::vector<std::vector<bool>> coins(num_bots);
+  const NodeId n = instance.num_nodes();
+  for (BotId bot = 0; bot < num_bots; ++bot) {
+    coins[bot].resize(n);
+    if (bot == 0) {
+      // Reuse the base coins so bot 0 is comparable to a single-bot run on
+      // the same seed.
+      for (NodeId u = 0; u < n; ++u) coins[bot][u] = base.reckless_accepts(u);
+      continue;
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      coins[bot][u] = rng.bernoulli(instance.accept_prob(u));
+    }
+  }
+  return MultiBotRealization(std::move(base), std::move(coins));
+}
+
+MultiBotRealization MultiBotRealization::from_single(
+    const AccuInstance& instance, const Realization& truth) {
+  ACCU_ASSERT_MSG(!instance.has_generalized_cautious(),
+                  "multi-bot attacks cover the deterministic cautious model");
+  std::vector<std::vector<bool>> coins(1);
+  coins[0].resize(instance.num_nodes());
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    coins[0][u] = truth.reckless_accepts(u);
+  }
+  return MultiBotRealization(truth, std::move(coins));
+}
+
+MultiBotAbm::MultiBotAbm(PotentialWeights weights) : weights_(weights) {
+  if (!(weights.direct >= 0.0) || !(weights.indirect >= 0.0)) {
+    throw InvalidArgument("MultiBotAbm: weights must be non-negative");
+  }
+}
+
+std::string MultiBotAbm::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "MultiBotABM(wD=%.2f,wI=%.2f)",
+                weights_.direct, weights_.indirect);
+  return buf;
+}
+
+void MultiBotAbm::reset(const AccuInstance& instance, BotId, util::Rng&) {
+  instance_ = &instance;
+}
+
+double MultiBotAbm::direct_gain(const MultiBotView& view, NodeId u) {
+  const AccuInstance& instance = view.instance();
+  // A second friendship with the same user adds nothing to the coalition's
+  // information access.
+  if (view.friend_count(u) > 0) return 0.0;
+  const BenefitModel& benefits = instance.benefits();
+  double gain = benefits.friend_benefit(u);
+  if (view.is_fof(u)) gain -= benefits.fof_benefit(u);
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    if (view.friend_count(v) > 0) continue;  // already harvested as friend
+    if (view.is_fof(v)) continue;
+    const double belief = view.edge_belief(nb.edge);
+    if (belief <= 0.0) continue;
+    gain += belief * benefits.fof_benefit(v);
+  }
+  return gain;
+}
+
+double MultiBotAbm::indirect_gain(BotId bot, const MultiBotView& view,
+                                  NodeId u) {
+  const AccuInstance& instance = view.instance();
+  if (instance.is_cautious(u)) return 0.0;
+  const BenefitModel& benefits = instance.benefits();
+  double gain = 0.0;
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    if (!instance.is_cautious(v)) continue;
+    if (view.friend_count(v) > 0) continue;  // prize already taken
+    // Only this bot's own request to v can cash in this bot's mutual
+    // progress; if it already burned that request, no indirect value.
+    if (view.is_requested_by(bot, v)) continue;
+    const std::uint32_t theta = instance.threshold(v);
+    const std::uint32_t mutual = view.mutual_friends(bot, v);
+    if (mutual >= theta) continue;
+    const double belief = view.edge_belief(nb.edge);
+    if (belief <= 0.0) continue;
+    gain += belief * benefits.upgrade_gain(v) /
+            static_cast<double>(theta - mutual);
+  }
+  return gain;
+}
+
+double MultiBotAbm::potential(BotId bot, const MultiBotView& view,
+                              NodeId u) const {
+  const AccuInstance& instance = view.instance();
+  const double q =
+      instance.is_cautious(u)
+          ? (view.cautious_would_accept(bot, u) ? 1.0 : 0.0)
+          : instance.accept_prob(u);
+  if (q <= 0.0) return 0.0;
+  double value = weights_.direct * direct_gain(view, u);
+  if (weights_.indirect > 0.0) {
+    value += weights_.indirect * indirect_gain(bot, view, u);
+  }
+  return q * value;
+}
+
+NodeId MultiBotAbm::select(BotId bot, const MultiBotView& view, util::Rng&) {
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  NodeId best = kInvalidNode;
+  double best_value = 0.0;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (view.is_requested_by(bot, u)) continue;
+    const double value = potential(bot, view, u);
+    if (best == kInvalidNode || value > best_value) {
+      best = u;
+      best_value = value;
+    }
+  }
+  // Passing beats spending budget on a provably worthless request.
+  if (best != kInvalidNode && best_value <= 0.0) {
+    return kInvalidNode;
+  }
+  return best;
+}
+
+MultiBotResult simulate_multibot(const AccuInstance& instance,
+                                 const MultiBotRealization& truth,
+                                 MultiBotStrategy& strategy,
+                                 std::uint32_t budget, BotId num_bots,
+                                 util::Rng& rng) {
+  ACCU_ASSERT(truth.num_bots() >= num_bots);
+  MultiBotView view(instance, num_bots);
+  MultiBotResult result;
+  strategy.reset(instance, num_bots, rng);
+
+  while (view.num_requests() < budget) {
+    bool any_sent = false;
+    for (BotId bot = 0; bot < num_bots && view.num_requests() < budget;
+         ++bot) {
+      const NodeId target = strategy.select(bot, view, rng);
+      if (target == kInvalidNode) continue;  // this bot passes the round
+      ACCU_ASSERT_MSG(target < instance.num_nodes(),
+                      "strategy selected an out-of-range node");
+      ACCU_ASSERT_MSG(!view.is_requested_by(bot, target),
+                      "strategy re-selected a node already requested by this "
+                      "bot");
+      any_sent = true;
+      MultiBotRequestRecord record;
+      record.bot = bot;
+      record.target = target;
+      record.cautious_target = instance.is_cautious(target);
+      record.benefit_before = view.current_benefit();
+      const bool accepted =
+          instance.is_cautious(target)
+              ? view.cautious_would_accept(bot, target)
+              : truth.reckless_accepts(bot, target);
+      record.accepted = accepted;
+      if (accepted) {
+        view.record_acceptance(bot, target, truth.edges());
+      } else {
+        view.record_rejection(bot, target);
+      }
+      record.benefit_after = view.current_benefit();
+      result.trace.push_back(record);
+    }
+    if (!any_sent) break;  // every bot passed: nothing useful remains
+    ++result.rounds;
+  }
+
+  result.total_benefit = view.current_benefit();
+  result.num_cautious_friends = view.num_cautious_friends();
+  result.coalition_friends = view.coalition_friends();
+  return result;
+}
+
+}  // namespace accu

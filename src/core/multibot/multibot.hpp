@@ -1,0 +1,128 @@
+// Multi-bot attack simulation (extension; cf. paper reference [5]).
+//
+// m colluding bots take turns in rounds: every round each bot sends one
+// friend request (so an attack of total budget k completes in ⌈k/m⌉
+// interaction rounds — the latency argument for bot swarms), observations
+// are shared coalition-wide, friendships and cautious thresholds are
+// per-bot (see multibot_view.hpp).
+//
+// `MultiBotAbm` ports ABM's potential function to the coalition benefit:
+// a user already befriended by some bot carries no direct gain for a
+// second bot (the coalition's information access cannot improve), only the
+// indirect value of raising that second bot's own mutual-friend counts
+// toward cautious thresholds.
+//
+// Restriction: the multi-bot machinery covers the deterministic cautious
+// model (the paper's main text), not the generalized q1/q2 variant.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/multibot/multibot_view.hpp"
+#include "util/rng.hpp"
+
+namespace accu {
+
+/// Ground truth for a coalition attack: shared edge realization plus one
+/// independent acceptance coin per (bot, user) pair — a user decides each
+/// bot's request independently.
+class MultiBotRealization {
+ public:
+  /// Samples edges once and a coin matrix of `num_bots` rows.
+  static MultiBotRealization sample(const AccuInstance& instance,
+                                    BotId num_bots, util::Rng& rng);
+
+  /// Adapts a single-bot realization (bot 0 reuses its coins; useful for
+  /// comparing m = 1 against the single-bot simulator).
+  static MultiBotRealization from_single(const AccuInstance& instance,
+                                         const Realization& truth);
+
+  [[nodiscard]] const Realization& edges() const noexcept { return base_; }
+  [[nodiscard]] BotId num_bots() const noexcept {
+    return static_cast<BotId>(coins_.size());
+  }
+  [[nodiscard]] bool reckless_accepts(BotId bot, NodeId u) const {
+    ACCU_ASSERT(bot < coins_.size());
+    ACCU_ASSERT(u < coins_[bot].size());
+    return coins_[bot][u];
+  }
+
+ private:
+  MultiBotRealization(Realization base,
+                      std::vector<std::vector<bool>> coins)
+      : base_(std::move(base)), coins_(std::move(coins)) {}
+
+  Realization base_;
+  std::vector<std::vector<bool>> coins_;  // [bot][node]
+};
+
+/// A coalition policy: picks the next target for the given bot (or
+/// kInvalidNode to pass this round).
+class MultiBotStrategy {
+ public:
+  virtual ~MultiBotStrategy() = default;
+  virtual void reset(const AccuInstance& instance, BotId num_bots,
+                     util::Rng& rng) {
+    (void)instance;
+    (void)num_bots;
+    (void)rng;
+  }
+  virtual NodeId select(BotId bot, const MultiBotView& view,
+                        util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// ABM's potential function on the coalition state (see header comment).
+class MultiBotAbm final : public MultiBotStrategy {
+ public:
+  explicit MultiBotAbm(PotentialWeights weights);
+
+  void reset(const AccuInstance& instance, BotId num_bots,
+             util::Rng& rng) override;
+  NodeId select(BotId bot, const MultiBotView& view, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The coalition potential of requesting u from `bot` (public for tests).
+  [[nodiscard]] double potential(BotId bot, const MultiBotView& view,
+                                 NodeId u) const;
+  [[nodiscard]] static double direct_gain(const MultiBotView& view, NodeId u);
+  [[nodiscard]] static double indirect_gain(BotId bot,
+                                            const MultiBotView& view,
+                                            NodeId u);
+
+ private:
+  PotentialWeights weights_;
+  const AccuInstance* instance_ = nullptr;
+};
+
+struct MultiBotRequestRecord {
+  BotId bot = 0;
+  NodeId target = kInvalidNode;
+  bool accepted = false;
+  bool cautious_target = false;
+  double benefit_before = 0.0;
+  double benefit_after = 0.0;
+  [[nodiscard]] double marginal() const noexcept {
+    return benefit_after - benefit_before;
+  }
+};
+
+struct MultiBotResult {
+  std::vector<MultiBotRequestRecord> trace;
+  double total_benefit = 0.0;
+  std::uint32_t rounds = 0;
+  std::uint32_t num_cautious_friends = 0;
+  std::vector<NodeId> coalition_friends;
+};
+
+/// Runs a round-robin coalition attack with at most `budget` total
+/// requests.  Stops early when every bot passes in a full round.
+[[nodiscard]] MultiBotResult simulate_multibot(
+    const AccuInstance& instance, const MultiBotRealization& truth,
+    MultiBotStrategy& strategy, std::uint32_t budget, BotId num_bots,
+    util::Rng& rng);
+
+}  // namespace accu

@@ -1,0 +1,113 @@
+#include "core/multibot/multibot_view.hpp"
+
+namespace accu {
+
+MultiBotView::MultiBotView(const AccuInstance& instance, BotId num_bots)
+    : instance_(&instance),
+      num_bots_(num_bots),
+      request_state_(static_cast<std::size_t>(num_bots) *
+                         instance.num_nodes(),
+                     RequestState::kUnknown),
+      mutual_(static_cast<std::size_t>(num_bots) * instance.num_nodes(), 0),
+      edge_state_(instance.graph().num_edges(), EdgeState::kUnknown),
+      friend_count_(instance.num_nodes(), 0),
+      covering_friends_(instance.num_nodes(), 0) {
+  if (num_bots == 0) {
+    throw InvalidArgument("MultiBotView: need at least one bot");
+  }
+}
+
+RequestState MultiBotView::request_state(BotId bot, NodeId v) const {
+  ACCU_ASSERT(bot < num_bots_ && v < instance_->num_nodes());
+  return request_state_[static_cast<std::size_t>(bot) *
+                            instance_->num_nodes() +
+                        v];
+}
+
+std::uint32_t MultiBotView::mutual_friends(BotId bot, NodeId v) const {
+  ACCU_ASSERT(bot < num_bots_ && v < instance_->num_nodes());
+  return mutual_[static_cast<std::size_t>(bot) * instance_->num_nodes() + v];
+}
+
+double MultiBotView::edge_belief(EdgeId e) const {
+  switch (edge_state(e)) {
+    case EdgeState::kPresent:
+      return 1.0;
+    case EdgeState::kAbsent:
+      return 0.0;
+    case EdgeState::kUnknown:
+      return instance_->graph().edge_prob(e);
+  }
+  return 0.0;  // unreachable
+}
+
+bool MultiBotView::cautious_would_accept(BotId bot, NodeId v) const {
+  ACCU_ASSERT(instance_->is_cautious(v));
+  return mutual_friends(bot, v) >= instance_->threshold(v);
+}
+
+void MultiBotView::record_rejection(BotId bot, NodeId v) {
+  ACCU_ASSERT_MSG(request_state(bot, v) == RequestState::kUnknown,
+                  "each user receives at most one request per bot");
+  request_state_[static_cast<std::size_t>(bot) * instance_->num_nodes() + v] =
+      RequestState::kRejected;
+  ++num_requests_;
+}
+
+void MultiBotView::record_acceptance(BotId bot, NodeId v,
+                                     const Realization& truth) {
+  ACCU_ASSERT_MSG(request_state(bot, v) == RequestState::kUnknown,
+                  "each user receives at most one request per bot");
+  const Graph& g = instance_->graph();
+  const BenefitModel& benefits = instance_->benefits();
+  const std::size_t n = instance_->num_nodes();
+  request_state_[static_cast<std::size_t>(bot) * n + v] =
+      RequestState::kAccepted;
+  ++num_requests_;
+
+  const bool first_friendship = friend_count_[v] == 0;
+  if (first_friendship) {
+    if (is_fof(v)) benefit_ -= benefits.fof_benefit(v);
+    benefit_ += benefits.friend_benefit(v);
+    coalition_friends_.push_back(v);
+    if (instance_->is_cautious(v)) ++num_cautious_friends_;
+  }
+  ++friend_count_[v];
+
+  // Reveal v's incident edges (idempotent when v is already someone's
+  // friend) and update this bot's mutual counts; coalition-level FOF and
+  // covering counts move only on the first friendship.
+  for (const graph::Neighbor& nb : g.neighbors(v)) {
+    const bool present = truth.edge_present(nb.edge);
+    const EdgeState observed =
+        present ? EdgeState::kPresent : EdgeState::kAbsent;
+    ACCU_ASSERT_MSG(edge_state_[nb.edge] == EdgeState::kUnknown ||
+                        edge_state_[nb.edge] == observed,
+                    "realization inconsistent with earlier observations");
+    edge_state_[nb.edge] = observed;
+    if (!present) continue;
+    const NodeId w = nb.node;
+    ++mutual_[static_cast<std::size_t>(bot) * n + w];
+    if (first_friendship) {
+      const bool entered_fof = friend_count_[w] == 0 &&
+                               covering_friends_[w] == 0;
+      ++covering_friends_[w];
+      if (entered_fof) benefit_ += benefits.fof_benefit(w);
+    }
+  }
+}
+
+double MultiBotView::recompute_benefit() const {
+  const BenefitModel& benefits = instance_->benefits();
+  double total = 0.0;
+  for (NodeId v = 0; v < instance_->num_nodes(); ++v) {
+    if (friend_count_[v] > 0) {
+      total += benefits.friend_benefit(v);
+    } else if (covering_friends_[v] > 0) {
+      total += benefits.fof_benefit(v);
+    }
+  }
+  return total;
+}
+
+}  // namespace accu

@@ -1,0 +1,111 @@
+// Coalition knowledge state for multi-bot attacks (extension; cf. the
+// paper's reference [5], "Adaptive crawling with multiple bots",
+// INFOCOM 2018).
+//
+// m colluding socialbots share every observation (a user accepted by any
+// bot reveals its neighborhood to the whole coalition) but hold *separate*
+// friend lists: a cautious user v accepts bot i iff v's realized mutual
+// friends with *that bot* reach θ_v, so mutual-friend progress does not
+// pool across bots — the structural reason a bot swarm can be weaker
+// against cautious users than one persistent bot, which
+// bench/ext_multibot measures.
+//
+// Benefit is coalition-level information access (Eq. 1 over the union):
+// a user pays B_f once if it is a friend of at least one bot and B_fof
+// once if it is adjacent to some bot's friend while friend of none.
+
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+
+namespace accu {
+
+using BotId = std::uint32_t;
+
+class MultiBotView {
+ public:
+  MultiBotView(const AccuInstance& instance, BotId num_bots);
+
+  [[nodiscard]] BotId num_bots() const noexcept { return num_bots_; }
+
+  /// Whether bot `bot` already sent user `v` a request.
+  [[nodiscard]] bool is_requested_by(BotId bot, NodeId v) const {
+    return request_state(bot, v) != RequestState::kUnknown;
+  }
+  [[nodiscard]] RequestState request_state(BotId bot, NodeId v) const;
+
+  /// Whether v is a friend of bot `bot` / of any bot.
+  [[nodiscard]] bool is_friend_of(BotId bot, NodeId v) const {
+    return request_state(bot, v) == RequestState::kAccepted;
+  }
+  /// Number of bots v is a friend of (0 = not in the coalition's F).
+  [[nodiscard]] std::uint32_t friend_count(NodeId v) const {
+    ACCU_ASSERT(v < friend_count_.size());
+    return friend_count_[v];
+  }
+
+  /// Coalition FOF: adjacent (realized) to some bot's friend and friend of
+  /// no bot.
+  [[nodiscard]] bool is_fof(NodeId v) const {
+    return friend_count(v) == 0 && covering_friends_[v] > 0;
+  }
+
+  /// |N(v) ∩ N(s_bot)| in the realized graph — exact, since friends'
+  /// neighborhoods are revealed to the coalition.
+  [[nodiscard]] std::uint32_t mutual_friends(BotId bot, NodeId v) const;
+
+  [[nodiscard]] EdgeState edge_state(EdgeId e) const {
+    ACCU_ASSERT(e < edge_state_.size());
+    return edge_state_[e];
+  }
+  [[nodiscard]] double edge_belief(EdgeId e) const;
+
+  /// Deterministic threshold test for cautious v against bot `bot`.
+  [[nodiscard]] bool cautious_would_accept(BotId bot, NodeId v) const;
+
+  void record_rejection(BotId bot, NodeId v);
+  void record_acceptance(BotId bot, NodeId v, const Realization& truth);
+
+  /// Coalition benefit per Eq. (1) over the union of friend sets,
+  /// maintained incrementally.
+  [[nodiscard]] double current_benefit() const noexcept { return benefit_; }
+  /// O(V) recomputation used by the property tests.
+  [[nodiscard]] double recompute_benefit() const;
+
+  [[nodiscard]] std::uint32_t num_requests() const noexcept {
+    return num_requests_;
+  }
+  /// Users that are friends of at least one bot, in acceptance order.
+  [[nodiscard]] const std::vector<NodeId>& coalition_friends() const noexcept {
+    return coalition_friends_;
+  }
+  [[nodiscard]] std::uint32_t num_cautious_friends() const noexcept {
+    return num_cautious_friends_;
+  }
+
+  [[nodiscard]] const AccuInstance& instance() const noexcept {
+    return *instance_;
+  }
+
+ private:
+  const AccuInstance* instance_;
+  BotId num_bots_;
+  // Indexed [bot * n + v].
+  std::vector<RequestState> request_state_;
+  std::vector<std::uint32_t> mutual_;
+  // Shared observations.
+  std::vector<EdgeState> edge_state_;
+  std::vector<std::uint32_t> friend_count_;      // bots that befriended v
+  std::vector<std::uint32_t> covering_friends_;  // realized coalition-friend
+                                                 // neighbors of v
+  std::vector<NodeId> coalition_friends_;
+  std::uint32_t num_requests_ = 0;
+  std::uint32_t num_cautious_friends_ = 0;
+  double benefit_ = 0.0;
+};
+
+}  // namespace accu

@@ -1,0 +1,106 @@
+#include "core/observation.hpp"
+
+namespace accu {
+
+AttackerView::AttackerView(const AccuInstance& instance)
+    : instance_(&instance),
+      request_state_(instance.num_nodes(), RequestState::kUnknown),
+      edge_state_(instance.graph().num_edges(), EdgeState::kUnknown),
+      mutual_(instance.num_nodes(), 0) {}
+
+void AttackerView::record_rejection(NodeId v) {
+  ACCU_ASSERT_MSG(request_state(v) == RequestState::kUnknown,
+                  "each user receives at most one request");
+  request_state_[v] = RequestState::kRejected;
+  ++num_requests_;
+}
+
+AttackerView::AcceptanceEffects AttackerView::record_acceptance(
+    NodeId v, const Realization& truth) {
+  ACCU_ASSERT_MSG(request_state(v) == RequestState::kUnknown,
+                  "each user receives at most one request");
+  const Graph& g = instance_->graph();
+  AcceptanceEffects effects;
+  effects.was_fof = is_fof(v);
+
+  request_state_[v] = RequestState::kAccepted;
+  friends_.push_back(v);
+  ++num_requests_;
+  if (instance_->is_cautious(v)) ++num_cautious_friends_;
+
+  const BenefitModel& benefits = instance_->benefits();
+  benefit_ += benefits.friend_benefit(v);
+  if (effects.was_fof) benefit_ -= benefits.fof_benefit(v);
+
+  // Reveal every incident potential edge of v.
+  for (const graph::Neighbor& nb : g.neighbors(v)) {
+    const bool present = truth.edge_present(nb.edge);
+    const EdgeState observed = present ? EdgeState::kPresent
+                                       : EdgeState::kAbsent;
+    ACCU_ASSERT_MSG(edge_state_[nb.edge] == EdgeState::kUnknown ||
+                        edge_state_[nb.edge] == observed,
+                    "realization inconsistent with earlier observations");
+    edge_state_[nb.edge] = observed;
+    if (!present) continue;
+    const NodeId w = nb.node;
+    const bool entered_fof = mutual_[w] == 0 && !is_friend(w);
+    ++mutual_[w];
+    if (!is_friend(w)) effects.mutual_increased.push_back(w);
+    if (entered_fof) {
+      benefit_ += benefits.fof_benefit(w);
+      effects.new_fof.push_back(w);
+    }
+  }
+  return effects;
+}
+
+double AttackerView::edge_belief(EdgeId e) const {
+  switch (edge_state(e)) {
+    case EdgeState::kPresent:
+      return 1.0;
+    case EdgeState::kAbsent:
+      return 0.0;
+    case EdgeState::kUnknown:
+      return instance_->graph().edge_prob(e);
+  }
+  return 0.0;  // unreachable
+}
+
+bool AttackerView::cautious_would_accept(NodeId v) const {
+  ACCU_ASSERT(instance_->is_cautious(v));
+  return mutual_friends(v) >= instance_->threshold(v);
+}
+
+std::size_t AttackerView::num_observed_edges() const noexcept {
+  std::size_t observed = 0;
+  for (const EdgeState state : edge_state_) {
+    observed += (state != EdgeState::kUnknown);
+  }
+  return observed;
+}
+
+Graph observed_graph(const AttackerView& view) {
+  const Graph& g = view.instance().graph();
+  graph::GraphBuilder builder(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (view.edge_state(e) != EdgeState::kPresent) continue;
+    const graph::EdgeEndpoints ep = g.endpoints(e);
+    builder.add_edge(ep.lo, ep.hi, 1.0);
+  }
+  return builder.build();
+}
+
+double AttackerView::recompute_benefit() const {
+  const BenefitModel& benefits = instance_->benefits();
+  double total = 0.0;
+  for (NodeId v = 0; v < instance_->num_nodes(); ++v) {
+    if (is_friend(v)) {
+      total += benefits.friend_benefit(v);
+    } else if (is_fof(v)) {
+      total += benefits.fof_benefit(v);
+    }
+  }
+  return total;
+}
+
+}  // namespace accu

@@ -1,0 +1,141 @@
+// The attacker's knowledge state — the paper's partial realization ω.
+//
+// Tracks, for every user, the request status (the paper's X_u ∈ {0,1,?})
+// and, for every potential edge, the observation status (X_uv ∈ {0,1,?}).
+// When a user accepts a request, all of their incident edges are revealed
+// (paper §II-B: "the neighborhood of u will be available to s and is no
+// longer probabilistic").
+//
+// From those observations the view maintains, exactly and incrementally:
+//
+//   * the friend set F (accepted users) and whether each node is currently
+//     a friend-of-friend (has a *realized* edge to some friend);
+//   * each node's realized mutual-friend count |N(v) ∩ N(s)| — fully known
+//     to the attacker because friends' neighborhoods are revealed, which is
+//     what makes cautious acceptance predictable ("any policy should know
+//     that the request will be rejected before it was sent", §III-B);
+//   * the running benefit of Eq. (1): Σ_{u∈F} B_f(u) + Σ_{v∈FOF} B_fof(v).
+//
+// The view never looks at unrevealed parts of the realization; the
+// simulator is the only component holding both.
+
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+
+namespace accu {
+
+class AttackerView {
+ public:
+  /// Starts with no requests sent: every node '?' and every edge '?'.
+  /// Keeps a reference to `instance`; the instance must outlive the view.
+  explicit AttackerView(const AccuInstance& instance);
+
+  /// What changed when a request was accepted; lets callers (the ABM
+  /// policy's incremental potential maintenance, the simulator's trace)
+  /// react without re-deriving the deltas.
+  struct AcceptanceEffects {
+    /// The accepted node was a friend-of-friend just before accepting.
+    bool was_fof = false;
+    /// Nodes that entered FOF because of this acceptance.
+    std::vector<NodeId> new_fof;
+    /// Nodes whose realized mutual-friend count increased (the accepted
+    /// node's realized neighbors, excluding nodes that were already
+    /// friends).  Superset of `new_fof`.
+    std::vector<NodeId> mutual_increased;
+  };
+
+  /// Records a rejected request; reveals nothing else (paper §II-B).
+  void record_rejection(NodeId v);
+
+  /// Records an accepted request and reveals v's incident edges from the
+  /// ground-truth realization.
+  AcceptanceEffects record_acceptance(NodeId v, const Realization& truth);
+
+  // --- request / friendship state ---------------------------------------
+
+  [[nodiscard]] RequestState request_state(NodeId v) const {
+    ACCU_ASSERT(v < request_state_.size());
+    return request_state_[v];
+  }
+  [[nodiscard]] bool is_requested(NodeId v) const {
+    return request_state(v) != RequestState::kUnknown;
+  }
+  [[nodiscard]] bool is_friend(NodeId v) const {
+    return request_state(v) == RequestState::kAccepted;
+  }
+  /// FOF per the paper: shares a realized edge with a friend and is not a
+  /// friend itself.
+  [[nodiscard]] bool is_fof(NodeId v) const {
+    return mutual_friends(v) > 0 && !is_friend(v);
+  }
+  [[nodiscard]] const std::vector<NodeId>& friends() const noexcept {
+    return friends_;
+  }
+  [[nodiscard]] std::uint32_t num_requests() const noexcept {
+    return num_requests_;
+  }
+  [[nodiscard]] std::uint32_t num_cautious_friends() const noexcept {
+    return num_cautious_friends_;
+  }
+
+  // --- observed structure -------------------------------------------------
+
+  /// Realized |N(v) ∩ N(s)| — exact, because friends reveal their edges.
+  [[nodiscard]] std::uint32_t mutual_friends(NodeId v) const {
+    ACCU_ASSERT(v < mutual_.size());
+    return mutual_[v];
+  }
+
+  [[nodiscard]] EdgeState edge_state(EdgeId e) const {
+    ACCU_ASSERT(e < edge_state_.size());
+    return edge_state_[e];
+  }
+
+  /// The attacker's current belief that edge e exists: the prior p_e when
+  /// unobserved, else 0/1.
+  [[nodiscard]] double edge_belief(EdgeId e) const;
+
+  /// Deterministic acceptance test for a cautious user under the current
+  /// observations (θ_v reached).
+  [[nodiscard]] bool cautious_would_accept(NodeId v) const;
+
+  // --- benefit ------------------------------------------------------------
+
+  /// Eq. (1) benefit of the current state, maintained incrementally.
+  [[nodiscard]] double current_benefit() const noexcept { return benefit_; }
+
+  /// Recomputes Eq. (1) from scratch (O(V)); tests pin the incremental
+  /// value to this.
+  [[nodiscard]] double recompute_benefit() const;
+
+  [[nodiscard]] const AccuInstance& instance() const noexcept {
+    return *instance_;
+  }
+
+  /// Number of edges whose state the attacker has observed (present or
+  /// absent).
+  [[nodiscard]] std::size_t num_observed_edges() const noexcept;
+
+ private:
+  const AccuInstance* instance_;
+  std::vector<RequestState> request_state_;
+  std::vector<EdgeState> edge_state_;
+  std::vector<std::uint32_t> mutual_;
+  std::vector<NodeId> friends_;
+  std::uint32_t num_requests_ = 0;
+  std::uint32_t num_cautious_friends_ = 0;
+  double benefit_ = 0.0;
+};
+
+/// The social network as the attacker currently *knows* it: exactly the
+/// edges observed present, carried with probability 1; node ids preserved.
+/// Useful for exporting/visualizing crawl progress (the information the
+/// attack actually harvested).
+[[nodiscard]] Graph observed_graph(const AttackerView& view);
+
+}  // namespace accu

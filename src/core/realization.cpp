@@ -1,0 +1,104 @@
+#include "core/realization.hpp"
+
+namespace accu {
+
+Realization::Realization(std::vector<bool> edge_present,
+                         std::vector<bool> accepts)
+    : edge_present_(std::move(edge_present)),
+      accepts_(std::move(accepts)),
+      cautious_below_(accepts_.size(), false),
+      cautious_above_(accepts_.size(), true) {}
+
+Realization::Realization(std::vector<bool> edge_present,
+                         std::vector<bool> accepts,
+                         std::vector<bool> cautious_below_accepts,
+                         std::vector<bool> cautious_above_accepts)
+    : edge_present_(std::move(edge_present)),
+      accepts_(std::move(accepts)),
+      cautious_below_(std::move(cautious_below_accepts)),
+      cautious_above_(std::move(cautious_above_accepts)) {
+  ACCU_ASSERT(cautious_below_.size() == accepts_.size());
+  ACCU_ASSERT(cautious_above_.size() == accepts_.size());
+}
+
+Realization Realization::sample(const AccuInstance& instance,
+                                util::Rng& rng) {
+  const Graph& g = instance.graph();
+  std::vector<bool> edges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edges[e] = rng.bernoulli(g.edge_prob(e));
+  }
+  std::vector<bool> accepts(g.num_nodes());
+  std::vector<bool> below(g.num_nodes(), false);
+  std::vector<bool> above(g.num_nodes(), true);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // Coins are drawn for every node to keep the realization's shape
+    // independent of the partition; coins outside a user's model are never
+    // read by the simulator.
+    accepts[u] = rng.bernoulli(instance.accept_prob(u));
+    if (instance.is_cautious(u)) {
+      below[u] = rng.bernoulli(instance.cautious_accept_prob(u, false));
+      above[u] = rng.bernoulli(instance.cautious_accept_prob(u, true));
+    }
+  }
+  return Realization(std::move(edges), std::move(accepts), std::move(below),
+                     std::move(above));
+}
+
+Realization Realization::certain(const AccuInstance& instance) {
+  const NodeId n = instance.graph().num_nodes();
+  std::vector<bool> below(n, false);
+  std::vector<bool> above(n, true);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!instance.is_cautious(v)) continue;
+    below[v] = instance.cautious_accept_prob(v, false) > 0.0;
+    above[v] = instance.cautious_accept_prob(v, true) > 0.0;
+  }
+  return Realization(std::vector<bool>(instance.graph().num_edges(), true),
+                     std::vector<bool>(n, true), std::move(below),
+                     std::move(above));
+}
+
+std::uint32_t Realization::realized_degree(const Graph& g, NodeId v) const {
+  std::uint32_t degree = 0;
+  for (const graph::Neighbor& nb : g.neighbors(v)) {
+    if (edge_present(nb.edge)) ++degree;
+  }
+  return degree;
+}
+
+Graph realized_graph(const Graph& prior, const Realization& truth) {
+  ACCU_ASSERT(truth.num_edges() == prior.num_edges());
+  graph::GraphBuilder builder(prior.num_nodes());
+  for (EdgeId e = 0; e < prior.num_edges(); ++e) {
+    if (!truth.edge_present(e)) continue;
+    const graph::EdgeEndpoints ep = prior.endpoints(e);
+    builder.add_edge(ep.lo, ep.hi, 1.0);
+  }
+  return builder.build();
+}
+
+double Realization::probability(const AccuInstance& instance) const {
+  const Graph& g = instance.graph();
+  ACCU_ASSERT(edge_present_.size() == g.num_edges());
+  ACCU_ASSERT(accepts_.size() == g.num_nodes());
+  double prob = 1.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double p = g.edge_prob(e);
+    prob *= edge_present_[e] ? p : (1.0 - p);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (instance.is_cautious(u)) {
+      const double q1 = instance.cautious_accept_prob(u, false);
+      const double q2 = instance.cautious_accept_prob(u, true);
+      prob *= cautious_below_[u] ? q1 : (1.0 - q1);
+      prob *= cautious_above_[u] ? q2 : (1.0 - q2);
+      continue;
+    }
+    const double q = instance.accept_prob(u);
+    prob *= accepts_[u] ? q : (1.0 - q);
+  }
+  return prob;
+}
+
+}  // namespace accu

@@ -1,0 +1,111 @@
+// Ground-truth realizations (paper §II-B).
+//
+// A realization φ fixes every random quantity of an instance:
+//
+//   * which potential edges actually exist (edge (u,v) is present with
+//     probability p_uv, independently), and
+//   * each reckless user's acceptance coin (accept with probability q_u;
+//     a user receives at most one request, so one coin per user is
+//     equivalent to a per-request draw).
+//
+// Under the deterministic model cautious users have no effective coin —
+// their acceptance is a function of the realized mutual-friend count
+// (paper §II-A).  Under the *generalized* model of §III-B they accept with
+// probability q1 below threshold and q2 at/above it; since each user
+// receives at most one request, the realization carries two independent
+// pre-drawn coins per user (one per regime) and the simulator consults
+// whichever regime is active at request time.
+//
+// The simulator owns a realization as the hidden ground truth and reveals
+// pieces of it to the AttackerView as requests are accepted.
+
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace accu {
+
+class Realization {
+ public:
+  /// Samples a realization from the instance's probabilities.
+  static Realization sample(const AccuInstance& instance, util::Rng& rng);
+
+  /// A realization in which every potential edge exists and every reckless
+  /// user accepts — the deterministic "certain" world; handy for tests and
+  /// for instances whose probabilities are all 1.  Cautious regime coins
+  /// are pinned to their most permissive positive-probability outcome
+  /// (below-threshold accepts iff q1 > 0, at-threshold accepts iff q2 > 0),
+  /// which reduces to reject/accept under the deterministic model.
+  static Realization certain(const AccuInstance& instance);
+
+  /// Explicit construction (tests, exhaustive theory enumeration).  The
+  /// cautious regime coins default to the deterministic model
+  /// (below = reject, above = accept).
+  Realization(std::vector<bool> edge_present, std::vector<bool> accepts);
+
+  /// Explicit construction with cautious regime coins (generalized model).
+  Realization(std::vector<bool> edge_present, std::vector<bool> accepts,
+              std::vector<bool> cautious_below_accepts,
+              std::vector<bool> cautious_above_accepts);
+
+  [[nodiscard]] bool edge_present(EdgeId e) const {
+    ACCU_ASSERT(e < edge_present_.size());
+    return edge_present_[e];
+  }
+
+  /// Whether reckless user u's coin came up "accept".  Meaningless for
+  /// cautious users (asserted against in the simulator, not here, so the
+  /// theory code can enumerate uniformly).
+  [[nodiscard]] bool reckless_accepts(NodeId u) const {
+    ACCU_ASSERT(u < accepts_.size());
+    return accepts_[u];
+  }
+
+  /// Generalized-model coin of cautious user v for the below-threshold
+  /// regime (accept with probability q1).
+  [[nodiscard]] bool cautious_below_accepts(NodeId v) const {
+    ACCU_ASSERT(v < cautious_below_.size());
+    return cautious_below_[v];
+  }
+
+  /// Generalized-model coin of cautious user v for the at/above-threshold
+  /// regime (accept with probability q2).
+  [[nodiscard]] bool cautious_above_accepts(NodeId v) const {
+    ACCU_ASSERT(v < cautious_above_.size());
+    return cautious_above_[v];
+  }
+
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_present_.size();
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return accepts_.size();
+  }
+
+  /// Realized degree of v (number of present incident edges).
+  [[nodiscard]] std::uint32_t realized_degree(const Graph& g, NodeId v) const;
+
+  /// Probability of this realization under the instance's model — the
+  /// product over edges of p / (1-p) and over *reckless* users of
+  /// q / (1-q).  Used by the exhaustive theory calculations.
+  [[nodiscard]] double probability(const AccuInstance& instance) const;
+
+ private:
+  std::vector<bool> edge_present_;    // per EdgeId
+  std::vector<bool> accepts_;         // per NodeId (reckless coins)
+  std::vector<bool> cautious_below_;  // per NodeId (generalized q1 coins)
+  std::vector<bool> cautious_above_;  // per NodeId (generalized q2 coins)
+};
+
+/// The ground-truth network of a realization: exactly the present edges,
+/// carried with probability 1 (node ids preserved).  This is the graph the
+/// attacker would see with unlimited budget; tests and analyses use it as
+/// the omniscient reference.
+[[nodiscard]] Graph realized_graph(const Graph& prior,
+                                   const Realization& truth);
+
+}  // namespace accu

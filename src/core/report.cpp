@@ -1,0 +1,81 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace accu {
+
+void write_markdown_report(const ExperimentResult& result,
+                           const ExperimentConfig& config, std::ostream& os,
+                           const ReportOptions& options) {
+  os << "# " << options.title << "\n\n";
+  os << "- budget k = " << config.budget << "\n";
+  os << "- sample networks = " << config.samples << ", runs per network = "
+     << config.runs << "\n";
+  os << "- seed = " << config.seed << "\n\n";
+
+  os << "## Summary\n\n";
+  os << "| policy | benefit | ±95% | accepted | cautious friends |\n";
+  os << "|---|---|---|---|---|\n";
+  for (std::size_t s = 0; s < result.strategy_names.size(); ++s) {
+    const TraceAggregator& agg = result.aggregates[s];
+    os << "| " << result.strategy_names[s] << " | "
+       << util::Table::format(agg.total_benefit().mean(), 1) << " | "
+       << util::Table::format(agg.total_benefit().ci95_halfwidth(), 1)
+       << " | " << util::Table::format(agg.accepted_requests().mean(), 1)
+       << " | " << util::Table::format(agg.cautious_friends().mean(), 2)
+       << " |\n";
+  }
+
+  os << "\n## Benefit vs requests\n\n";
+  os << "| k |";
+  for (const std::string& name : result.strategy_names) {
+    os << ' ' << name << " |";
+  }
+  os << "\n|---|";
+  for (std::size_t s = 0; s < result.strategy_names.size(); ++s) os << "---|";
+  os << "\n";
+  const std::size_t checkpoints =
+      options.checkpoints == 0 ? 1 : options.checkpoints;
+  for (std::size_t c = 1; c <= checkpoints; ++c) {
+    const std::size_t k = static_cast<std::size_t>(config.budget) * c /
+                          checkpoints;
+    if (k == 0) continue;
+    os << "| " << k << " |";
+    for (const TraceAggregator& agg : result.aggregates) {
+      os << ' '
+         << util::Table::format(agg.cumulative_benefit().at(k - 1).mean(), 1)
+         << " |";
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+
+void emit_metric(std::ostream& os, const std::string& strategy,
+                 const char* metric, const util::SeriesAccumulator& series) {
+  for (std::size_t i = 0; i < series.length(); ++i) {
+    os << util::csv_escape(strategy) << ',' << (i + 1) << ',' << metric << ','
+       << util::Table::format(series.at(i).mean(), 6) << ','
+       << util::Table::format(series.at(i).ci95_halfwidth(), 6) << '\n';
+  }
+}
+
+}  // namespace
+
+void write_curves_csv(const ExperimentResult& result, std::ostream& os) {
+  os << "strategy,request,metric,mean,ci95\n";
+  for (std::size_t s = 0; s < result.strategy_names.size(); ++s) {
+    const std::string& name = result.strategy_names[s];
+    const TraceAggregator& agg = result.aggregates[s];
+    emit_metric(os, name, "cumulative_benefit", agg.cumulative_benefit());
+    emit_metric(os, name, "marginal", agg.marginal());
+    emit_metric(os, name, "marginal_cautious", agg.marginal_cautious());
+    emit_metric(os, name, "marginal_reckless", agg.marginal_reckless());
+    emit_metric(os, name, "cautious_fraction", agg.cautious_fraction());
+  }
+}
+
+}  // namespace accu

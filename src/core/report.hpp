@@ -1,0 +1,37 @@
+// Experiment reporting: render an ExperimentResult as a Markdown report or
+// as long-format CSV curves.
+//
+// The bench binaries print console tables; this module produces the
+// artifact-friendly formats — a Markdown summary for lab notebooks / CI
+// and a tidy CSV (`strategy,request,metric,value`) that any plotting stack
+// ingests directly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace accu {
+
+struct ReportOptions {
+  /// Free-text heading, e.g. "Fig. 2 — facebook".
+  std::string title = "ACCU experiment";
+  /// Number of evenly spaced budget checkpoints in the curve table.
+  std::size_t checkpoints = 10;
+};
+
+/// Markdown: configuration block, per-strategy summary table, and a
+/// benefit-curve checkpoint table.
+void write_markdown_report(const ExperimentResult& result,
+                           const ExperimentConfig& config, std::ostream& os,
+                           const ReportOptions& options = {});
+
+/// Long-format CSV of the per-request curves:
+/// columns strategy,request,metric,mean,ci95 with metrics
+/// cumulative_benefit / marginal / marginal_cautious / marginal_reckless /
+/// cautious_fraction.
+void write_curves_csv(const ExperimentResult& result, std::ostream& os);
+
+}  // namespace accu

@@ -1,0 +1,69 @@
+#include "core/simulator.hpp"
+
+namespace accu {
+
+SimulationResult simulate_with_view(const AccuInstance& instance,
+                                    const Realization& truth,
+                                    Strategy& strategy, std::uint32_t budget,
+                                    util::Rng& rng, AttackerView& view) {
+  ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
+  ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
+  SimulationResult result;
+  result.trace.reserve(budget);
+  strategy.reset(instance, rng);
+
+  while (view.num_requests() < budget) {
+    const NodeId target = strategy.select(view, rng);
+    if (target == kInvalidNode) break;  // strategy stops early
+    ACCU_ASSERT_MSG(target < instance.num_nodes(),
+                    "strategy selected an out-of-range node");
+    ACCU_ASSERT_MSG(!view.is_requested(target),
+                    "strategy re-selected an already-requested node");
+
+    RequestRecord record;
+    record.target = target;
+    record.cautious_target = instance.is_cautious(target);
+    record.benefit_before = view.current_benefit();
+
+    bool accepted;
+    if (instance.is_cautious(target)) {
+      // Deterministic threshold model: accept iff θ reached.  Generalized
+      // model (§III-B): consult the pre-drawn coin of the active regime
+      // (q1 below threshold, q2 at/above) — identical to the deterministic
+      // model when q1 = 0, q2 = 1.
+      const bool reached = view.cautious_would_accept(target);
+      accepted = reached ? truth.cautious_above_accepts(target)
+                         : truth.cautious_below_accepts(target);
+    } else {
+      accepted = truth.reckless_accepts(target);
+    }
+    record.accepted = accepted;
+
+    if (accepted) {
+      const AttackerView::AcceptanceEffects effects =
+          view.record_acceptance(target, truth);
+      record.benefit_after = view.current_benefit();
+      strategy.observe(target, true, view, &effects);
+    } else {
+      view.record_rejection(target);
+      record.benefit_after = view.current_benefit();
+      strategy.observe(target, false, view, nullptr);
+    }
+    result.trace.push_back(record);
+  }
+
+  result.total_benefit = view.current_benefit();
+  result.num_accepted = static_cast<std::uint32_t>(view.friends().size());
+  result.num_cautious_friends = view.num_cautious_friends();
+  result.friends = view.friends();
+  return result;
+}
+
+SimulationResult simulate(const AccuInstance& instance,
+                          const Realization& truth, Strategy& strategy,
+                          std::uint32_t budget, util::Rng& rng) {
+  AttackerView view(instance);
+  return simulate_with_view(instance, truth, strategy, budget, rng, view);
+}
+
+}  // namespace accu

@@ -1,0 +1,105 @@
+// The adaptive attack simulator (paper §II-B / Algorithm 1's outer loop).
+//
+// A Strategy repeatedly picks the next user to befriend from the attacker's
+// current knowledge; the simulator resolves acceptance against the hidden
+// ground-truth realization —
+//
+//   * reckless u accepts iff its realization coin came up accept,
+//   * cautious v accepts iff the *realized* mutual-friend count has
+//     reached θ_v (deterministic, §II-A) —
+//
+// then reveals the accepted user's neighborhood to the view and records a
+// per-request trace entry.  The trace carries everything Figures 2-7 of the
+// paper aggregate: cumulative benefit, per-request marginal, the target's
+// class, and the acceptance outcome.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/observation.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace accu {
+
+/// One friend request in a simulation trace.
+struct RequestRecord {
+  NodeId target = kInvalidNode;
+  bool accepted = false;
+  /// Whether the target is a cautious user (drives Fig. 3/5 splits).
+  bool cautious_target = false;
+  /// Eq.-(1) benefit after this request; the marginal gain is
+  /// `benefit_after - benefit_before`.
+  double benefit_before = 0.0;
+  double benefit_after = 0.0;
+
+  [[nodiscard]] double marginal() const noexcept {
+    return benefit_after - benefit_before;
+  }
+};
+
+/// Outcome of one simulated attack.
+struct SimulationResult {
+  std::vector<RequestRecord> trace;
+  double total_benefit = 0.0;
+  std::uint32_t num_accepted = 0;
+  std::uint32_t num_cautious_friends = 0;
+  std::vector<NodeId> friends;
+};
+
+/// An adaptive befriending policy (the paper's π).
+///
+/// Policies observe only the AttackerView — never the realization — so any
+/// implementation is automatically a legal adaptive strategy.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Called once at simulation start, before any request.
+  virtual void reset(const AccuInstance& instance, util::Rng& rng) {
+    (void)instance;
+    (void)rng;
+  }
+
+  /// Picks the next user to request (must be un-requested), or
+  /// kInvalidNode to stop early (no useful candidate left).
+  virtual NodeId select(const AttackerView& view, util::Rng& rng) = 0;
+
+  /// Notified after the outcome of the previous selection is folded into
+  /// the view.  `effects` is non-null iff the request was accepted.
+  virtual void observe(NodeId target, bool accepted,
+                       const AttackerView& view,
+                       const AttackerView::AcceptanceEffects* effects) {
+    (void)target;
+    (void)accepted;
+    (void)view;
+    (void)effects;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Runs `strategy` for at most `budget` requests against the given ground
+/// truth.  `rng` drives only the strategy's own randomness (tie-breaking,
+/// the Random baseline); all environment randomness lives in `truth`.
+[[nodiscard]] SimulationResult simulate(const AccuInstance& instance,
+                                        const Realization& truth,
+                                        Strategy& strategy,
+                                        std::uint32_t budget,
+                                        util::Rng& rng);
+
+/// As `simulate`, but also exposes the final view (integration tests and
+/// the examples' reporting use it).
+[[nodiscard]] SimulationResult simulate_with_view(const AccuInstance& instance,
+                                                  const Realization& truth,
+                                                  Strategy& strategy,
+                                                  std::uint32_t budget,
+                                                  util::Rng& rng,
+                                                  AttackerView& view_out);
+
+}  // namespace accu

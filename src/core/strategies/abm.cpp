@@ -1,0 +1,184 @@
+#include "core/strategies/abm.hpp"
+
+#include <cstdio>
+
+namespace accu {
+
+AbmStrategy::AbmStrategy() : AbmStrategy(Config{}) {}
+
+AbmStrategy::AbmStrategy(Config config) : config_(config) {
+  if (!(config_.weights.direct >= 0.0) || !(config_.weights.indirect >= 0.0)) {
+    throw InvalidArgument("AbmStrategy: weights must be non-negative");
+  }
+}
+
+AbmStrategy::AbmStrategy(double w_direct, double w_indirect)
+    : AbmStrategy(Config{{w_direct, w_indirect}, /*incremental=*/true}) {}
+
+std::string AbmStrategy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "ABM(wD=%.2f,wI=%.2f)",
+                config_.weights.direct, config_.weights.indirect);
+  return buf;
+}
+
+double AbmStrategy::effective_accept_prob(const AttackerView& view,
+                                          NodeId u) {
+  const AccuInstance& instance = view.instance();
+  if (instance.is_cautious(u)) {
+    // q2 once the threshold is reached, q1 below it; the deterministic
+    // model's (q1, q2) = (0, 1) reduces this to the 0/1 indicator.
+    return instance.cautious_accept_prob(u, view.cautious_would_accept(u));
+  }
+  return instance.accept_prob(u);
+}
+
+double AbmStrategy::direct_gain(const AttackerView& view, NodeId u) {
+  const AccuInstance& instance = view.instance();
+  const BenefitModel& benefits = instance.benefits();
+  double gain = benefits.friend_benefit(u);
+  if (view.is_fof(u)) gain -= benefits.fof_benefit(u);
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    if (view.is_friend(v)) continue;  // v ∈ N(s): already harvested as friend
+    if (view.is_fof(v)) continue;     // (1 − 1_FOF(v)) = 0
+    const double belief = view.edge_belief(nb.edge);
+    if (belief <= 0.0) continue;      // observed absent
+    gain += belief * benefits.fof_benefit(v);
+  }
+  return gain;
+}
+
+double AbmStrategy::indirect_gain(const AttackerView& view, NodeId u) {
+  const AccuInstance& instance = view.instance();
+  // Cautious users have no cautious neighbors (model assumption), so their
+  // indirect gain is identically zero — the paper notes this explicitly.
+  if (instance.is_cautious(u)) return 0.0;
+  const BenefitModel& benefits = instance.benefits();
+  double gain = 0.0;
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    if (!instance.is_cautious(v)) continue;
+    // A cautious user that was already requested is either a friend
+    // (threshold met — no indirect value left) or permanently rejected.
+    if (view.is_requested(v)) continue;
+    const std::uint32_t theta = instance.threshold(v);
+    const std::uint32_t mutual = view.mutual_friends(v);
+    if (mutual >= theta) continue;  // paper condition: θ_v > |N(s) ∩ N(v)|
+    const double belief = view.edge_belief(nb.edge);
+    if (belief <= 0.0) continue;
+    gain += belief * benefits.upgrade_gain(v) /
+            static_cast<double>(theta - mutual);
+  }
+  return gain;
+}
+
+double AbmStrategy::potential(const AttackerView& view, NodeId u) const {
+  const double q = effective_accept_prob(view, u);
+  if (q <= 0.0) return 0.0;  // skip the scans for hopeless candidates
+  double value = config_.weights.direct * direct_gain(view, u);
+  if (config_.weights.indirect > 0.0) {
+    value += config_.weights.indirect * indirect_gain(view, u);
+  }
+  return q * value;
+}
+
+void AbmStrategy::reset(const AccuInstance& instance, util::Rng& rng) {
+  (void)rng;
+  instance_ = &instance;
+  if (!config_.incremental) return;
+  version_.assign(instance.num_nodes(), 0);
+  stamp_.assign(instance.num_nodes(), 0);
+  round_ = 0;
+  heap_ = {};
+  const AttackerView fresh(instance);
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    heap_.push(HeapEntry{potential(fresh, u), u, 0});
+  }
+}
+
+void AbmStrategy::refresh(const AttackerView& view, NodeId u) {
+  ++version_[u];
+  heap_.push(HeapEntry{potential(view, u), u, version_[u]});
+}
+
+NodeId AbmStrategy::select_incremental(const AttackerView& view) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    if (top.version != version_[top.node] || view.is_requested(top.node)) {
+      heap_.pop();  // stale entry (superseded or already requested)
+      continue;
+    }
+    return top.node;
+  }
+  return kInvalidNode;
+}
+
+NodeId AbmStrategy::select_reference(const AttackerView& view) const {
+  NodeId best = kInvalidNode;
+  double best_value = 0.0;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (view.is_requested(u)) continue;
+    const double value = potential(view, u);
+    if (best == kInvalidNode || value > best_value) {
+      best = u;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+NodeId AbmStrategy::select(const AttackerView& view, util::Rng& rng) {
+  (void)rng;  // deterministic: ties break to the smallest node id
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  return config_.incremental ? select_incremental(view)
+                             : select_reference(view);
+}
+
+void AbmStrategy::observe(NodeId target, bool accepted,
+                          const AttackerView& view,
+                          const AttackerView::AcceptanceEffects* effects) {
+  if (!config_.incremental) return;
+  // The target's entries are stale either way: it can never be selected
+  // again (select_incremental also checks is_requested as a belt).
+  ++version_[target];
+  const Graph& g = instance_->graph();
+  ++round_;
+  auto mark = [&](NodeId u) {
+    if (stamp_[u] == round_) return;
+    stamp_[u] = round_;
+    if (!view.is_requested(u)) refresh(view, u);
+  };
+  if (!accepted) {
+    // A rejection reveals nothing (§II-B) — but a rejected *cautious*
+    // target can never be befriended anymore, so it leaves its neighbors'
+    // P_I sums.  (Reachable only under the generalized q1 > 0 model, where
+    // ABM may gamble on below-threshold cautious users.)
+    if (instance_->is_cautious(target)) {
+      for (const graph::Neighbor& nb : g.neighbors(target)) mark(nb.node);
+    }
+    return;
+  }
+
+  ACCU_ASSERT(effects != nullptr);
+  // (1) Neighbors of the new friend: edge beliefs resolved; the friend left
+  //     their P_D sums; FOF flags and mutual counts among them moved.
+  for (const graph::Neighbor& nb : g.neighbors(target)) mark(nb.node);
+  // (2) Neighbors of nodes that newly entered FOF: their (1−1_FOF) factor
+  //     for that node vanished.
+  for (const NodeId w : effects->new_fof) {
+    for (const graph::Neighbor& nb : g.neighbors(w)) mark(nb.node);
+  }
+  // (3) Neighbors of cautious users whose mutual count grew: their P_I
+  //     denominators (and possibly the q(u) indicator) changed.
+  for (const NodeId v : effects->mutual_increased) {
+    if (!instance_->is_cautious(v)) continue;
+    for (const graph::Neighbor& nb : g.neighbors(v)) mark(nb.node);
+  }
+}
+
+AbmStrategy make_classic_greedy() {
+  return AbmStrategy(AbmStrategy::Config{{1.0, 0.0}, /*incremental=*/true});
+}
+
+}  // namespace accu

@@ -1,0 +1,123 @@
+// Adaptive Benefit Maximization (ABM) — the paper's Algorithm 1.
+//
+// Every round, ABM requests the un-requested user maximizing the potential
+//
+//     P(u|ω) = q(u) · ( w_D · P_D(u|ω) + w_I · P_I(u|ω) )
+//
+// where, under the current observations ω,
+//
+//     P_D(u|ω) = B_f(u) − 1_FOF(u)·B_fof(u)
+//                + Σ_{v ∈ N(u)\N(s)}  p̂_uv · (1 − 1_FOF(v)) · B_fof(v)
+//
+// is the expected *direct* gain of u accepting (u upgrades to friend, u's
+// believed neighbors become friends-of-friends), and
+//
+//     P_I(u|ω) = Σ_{v ∈ N(u) ∩ V_C,  θ_v > |N(s) ∩ N(v)|}
+//                    p̂_uv · (B_f(v) − B_fof(v)) / (θ_v − |N(s) ∩ N(v)|)
+//
+// is the *indirect* gain of moving u's cautious neighbors closer to their
+// acceptance thresholds.  p̂_uv is the attacker's current edge belief
+// (prior p_uv, or 0/1 once observed); q(u) is q_u for reckless users and
+// the deterministic acceptance indicator for cautious users.
+//
+// With w_D = 1, w_I = 0 the potential equals the exact expected marginal
+// gain Δ(u|ω), so ABM reduces to the classic adaptive greedy analyzed by
+// Theorem 1 (and used by prior adaptive-crawling work) — a property the
+// tests verify by brute-force expectation.
+//
+// Complexity.  A naive implementation recomputes all n potentials (O(Σdeg))
+// every round.  ABM instead maintains a versioned max-heap of cached
+// potentials and, after each accepted request, re-evaluates only the nodes
+// whose potential can actually have changed:
+//
+//   * graph neighbors of the new friend (edge beliefs resolved, the friend
+//     left their P_D sums, their own FOF flag / mutual counts moved),
+//   * graph neighbors of nodes that just entered FOF (the (1−1_FOF(v))
+//     factor vanished), and
+//   * graph neighbors of cautious users whose mutual count grew (their
+//     P_I denominators shrank).
+//
+// A property test pins the incremental policy to the O(n·Σdeg) reference
+// (`Config::incremental = false`) choice-for-choice.
+
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace accu {
+
+class AbmStrategy final : public Strategy {
+ public:
+  struct Config {
+    PotentialWeights weights{};
+    /// When false, recompute every candidate's potential each round
+    /// (reference implementation used by tests/ablation benches).
+    bool incremental = true;
+  };
+
+  /// Default configuration: the paper's w_D = w_I = 0.5, incremental.
+  AbmStrategy();
+  explicit AbmStrategy(Config config);
+  /// Convenience: ABM with the given w_D / w_I and incremental updates.
+  AbmStrategy(double w_direct, double w_indirect);
+
+  void reset(const AccuInstance& instance, util::Rng& rng) override;
+  NodeId select(const AttackerView& view, util::Rng& rng) override;
+  void observe(NodeId target, bool accepted, const AttackerView& view,
+               const AttackerView::AcceptanceEffects* effects) override;
+  [[nodiscard]] std::string name() const override;
+
+  // --- potential function (exposed for tests / ablations) ----------------
+
+  /// q(u): q_u for reckless users, the 0/1 threshold indicator for
+  /// cautious users.
+  [[nodiscard]] static double effective_accept_prob(const AttackerView& view,
+                                                    NodeId u);
+  /// P_D(u|ω).
+  [[nodiscard]] static double direct_gain(const AttackerView& view, NodeId u);
+  /// P_I(u|ω).
+  [[nodiscard]] static double indirect_gain(const AttackerView& view,
+                                            NodeId u);
+  /// P(u|ω) under this strategy's weights.
+  [[nodiscard]] double potential(const AttackerView& view, NodeId u) const;
+
+  [[nodiscard]] const PotentialWeights& weights() const noexcept {
+    return config_.weights;
+  }
+
+ private:
+  struct HeapEntry {
+    double value;
+    NodeId node;
+    std::uint32_t version;
+    // Max-heap: higher potential first, ties to the smaller node id so the
+    // incremental and reference modes pick identically.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) noexcept {
+      if (a.value != b.value) return a.value < b.value;
+      return a.node > b.node;
+    }
+  };
+
+  /// Recomputes u's potential, bumps its version and pushes a fresh entry.
+  void refresh(const AttackerView& view, NodeId u);
+
+  NodeId select_incremental(const AttackerView& view);
+  NodeId select_reference(const AttackerView& view) const;
+
+  Config config_;
+  const AccuInstance* instance_ = nullptr;
+  std::vector<std::uint32_t> version_;
+  std::priority_queue<HeapEntry> heap_;
+  // Per-round dedup stamp for dirty marking.
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t round_ = 0;
+};
+
+/// The classic adaptive greedy of earlier adaptive-crawling papers
+/// ([2],[3],[6] in the paper): ABM with w_D = 1, w_I = 0.
+[[nodiscard]] AbmStrategy make_classic_greedy();
+
+}  // namespace accu

@@ -1,0 +1,73 @@
+#include "core/strategies/batched.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/strategies/abm.hpp"
+
+namespace accu {
+
+BatchedAbmStrategy::BatchedAbmStrategy(PotentialWeights weights,
+                                       std::uint32_t batch_size)
+    : weights_(weights), batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw InvalidArgument("BatchedAbmStrategy: batch size must be >= 1");
+  }
+  if (!(weights.direct >= 0.0) || !(weights.indirect >= 0.0)) {
+    throw InvalidArgument("BatchedAbmStrategy: weights must be non-negative");
+  }
+}
+
+std::string BatchedAbmStrategy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "BatchedABM(b=%u)", batch_size_);
+  return buf;
+}
+
+void BatchedAbmStrategy::reset(const AccuInstance& instance, util::Rng&) {
+  instance_ = &instance;
+  batch_.clear();
+  cursor_ = 0;
+  rounds_ = 0;
+}
+
+void BatchedAbmStrategy::fill_batch(const AttackerView& view) {
+  batch_.clear();
+  cursor_ = 0;
+  std::vector<std::pair<double, NodeId>> scored;
+  AbmStrategy::Config config;
+  config.weights = weights_;
+  const AbmStrategy scorer(config);
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (view.is_requested(u)) continue;
+    scored.emplace_back(scorer.potential(view, u), u);
+  }
+  const std::size_t take =
+      std::min<std::size_t>(batch_size_, scored.size());
+  // Best potential first; ties to the smaller id, matching ABM.
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  for (std::size_t i = 0; i < take; ++i) batch_.push_back(scored[i].second);
+  if (!batch_.empty()) ++rounds_;
+}
+
+NodeId BatchedAbmStrategy::select(const AttackerView& view, util::Rng&) {
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  // Skip targets that were requested since the batch was planned (cannot
+  // happen with the standard simulator, but keeps the policy safe under
+  // multi-policy drivers).
+  while (cursor_ < batch_.size() && view.is_requested(batch_[cursor_])) {
+    ++cursor_;
+  }
+  if (cursor_ >= batch_.size()) {
+    fill_batch(view);
+    if (batch_.empty()) return kInvalidNode;
+  }
+  return batch_[cursor_++];
+}
+
+}  // namespace accu

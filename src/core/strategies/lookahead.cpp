@@ -1,0 +1,122 @@
+#include "core/strategies/lookahead.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/strategies/abm.hpp"
+
+namespace accu {
+
+LookaheadStrategy::LookaheadStrategy() : LookaheadStrategy(Config{}) {}
+
+LookaheadStrategy::LookaheadStrategy(Config config) : config_(config) {
+  if (config.beam == 0 || config.scenario_samples == 0) {
+    throw InvalidArgument(
+        "LookaheadStrategy: beam and scenario_samples must be >= 1");
+  }
+  if (!(config.weights.direct >= 0.0) || !(config.weights.indirect >= 0.0)) {
+    throw InvalidArgument("LookaheadStrategy: weights must be non-negative");
+  }
+}
+
+std::string LookaheadStrategy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "Lookahead(beam=%u,samples=%u)",
+                config_.beam, config_.scenario_samples);
+  return buf;
+}
+
+void LookaheadStrategy::reset(const AccuInstance& instance, util::Rng&) {
+  instance_ = &instance;
+}
+
+double LookaheadStrategy::step_score(const AttackerView& view,
+                                     NodeId u) const {
+  const double q = AbmStrategy::effective_accept_prob(view, u);
+  if (q <= 0.0) return 0.0;
+  double value = config_.weights.direct * AbmStrategy::direct_gain(view, u);
+  if (config_.weights.indirect > 0.0) {
+    value += config_.weights.indirect * AbmStrategy::indirect_gain(view, u);
+  }
+  return q * value;
+}
+
+double LookaheadStrategy::best_step_score(const AttackerView& view) const {
+  double best = 0.0;
+  for (NodeId v = 0; v < instance_->num_nodes(); ++v) {
+    if (view.is_requested(v)) continue;
+    best = std::max(best, step_score(view, v));
+  }
+  return best;
+}
+
+NodeId LookaheadStrategy::select(const AttackerView& view, util::Rng& rng) {
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  const Graph& g = instance_->graph();
+
+  // Stage 1: rank candidates by the myopic score.
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (view.is_requested(u)) continue;
+    ranked.emplace_back(step_score(view, u), u);
+  }
+  if (ranked.empty()) return kInvalidNode;
+  const std::size_t beam = std::min<std::size_t>(config_.beam, ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(beam),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+
+  // Stage 2: approximate V(u) = Δ(u) + E[ best next Δ ] over the beam.
+  NodeId best = ranked.front().second;
+  double best_value = -1.0;
+  std::vector<bool> scenario_edges(g.num_edges(), false);
+  const std::vector<bool> scenario_coins(instance_->num_nodes(), true);
+  for (std::size_t c = 0; c < beam; ++c) {
+    const NodeId u = ranked[c].second;
+    const double q = AbmStrategy::effective_accept_prob(view, u);
+    double value = ranked[c].first;
+    // Rejection branch: one deterministic continuation.
+    if (q < 1.0) {
+      AttackerView rejected = view;
+      rejected.record_rejection(u);
+      value += (1.0 - q) * best_step_score(rejected);
+    }
+    // Acceptance branch: sample u's revealed neighborhood.
+    if (q > 0.0) {
+      double continuation = 0.0;
+      for (std::uint32_t s = 0; s < config_.scenario_samples; ++s) {
+        for (const graph::Neighbor& nb : g.neighbors(u)) {
+          switch (view.edge_state(nb.edge)) {
+            case EdgeState::kPresent:
+              scenario_edges[nb.edge] = true;
+              break;
+            case EdgeState::kAbsent:
+              scenario_edges[nb.edge] = false;
+              break;
+            case EdgeState::kUnknown:
+              scenario_edges[nb.edge] =
+                  rng.bernoulli(g.edge_prob(nb.edge));
+              break;
+          }
+        }
+        AttackerView accepted = view;
+        accepted.record_acceptance(
+            u, Realization(scenario_edges, scenario_coins));
+        continuation += best_step_score(accepted);
+      }
+      value += q * continuation /
+               static_cast<double>(config_.scenario_samples);
+    }
+    if (value > best_value) {
+      best_value = value;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace accu

@@ -1,0 +1,55 @@
+// One-step lookahead planning (extension).
+//
+// The adaptive greedy underlying ABM is myopic: it scores a request only by
+// its own expected gain (plus ABM's heuristic threshold credit).  This
+// policy approximates the *two-step* expectimax value instead:
+//
+//   V(u|ω) ≈ Δ(u|ω) + E_outcome [ max_v Δ(v | ω ∪ outcome(u)) ]
+//
+// evaluated for the `beam` strongest candidates by Δ; the expectation over
+// u's outcome (acceptance coin + revealed incident edges) is estimated from
+// `scenario_samples` Monte Carlo scenarios applied to a scratch copy of the
+// attacker view.  With beam → n and samples → ∞ this converges to the true
+// depth-2 expectimax; the defaults keep it polynomial but noticeably more
+// expensive than ABM, which is the trade-off the ablation bench shows.
+//
+// The inner max uses the exact marginal Δ(v) = q(v)·P_D(v) (and optionally
+// ABM's indirect credit), so with beam = 1 the policy degenerates to the
+// classic greedy.
+
+#pragma once
+
+#include "core/simulator.hpp"
+
+namespace accu {
+
+class LookaheadStrategy final : public Strategy {
+ public:
+  struct Config {
+    /// Candidates (by first-step marginal) receiving full lookahead.
+    std::uint32_t beam = 8;
+    /// Monte Carlo scenarios per candidate outcome expectation.
+    std::uint32_t scenario_samples = 4;
+    /// Weights for the step scores; the paper-faithful marginal is
+    /// (direct = 1, indirect = 0), but ABM's threshold credit composes.
+    PotentialWeights weights{1.0, 0.0};
+  };
+
+  LookaheadStrategy();
+  explicit LookaheadStrategy(Config config);
+
+  void reset(const AccuInstance& instance, util::Rng& rng) override;
+  NodeId select(const AttackerView& view, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  /// One-step score q(u)·(w_D·P_D + w_I·P_I).
+  [[nodiscard]] double step_score(const AttackerView& view, NodeId u) const;
+  /// Best one-step score over all un-requested users of `view`.
+  [[nodiscard]] double best_step_score(const AttackerView& view) const;
+
+  Config config_;
+  const AccuInstance* instance_ = nullptr;
+};
+
+}  // namespace accu

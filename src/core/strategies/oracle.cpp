@@ -1,0 +1,54 @@
+#include "core/strategies/oracle.hpp"
+
+namespace accu {
+
+ClairvoyantGreedyStrategy::ClairvoyantGreedyStrategy(const Realization& truth)
+    : truth_(&truth) {}
+
+void ClairvoyantGreedyStrategy::reset(const AccuInstance& instance,
+                                      util::Rng&) {
+  ACCU_ASSERT(truth_->num_edges() == instance.graph().num_edges());
+  instance_ = &instance;
+}
+
+double ClairvoyantGreedyStrategy::realized_gain(const AttackerView& view,
+                                                NodeId u) const {
+  const AccuInstance& instance = *instance_;
+  // Would u accept right now?
+  if (instance.is_cautious(u)) {
+    const bool reached = view.cautious_would_accept(u);
+    const bool accepts = reached ? truth_->cautious_above_accepts(u)
+                                 : truth_->cautious_below_accepts(u);
+    if (!accepts) return 0.0;
+  } else if (!truth_->reckless_accepts(u)) {
+    return 0.0;
+  }
+  const BenefitModel& benefits = instance.benefits();
+  double gain = benefits.friend_benefit(u);
+  if (view.is_fof(u)) gain -= benefits.fof_benefit(u);
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    if (!truth_->edge_present(nb.edge)) continue;
+    if (view.is_friend(v) || view.is_fof(v)) continue;
+    gain += benefits.fof_benefit(v);  // v becomes FOF for sure
+  }
+  return gain;
+}
+
+NodeId ClairvoyantGreedyStrategy::select(const AttackerView& view,
+                                         util::Rng&) {
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  NodeId best = kInvalidNode;
+  double best_value = 0.0;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (view.is_requested(u)) continue;
+    const double value = realized_gain(view, u);
+    if (best == kInvalidNode || value > best_value) {
+      best = u;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace accu

@@ -1,0 +1,42 @@
+// Clairvoyant oracle policy — an empirical upper bound.
+//
+// Unlike every legal adaptive strategy, the oracle is constructed with the
+// hidden ground-truth realization and greedily requests the user with the
+// highest *actual* marginal benefit (it knows every coin and every edge, so
+// it never wastes a request on a rejection and never overestimates FOF
+// gains).  It is NOT the optimal adaptive policy (that requires planning,
+// see theory/exact.hpp) and not even the optimal offline solution, but it
+// upper-bounds every realized greedy trajectory cheaply at any scale,
+// which makes it a useful reference line in campaign studies.
+//
+// The type cannot be built without a realization, so it is impossible to
+// pass it off as an adaptive policy by accident.
+
+#pragma once
+
+#include "core/simulator.hpp"
+
+namespace accu {
+
+class ClairvoyantGreedyStrategy final : public Strategy {
+ public:
+  /// `truth` must outlive the strategy and be the same realization the
+  /// simulator runs against (checked via the observation stream).
+  explicit ClairvoyantGreedyStrategy(const Realization& truth);
+
+  void reset(const AccuInstance& instance, util::Rng& rng) override;
+  NodeId select(const AttackerView& view, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override {
+    return "ClairvoyantGreedy";
+  }
+
+  /// The exact benefit gain of requesting u now under the known truth
+  /// (0 when u would reject).  Public for tests.
+  [[nodiscard]] double realized_gain(const AttackerView& view, NodeId u) const;
+
+ private:
+  const Realization* truth_;
+  const AccuInstance* instance_ = nullptr;
+};
+
+}  // namespace accu

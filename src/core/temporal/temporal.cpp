@@ -1,0 +1,265 @@
+#include "core/temporal/temporal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace accu {
+
+ArrivalSchedule::ArrivalSchedule(std::vector<std::uint32_t> arrival_round)
+    : rounds_(std::move(arrival_round)) {}
+
+ArrivalSchedule ArrivalSchedule::all_at_start(NodeId num_nodes) {
+  return ArrivalSchedule(std::vector<std::uint32_t>(num_nodes, 0));
+}
+
+ArrivalSchedule ArrivalSchedule::uniform_arrivals(NodeId num_nodes,
+                                                  double late_fraction,
+                                                  std::uint32_t horizon,
+                                                  util::Rng& rng) {
+  if (!(late_fraction >= 0.0 && late_fraction <= 1.0)) {
+    throw InvalidArgument("uniform_arrivals: late_fraction outside [0,1]");
+  }
+  if (horizon == 0) {
+    throw InvalidArgument("uniform_arrivals: horizon must be >= 1");
+  }
+  std::vector<std::uint32_t> rounds(num_nodes, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (rng.bernoulli(late_fraction)) {
+      rounds[v] =
+          1 + static_cast<std::uint32_t>(rng.below(horizon));
+    }
+  }
+  return ArrivalSchedule(std::move(rounds));
+}
+
+TemporalView::TemporalView(const AccuInstance& instance,
+                           ArrivalSchedule schedule, Realization truth)
+    : instance_(&instance),
+      schedule_(std::move(schedule)),
+      truth_(std::move(truth)),
+      requested_(instance.num_nodes(), false),
+      friend_(instance.num_nodes(), false),
+      edge_state_(instance.graph().num_edges(), EdgeState::kUnknown),
+      mutual_(instance.num_nodes(), 0) {
+  if (schedule_.num_nodes() != instance.num_nodes()) {
+    throw InvalidArgument("TemporalView: schedule size mismatch");
+  }
+  arrival_order_.resize(instance.num_nodes());
+  std::iota(arrival_order_.begin(), arrival_order_.end(), NodeId{0});
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [&](NodeId a, NodeId b) {
+                     return schedule_.arrival_round(a) <
+                            schedule_.arrival_round(b);
+                   });
+  advance_to(0);
+}
+
+void TemporalView::reveal_edge(EdgeId e) {
+  if (edge_state_[e] != EdgeState::kUnknown) return;
+  const bool present = truth_.edge_present(e);
+  edge_state_[e] = present ? EdgeState::kPresent : EdgeState::kAbsent;
+  if (!present) return;
+  const BenefitModel& benefits = instance_->benefits();
+  const graph::EdgeEndpoints ep = instance_->graph().endpoints(e);
+  auto credit = [&](NodeId friend_side, NodeId other) {
+    if (!friend_[friend_side]) return;
+    const bool entered_fof =
+        mutual_[other] == 0 && !friend_[other] && is_active(other);
+    ++mutual_[other];
+    if (entered_fof) benefit_ += benefits.fof_benefit(other);
+  };
+  credit(ep.lo, ep.hi);
+  credit(ep.hi, ep.lo);
+}
+
+void TemporalView::advance_to(std::uint32_t round) {
+  ACCU_ASSERT_MSG(round >= round_, "the clock is monotone");
+  round_ = round;
+  const Graph& g = instance_->graph();
+  while (next_arrival_ < arrival_order_.size()) {
+    const NodeId w = arrival_order_[next_arrival_];
+    if (schedule_.arrival_round(w) > round_) break;
+    ++next_arrival_;
+    // The newcomer's realized links to existing friends become visible
+    // (friend contact lists are public to the attacker).
+    for (const graph::Neighbor& nb : g.neighbors(w)) {
+      if (friend_[nb.node]) reveal_edge(nb.edge);
+    }
+  }
+}
+
+double TemporalView::edge_belief(EdgeId e) const {
+  const graph::EdgeEndpoints ep = instance_->graph().endpoints(e);
+  if (!is_active(ep.lo) || !is_active(ep.hi)) return 0.0;
+  switch (edge_state(e)) {
+    case EdgeState::kPresent:
+      return 1.0;
+    case EdgeState::kAbsent:
+      return 0.0;
+    case EdgeState::kUnknown:
+      return instance_->graph().edge_prob(e);
+  }
+  return 0.0;  // unreachable
+}
+
+bool TemporalView::cautious_would_accept(NodeId v) const {
+  ACCU_ASSERT(instance_->is_cautious(v));
+  return mutual_friends(v) >= instance_->threshold(v);
+}
+
+void TemporalView::record_rejection(NodeId v) {
+  ACCU_ASSERT_MSG(is_active(v), "cannot request a user that has not arrived");
+  ACCU_ASSERT_MSG(!requested_[v], "each user receives at most one request");
+  requested_[v] = true;
+  ++num_requests_;
+}
+
+void TemporalView::record_acceptance(NodeId v) {
+  ACCU_ASSERT_MSG(is_active(v), "cannot request a user that has not arrived");
+  ACCU_ASSERT_MSG(!requested_[v], "each user receives at most one request");
+  requested_[v] = true;
+  ++num_requests_;
+  const BenefitModel& benefits = instance_->benefits();
+  const bool was_fof = mutual_[v] > 0;
+  friend_[v] = true;
+  if (instance_->is_cautious(v)) ++num_cautious_friends_;
+  benefit_ += benefits.friend_benefit(v);
+  if (was_fof) benefit_ -= benefits.fof_benefit(v);
+  // Reveal the new friend's realized edges to *arrived* users; edges to
+  // future users reveal at their arrival (advance_to).
+  for (const graph::Neighbor& nb : instance_->graph().neighbors(v)) {
+    if (is_active(nb.node)) reveal_edge(nb.edge);
+  }
+}
+
+double TemporalView::recompute_benefit() const {
+  const BenefitModel& benefits = instance_->benefits();
+  double total = 0.0;
+  for (NodeId v = 0; v < instance_->num_nodes(); ++v) {
+    if (friend_[v]) {
+      total += benefits.friend_benefit(v);
+    } else if (is_fof(v)) {
+      total += benefits.fof_benefit(v);
+    }
+  }
+  return total;
+}
+
+TemporalAbm::TemporalAbm(PotentialWeights weights) : weights_(weights) {
+  if (!(weights.direct >= 0.0) || !(weights.indirect >= 0.0)) {
+    throw InvalidArgument("TemporalAbm: weights must be non-negative");
+  }
+}
+
+std::string TemporalAbm::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "TemporalABM(wD=%.2f,wI=%.2f)",
+                weights_.direct, weights_.indirect);
+  return buf;
+}
+
+void TemporalAbm::reset(const AccuInstance& instance, util::Rng&) {
+  instance_ = &instance;
+}
+
+double TemporalAbm::potential(const TemporalView& view, NodeId u) const {
+  const AccuInstance& instance = view.instance();
+  const double q =
+      instance.is_cautious(u)
+          ? instance.cautious_accept_prob(u, view.cautious_would_accept(u))
+          : instance.accept_prob(u);
+  if (q <= 0.0) return 0.0;
+  const BenefitModel& benefits = instance.benefits();
+  double direct = benefits.friend_benefit(u);
+  if (view.is_fof(u)) direct -= benefits.fof_benefit(u);
+  double indirect = 0.0;
+  for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const NodeId v = nb.node;
+    const double belief = view.edge_belief(nb.edge);  // 0 for unarrived v
+    if (belief <= 0.0) continue;
+    if (!view.is_friend(v) && !view.is_fof(v)) {
+      direct += belief * benefits.fof_benefit(v);
+    }
+    if (weights_.indirect > 0.0 && instance.is_cautious(v) &&
+        !view.is_requested(v)) {
+      const std::uint32_t theta = instance.threshold(v);
+      const std::uint32_t mutual = view.mutual_friends(v);
+      if (mutual < theta) {
+        indirect += belief * benefits.upgrade_gain(v) /
+                    static_cast<double>(theta - mutual);
+      }
+    }
+  }
+  if (instance.is_cautious(u)) indirect = 0.0;
+  return q * (weights_.direct * direct + weights_.indirect * indirect);
+}
+
+NodeId TemporalAbm::select(const TemporalView& view, util::Rng&) {
+  ACCU_ASSERT_MSG(instance_ != nullptr, "reset() must run before select()");
+  NodeId best = kInvalidNode;
+  double best_value = 0.0;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    if (!view.is_active(u) || view.is_requested(u)) continue;
+    const double value = potential(view, u);
+    if (best == kInvalidNode || value > best_value) {
+      best = u;
+      best_value = value;
+    }
+  }
+  // When nothing useful is active but the network is still growing, wait
+  // (keep the request for a better round).
+  if (best != kInvalidNode && best_value <= 0.0 && !view.all_arrived()) {
+    return kInvalidNode;
+  }
+  return best;
+}
+
+TemporalResult simulate_temporal(const AccuInstance& instance,
+                                 const ArrivalSchedule& schedule,
+                                 const Realization& truth,
+                                 TemporalStrategy& strategy,
+                                 std::uint32_t rounds, std::uint32_t budget,
+                                 util::Rng& rng) {
+  TemporalView view(instance, schedule, truth);
+  TemporalResult result;
+  strategy.reset(instance, rng);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    view.advance_to(round);
+    if (view.num_requests() >= budget) break;
+    TemporalRequestRecord record;
+    record.round = round;
+    const NodeId target = strategy.select(view, rng);
+    if (target == kInvalidNode) {
+      record.benefit_after = view.current_benefit();
+      result.trace.push_back(record);  // waited this round
+      continue;
+    }
+    ACCU_ASSERT_MSG(view.is_active(target) && !view.is_requested(target),
+                    "temporal strategy selected an illegal target");
+    record.target = target;
+    record.cautious_target = instance.is_cautious(target);
+    bool accepted;
+    if (instance.is_cautious(target)) {
+      const bool reached = view.cautious_would_accept(target);
+      accepted = reached ? truth.cautious_above_accepts(target)
+                         : truth.cautious_below_accepts(target);
+    } else {
+      accepted = truth.reckless_accepts(target);
+    }
+    record.accepted = accepted;
+    if (accepted) {
+      view.record_acceptance(target);
+    } else {
+      view.record_rejection(target);
+    }
+    record.benefit_after = view.current_benefit();
+    result.trace.push_back(record);
+  }
+  result.total_benefit = view.current_benefit();
+  result.num_cautious_friends = view.num_cautious_friends();
+  result.requests_sent = view.num_requests();
+  return result;
+}
+
+}  // namespace accu

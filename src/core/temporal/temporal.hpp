@@ -1,0 +1,201 @@
+// Temporal ACCU: attacking a *growing* network (future-work extension).
+//
+// The paper's model crawls a static snapshot.  Real OSNs grow while a
+// long-running attack is in flight, which changes the calculus: requests
+// spent early commit budget before the most valuable users exist, while
+// waiting wastes rounds.  This module adds the minimal temporal semantics
+// on top of the core:
+//
+//   * every user has an arrival round; a potential edge exists once both
+//     endpoints have arrived;
+//   * one friend request per round (the adaptive loop's natural clock);
+//   * only arrived users can be requested, count as friends-of-friends, or
+//     contribute benefit;
+//   * friend lists stay visible: when a user arrives, its realized edges
+//     to *existing friends* of the attacker are revealed immediately (the
+//     attacker watches its friends' contact lists), exactly as edges to
+//     already-arrived neighbors are revealed at acceptance time.
+//
+// With an all-zero schedule the semantics — and, as tested, the ABM
+// decision sequence — reduce to the static simulator's.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace accu {
+
+/// Per-node arrival rounds.  Round r means: present before the (r+1)-th
+/// friend request is chosen; round 0 = present from the start.
+class ArrivalSchedule {
+ public:
+  /// All nodes present from round 0.
+  static ArrivalSchedule all_at_start(NodeId num_nodes);
+
+  /// A random fraction `late_fraction` of nodes arrives uniformly over
+  /// rounds [1, horizon]; the rest are present from the start.
+  static ArrivalSchedule uniform_arrivals(NodeId num_nodes,
+                                          double late_fraction,
+                                          std::uint32_t horizon,
+                                          util::Rng& rng);
+
+  explicit ArrivalSchedule(std::vector<std::uint32_t> arrival_round);
+
+  [[nodiscard]] std::uint32_t arrival_round(NodeId v) const {
+    ACCU_ASSERT(v < rounds_.size());
+    return rounds_[v];
+  }
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(rounds_.size());
+  }
+
+ private:
+  std::vector<std::uint32_t> rounds_;
+};
+
+/// The attacker's knowledge state over a growing network.  Mirrors
+/// AttackerView's queries, restricted to arrived users, plus activity.
+class TemporalView {
+ public:
+  /// The schedule and realization are copied (they are plain bit/round
+  /// vectors), so temporaries are safe; the instance must outlive the view.
+  TemporalView(const AccuInstance& instance, ArrivalSchedule schedule,
+               Realization truth);
+
+  /// Advances the clock to `round`, activating arrivals and revealing
+  /// their realized edges to current friends.  Monotone.
+  void advance_to(std::uint32_t round);
+
+  [[nodiscard]] std::uint32_t current_round() const noexcept {
+    return round_;
+  }
+  [[nodiscard]] bool is_active(NodeId v) const {
+    return schedule_.arrival_round(v) <= round_;
+  }
+  /// True once every user has arrived.
+  [[nodiscard]] bool all_arrived() const noexcept {
+    return next_arrival_ >= arrival_order_.size();
+  }
+  [[nodiscard]] bool is_requested(NodeId v) const {
+    ACCU_ASSERT(v < requested_.size());
+    return requested_[v];
+  }
+  [[nodiscard]] bool is_friend(NodeId v) const {
+    ACCU_ASSERT(v < friend_.size());
+    return friend_[v];
+  }
+  /// FOF among *active* users only.
+  [[nodiscard]] bool is_fof(NodeId v) const {
+    return is_active(v) && !is_friend(v) && mutual_[v] > 0;
+  }
+  /// Realized mutual friends (both endpoints active and revealed).
+  [[nodiscard]] std::uint32_t mutual_friends(NodeId v) const {
+    ACCU_ASSERT(v < mutual_.size());
+    return mutual_[v];
+  }
+  [[nodiscard]] EdgeState edge_state(EdgeId e) const {
+    ACCU_ASSERT(e < edge_state_.size());
+    return edge_state_[e];
+  }
+  /// Belief that edge e exists *and is usable now*: 0 for edges with an
+  /// inactive endpoint, else prior/observed as in the static model.
+  [[nodiscard]] double edge_belief(EdgeId e) const;
+
+  [[nodiscard]] bool cautious_would_accept(NodeId v) const;
+
+  /// Eq.-(1) benefit over active users.
+  [[nodiscard]] double current_benefit() const noexcept { return benefit_; }
+  [[nodiscard]] double recompute_benefit() const;
+  [[nodiscard]] std::uint32_t num_requests() const noexcept {
+    return num_requests_;
+  }
+  [[nodiscard]] std::uint32_t num_cautious_friends() const noexcept {
+    return num_cautious_friends_;
+  }
+
+  void record_rejection(NodeId v);
+  void record_acceptance(NodeId v);
+
+  [[nodiscard]] const AccuInstance& instance() const noexcept {
+    return *instance_;
+  }
+
+ private:
+  /// Reveals edge e (both endpoints must be active) and folds the
+  /// observation into mutual/FOF/benefit bookkeeping.
+  void reveal_edge(EdgeId e);
+
+  const AccuInstance* instance_;
+  ArrivalSchedule schedule_;
+  Realization truth_;
+  std::uint32_t round_ = 0;
+  std::vector<bool> requested_;
+  std::vector<bool> friend_;
+  std::vector<EdgeState> edge_state_;
+  std::vector<std::uint32_t> mutual_;
+  // Nodes sorted by arrival round for O(n) total activation.
+  std::vector<NodeId> arrival_order_;
+  std::size_t next_arrival_ = 0;
+  std::uint32_t num_requests_ = 0;
+  std::uint32_t num_cautious_friends_ = 0;
+  double benefit_ = 0.0;
+};
+
+/// A temporal policy: one request per round from the active candidates.
+class TemporalStrategy {
+ public:
+  virtual ~TemporalStrategy() = default;
+  virtual void reset(const AccuInstance& instance, util::Rng& rng) {
+    (void)instance;
+    (void)rng;
+  }
+  /// kInvalidNode = wait this round (spend the round, keep the request).
+  virtual NodeId select(const TemporalView& view, util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// ABM's potential on the temporal view (reference-style recompute).
+class TemporalAbm final : public TemporalStrategy {
+ public:
+  explicit TemporalAbm(PotentialWeights weights);
+  void reset(const AccuInstance& instance, util::Rng& rng) override;
+  NodeId select(const TemporalView& view, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double potential(const TemporalView& view, NodeId u) const;
+
+ private:
+  PotentialWeights weights_;
+  const AccuInstance* instance_ = nullptr;
+};
+
+struct TemporalRequestRecord {
+  std::uint32_t round = 0;
+  NodeId target = kInvalidNode;  ///< kInvalidNode = waited
+  bool accepted = false;
+  bool cautious_target = false;
+  double benefit_after = 0.0;
+};
+
+struct TemporalResult {
+  std::vector<TemporalRequestRecord> trace;
+  double total_benefit = 0.0;
+  std::uint32_t num_cautious_friends = 0;
+  std::uint32_t requests_sent = 0;
+};
+
+/// Runs `rounds` rounds (one request opportunity each, budget-capped at
+/// `budget` actual requests) against the growing network.
+[[nodiscard]] TemporalResult simulate_temporal(
+    const AccuInstance& instance, const ArrivalSchedule& schedule,
+    const Realization& truth, TemporalStrategy& strategy,
+    std::uint32_t rounds, std::uint32_t budget, util::Rng& rng);
+
+}  // namespace accu

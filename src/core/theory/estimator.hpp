@@ -1,0 +1,37 @@
+// Monte Carlo estimators for quantities whose exact computation
+// (theory/exact.hpp) is exponential.
+//
+// These scale to the full evaluation networks and are validated against the
+// exact enumerations on small instances by the tests:
+//
+//   * `sampled_marginal_gain` — Δ(u|ω) by sampling the unobserved coins and
+//     incident edges of u conditioned on the view; also a second, slower
+//     witness of the Δ = q(u)·P_D identity that makes ABM(w_I=0) the exact
+//     adaptive greedy.
+//   * `sampled_policy_value` — E[f(π, Φ)] of any policy factory by fresh
+//     full-realization sampling.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/observation.hpp"
+#include "core/simulator.hpp"
+
+namespace accu {
+
+/// Unbiased estimate of Δ(u|ω) with `trials` samples.  Requires u to be
+/// un-requested in the view.
+[[nodiscard]] double sampled_marginal_gain(const AttackerView& view, NodeId u,
+                                           std::size_t trials,
+                                           util::Rng& rng);
+
+/// Unbiased estimate of E[f(π, Φ)] over `trials` fresh realizations; `make`
+/// builds a fresh policy per trial.
+[[nodiscard]] double sampled_policy_value(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget, std::size_t trials, util::Rng& rng);
+
+}  // namespace accu

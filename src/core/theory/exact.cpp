@@ -1,0 +1,262 @@
+#include "core/theory/exact.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/theory/set_benefit.hpp"
+
+namespace accu {
+
+std::vector<std::pair<Realization, double>> enumerate_realizations(
+    const AccuInstance& instance, std::uint32_t max_free_bits) {
+  ACCU_ASSERT_MSG(!instance.has_generalized_cautious(),
+                  "exhaustive theory tools cover the deterministic cautious "
+                  "model only");
+  const Graph& g = instance.graph();
+  std::vector<EdgeId> free_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double p = g.edge_prob(e);
+    if (p > 0.0 && p < 1.0) free_edges.push_back(e);
+  }
+  std::vector<NodeId> free_coins;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    if (instance.is_cautious(u)) continue;
+    const double q = instance.accept_prob(u);
+    if (q > 0.0 && q < 1.0) free_coins.push_back(u);
+  }
+  const std::size_t bits = free_edges.size() + free_coins.size();
+  ACCU_ASSERT_MSG(bits <= max_free_bits,
+                  "enumerate_realizations: too many free outcomes");
+
+  std::vector<bool> edges(g.num_edges());
+  std::vector<bool> coins(instance.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = g.edge_prob(e) >= 1.0;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    coins[u] = instance.is_cautious(u) || instance.accept_prob(u) >= 1.0;
+  }
+
+  std::vector<std::pair<Realization, double>> worlds;
+  worlds.reserve(std::size_t{1} << bits);
+  const std::uint64_t count = std::uint64_t{1} << bits;
+  for (std::uint64_t w = 0; w < count; ++w) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < free_edges.size(); ++i) {
+      const bool present = (w >> i) & 1ULL;
+      edges[free_edges[i]] = present;
+      const double p = g.edge_prob(free_edges[i]);
+      prob *= present ? p : (1.0 - p);
+    }
+    for (std::size_t i = 0; i < free_coins.size(); ++i) {
+      const bool accept = (w >> (free_edges.size() + i)) & 1ULL;
+      coins[free_coins[i]] = accept;
+      const double q = instance.accept_prob(free_coins[i]);
+      prob *= accept ? q : (1.0 - q);
+    }
+    worlds.emplace_back(Realization(edges, coins), prob);
+  }
+  return worlds;
+}
+
+bool consistent_with(const AttackerView& view, const Realization& truth) {
+  const AccuInstance& instance = view.instance();
+  const Graph& g = instance.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeState state = view.edge_state(e);
+    if (state == EdgeState::kUnknown) continue;
+    if ((state == EdgeState::kPresent) != truth.edge_present(e)) return false;
+  }
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    if (instance.is_cautious(u)) continue;  // deterministic given ω
+    const RequestState state = view.request_state(u);
+    if (state == RequestState::kAccepted && !truth.reckless_accepts(u)) {
+      return false;
+    }
+    if (state == RequestState::kRejected && truth.reckless_accepts(u)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double exact_marginal_gain(
+    const AttackerView& view, NodeId u,
+    const std::vector<std::pair<Realization, double>>& worlds) {
+  const AccuInstance& instance = view.instance();
+  ACCU_ASSERT(!view.is_requested(u));
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& [truth, prob] : worlds) {
+    if (!consistent_with(view, truth)) continue;
+    total += prob;
+    const bool accepted = instance.is_cautious(u)
+                              ? view.cautious_would_accept(u)
+                              : truth.reckless_accepts(u);
+    if (!accepted) continue;  // zero marginal in this world
+    AttackerView after = view;
+    after.record_acceptance(u, truth);
+    weighted += prob * (after.current_benefit() - view.current_benefit());
+  }
+  ACCU_ASSERT_MSG(total > 0.0, "view is inconsistent with every world");
+  return weighted / total;
+}
+
+double exact_policy_value(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds) {
+  double value = 0.0;
+  for (const auto& [truth, prob] : worlds) {
+    util::Rng rng(0xACC0'1234);  // policies under test are deterministic
+    const std::unique_ptr<Strategy> strategy = make();
+    value += prob *
+             simulate(instance, truth, *strategy, budget, rng).total_benefit;
+  }
+  return value;
+}
+
+namespace {
+
+/// Recursive optimal value over the information set `consistent` (indices
+/// into `worlds`, whose probabilities are renormalized by `total_weight`).
+double optimal_rec(const AccuInstance& instance, const AttackerView& view,
+                   const std::vector<std::size_t>& consistent,
+                   double total_weight,
+                   const std::vector<std::pair<Realization, double>>& worlds,
+                   std::uint32_t budget) {
+  // f(dom(ω), φ) is the same for every consistent φ (friends' edges are all
+  // observed), so the stopping value is just the view's benefit.
+  double best = view.current_benefit();
+  if (budget == 0) return best;
+
+  const Graph& g = instance.graph();
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    if (view.is_requested(u)) continue;
+    double value_u = 0.0;
+    if (instance.is_cautious(u)) {
+      // Deterministic outcome, identical across the information set.
+      if (!view.cautious_would_accept(u)) {
+        // Rejected in every world: observation-free, budget wasted.
+        AttackerView after = view;
+        after.record_rejection(u);
+        value_u = optimal_rec(instance, after, consistent, total_weight,
+                              worlds, budget - 1);
+        best = std::max(best, value_u);
+        continue;
+      }
+      // Accepted: branch on the revealed incident edges of u.
+      std::map<std::uint64_t, std::vector<std::size_t>> groups;
+      for (const std::size_t w : consistent) {
+        std::uint64_t sig = 0;
+        std::uint32_t bit = 0;
+        for (const graph::Neighbor& nb : g.neighbors(u)) {
+          ACCU_ASSERT(bit < 64);
+          if (worlds[w].first.edge_present(nb.edge)) sig |= 1ULL << bit;
+          ++bit;
+        }
+        groups[sig].push_back(w);
+      }
+      for (const auto& [sig, members] : groups) {
+        (void)sig;
+        double weight = 0.0;
+        for (const std::size_t w : members) weight += worlds[w].second;
+        AttackerView after = view;
+        after.record_acceptance(u, worlds[members.front()].first);
+        value_u += (weight / total_weight) *
+                   optimal_rec(instance, after, members, weight, worlds,
+                               budget - 1);
+      }
+    } else {
+      // Reckless: branch on the coin, then on revealed edges if accepted.
+      std::vector<std::size_t> rejected;
+      std::map<std::uint64_t, std::vector<std::size_t>> accepted;
+      for (const std::size_t w : consistent) {
+        if (!worlds[w].first.reckless_accepts(u)) {
+          rejected.push_back(w);
+          continue;
+        }
+        std::uint64_t sig = 0;
+        std::uint32_t bit = 0;
+        for (const graph::Neighbor& nb : g.neighbors(u)) {
+          ACCU_ASSERT(bit < 64);
+          if (worlds[w].first.edge_present(nb.edge)) sig |= 1ULL << bit;
+          ++bit;
+        }
+        accepted[sig].push_back(w);
+      }
+      if (!rejected.empty()) {
+        double weight = 0.0;
+        for (const std::size_t w : rejected) weight += worlds[w].second;
+        AttackerView after = view;
+        after.record_rejection(u);
+        value_u += (weight / total_weight) *
+                   optimal_rec(instance, after, rejected, weight, worlds,
+                               budget - 1);
+      }
+      for (const auto& [sig, members] : accepted) {
+        (void)sig;
+        double weight = 0.0;
+        for (const std::size_t w : members) weight += worlds[w].second;
+        AttackerView after = view;
+        after.record_acceptance(u, worlds[members.front()].first);
+        value_u += (weight / total_weight) *
+                   optimal_rec(instance, after, members, weight, worlds,
+                               budget - 1);
+      }
+    }
+    best = std::max(best, value_u);
+  }
+  return best;
+}
+
+}  // namespace
+
+double optimal_nonadaptive_value(
+    const AccuInstance& instance, std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds) {
+  const NodeId n = instance.num_nodes();
+  ACCU_ASSERT_MSG(n <= 20, "optimal_nonadaptive_value enumerates all C(n,k) "
+                           "sets; use tiny instances");
+  const std::uint32_t k = std::min<std::uint32_t>(budget, n);
+  // Enumerate subsets of size exactly k (monotonicity makes smaller sets
+  // dominated) via the classic Gosper's-hack successor.
+  double best = 0.0;
+  if (k == 0) return best;
+  std::uint64_t mask = (std::uint64_t{1} << k) - 1;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  std::vector<NodeId> requested;
+  while (mask < limit) {
+    requested.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if ((mask >> u) & 1ULL) requested.push_back(u);
+    }
+    double value = 0.0;
+    for (const auto& [truth, prob] : worlds) {
+      value += prob * set_benefit(instance, truth, requested);
+    }
+    best = std::max(best, value);
+    // Next subset with the same popcount.
+    const std::uint64_t c = mask & (0 - mask);
+    const std::uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return best;
+}
+
+double optimal_adaptive_value(
+    const AccuInstance& instance, std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds) {
+  ACCU_ASSERT_MSG(instance.num_nodes() <= 12,
+                  "optimal_adaptive_value is exponential; use tiny instances");
+  AttackerView view(instance);
+  std::vector<std::size_t> consistent(worlds.size());
+  double total = 0.0;
+  for (std::size_t w = 0; w < worlds.size(); ++w) {
+    consistent[w] = w;
+    total += worlds[w].second;
+  }
+  ACCU_ASSERT(total > 0.0);
+  return optimal_rec(instance, view, consistent, total, worlds, budget);
+}
+
+}  // namespace accu

@@ -1,0 +1,74 @@
+// Exact expectations by exhaustive realization enumeration.
+//
+// For small instances these routines compute, with no sampling error,
+//
+//   * the full realization distribution (every world and its probability),
+//   * the exact conditional marginal gain Δ(u|ω) of Definition 2's setting
+//     (used to demonstrate the paper's Fig. 1 non-submodularity witness and
+//     to verify that ABM's P_D potential is exactly Δ when w_I = 0),
+//   * the exact expected value E[f(π, Φ)] of any deterministic policy, and
+//   * the exact value of the *optimal adaptive policy* π* by recursion over
+//     information sets — the yardstick in Theorem 1's bound
+//     f_avg(greedy) >= (1 − e^{−λ}) · f_avg(π*), which the tests check on
+//     enumerable instances.
+//
+// All routines are exponential and assert small inputs; they are theory
+// validation tools, not production paths.
+
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "core/simulator.hpp"
+
+namespace accu {
+
+/// Every realization with positive probability, paired with it.  Edges and
+/// reckless coins with probability strictly inside (0,1) are free bits;
+/// the rest are pinned.  Requires <= `max_free_bits` free outcomes.
+[[nodiscard]] std::vector<std::pair<Realization, double>>
+enumerate_realizations(const AccuInstance& instance,
+                       std::uint32_t max_free_bits = 20);
+
+/// Whether `truth` is consistent (the paper's φ ∼ ω) with everything the
+/// view has observed: revealed edge states match, accepted/rejected
+/// reckless users' coins match.
+[[nodiscard]] bool consistent_with(const AttackerView& view,
+                                   const Realization& truth);
+
+/// Exact Δ(u|ω) = E[f(dom(ω) ∪ {u}, Φ) − f(dom(ω), Φ) | Φ ∼ ω], where ω is
+/// the given view and the expectation runs over `worlds` (typically
+/// enumerate_realizations of the same instance).
+[[nodiscard]] double exact_marginal_gain(
+    const AttackerView& view, NodeId u,
+    const std::vector<std::pair<Realization, double>>& worlds);
+
+/// Exact E[f(π, Φ)] of the deterministic policy produced by `make` (a
+/// fresh instance per world), with budget k.
+[[nodiscard]] double exact_policy_value(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds);
+
+/// Exact value of the optimal adaptive policy with budget k, computed by
+/// exhaustive recursion over information sets.  Exponential in both the
+/// node count and the number of free outcomes; intended for <= ~8 nodes.
+[[nodiscard]] double optimal_adaptive_value(
+    const AccuInstance& instance, std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds);
+
+/// Exact value of the optimal *non-adaptive* policy: the best fixed set of
+/// at most k users chosen before any observation, evaluated as
+/// E[f(S, Φ)] with cautious users requested after the reckless ones (the
+/// set semantics of theory/set_benefit.hpp).  The gap
+/// optimal_adaptive / optimal_nonadaptive is the adaptivity gain the
+/// paper's whole setting is about.  Enumerates all C(n, k) sets.
+[[nodiscard]] double optimal_nonadaptive_value(
+    const AccuInstance& instance, std::uint32_t budget,
+    const std::vector<std::pair<Realization, double>>& worlds);
+
+}  // namespace accu

@@ -1,0 +1,271 @@
+#include "core/theory/ratios.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/theory/set_benefit.hpp"
+
+namespace accu {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// f(mask, φ) for every subset mask.
+std::vector<double> all_subset_benefits(const AccuInstance& instance,
+                                        const Realization& truth) {
+  const NodeId n = instance.num_nodes();
+  std::vector<double> f(std::size_t{1} << n);
+  for (std::uint64_t mask = 0; mask < f.size(); ++mask) {
+    f[mask] = set_benefit_mask(instance, truth, mask);
+  }
+  return f;
+}
+
+}  // namespace
+
+double realization_submodular_ratio(const AccuInstance& instance,
+                                    const Realization& truth) {
+  ACCU_ASSERT_MSG(!instance.has_generalized_cautious(),
+                  "the submodular-ratio tools cover the deterministic "
+                  "cautious model only");
+  const NodeId n = instance.num_nodes();
+  if (n == 0) return 1.0;
+  ACCU_ASSERT_MSG(n <= 12,
+                  "realization_submodular_ratio enumerates 3^n subset pairs;"
+                  " use instances with <= 12 nodes");
+  const std::vector<double> f = all_subset_benefits(instance, truth);
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+  double lambda = 1.0;
+  for (std::uint64_t s = 0; s <= full; ++s) {
+    // Singleton gains over S.
+    double gain[12];
+    const std::uint64_t comp = full & ~s;
+    for (NodeId u = 0; u < n; ++u) {
+      if ((comp >> u) & 1ULL) gain[u] = f[s | (1ULL << u)] - f[s];
+    }
+    // ρ_T(S) and the lhs depend only on T \ S, so it suffices to sweep T
+    // over subsets of the complement of S (3^n pairs total).
+    for (std::uint64_t t = comp;; t = (t - 1) & comp) {
+      if (t != 0) {
+        const double rhs = f[s | t] - f[s];
+        if (rhs > kEps) {
+          double lhs = 0.0;
+          for (std::uint64_t bits = t; bits != 0; bits &= bits - 1) {
+            const auto u = static_cast<NodeId>(
+                std::countr_zero(bits));
+            lhs += gain[u];
+          }
+          lambda = std::min(lambda, lhs / rhs);
+        }
+      }
+      if (t == 0) break;
+    }
+  }
+  return lambda;
+}
+
+double adaptive_submodular_ratio(const AccuInstance& instance,
+                                 std::uint32_t max_free_bits) {
+  const Graph& g = instance.graph();
+  // Free binary outcomes: edges and reckless coins whose probability is
+  // strictly inside (0,1).  Everything else is pinned.
+  std::vector<EdgeId> free_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double p = g.edge_prob(e);
+    if (p > 0.0 && p < 1.0) free_edges.push_back(e);
+  }
+  std::vector<NodeId> free_coins;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    if (instance.is_cautious(u)) continue;
+    const double q = instance.accept_prob(u);
+    if (q > 0.0 && q < 1.0) free_coins.push_back(u);
+  }
+  const std::size_t bits = free_edges.size() + free_coins.size();
+  ACCU_ASSERT_MSG(bits <= max_free_bits,
+                  "adaptive_submodular_ratio: too many free outcomes to "
+                  "enumerate");
+
+  std::vector<bool> edges(g.num_edges());
+  std::vector<bool> coins(instance.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = g.edge_prob(e) >= 1.0;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    // Cautious users' coins are never read; pin them to accept.
+    coins[u] = instance.is_cautious(u) || instance.accept_prob(u) >= 1.0;
+  }
+
+  double lambda = 1.0;
+  const std::uint64_t worlds = std::uint64_t{1} << bits;
+  for (std::uint64_t w = 0; w < worlds; ++w) {
+    for (std::size_t i = 0; i < free_edges.size(); ++i) {
+      edges[free_edges[i]] = (w >> i) & 1ULL;
+    }
+    for (std::size_t i = 0; i < free_coins.size(); ++i) {
+      coins[free_coins[i]] = (w >> (free_edges.size() + i)) & 1ULL;
+    }
+    const Realization truth(edges, coins);
+    lambda = std::min(lambda,
+                      realization_submodular_ratio(instance, truth));
+  }
+  return lambda;
+}
+
+double theorem1_ratio(double lambda, std::uint32_t l, std::uint32_t k) {
+  ACCU_ASSERT(k > 0);
+  return 1.0 - std::exp(-lambda * static_cast<double>(l) /
+                        static_cast<double>(k));
+}
+
+double curvature_ratio(double delta, std::uint32_t k) {
+  ACCU_ASSERT(delta > 0.0 && k > 0);
+  const double base = 1.0 - 1.0 / (delta * static_cast<double>(k));
+  return 1.0 - std::pow(base, static_cast<double>(k));
+}
+
+double generalized_curvature_delta(const AccuInstance& instance) {
+  double delta = 1.0;
+  for (const NodeId v : instance.cautious_users()) {
+    const double q1 = instance.cautious_accept_prob(v, false);
+    const double q2 = instance.cautious_accept_prob(v, true);
+    if (q2 <= 0.0) continue;  // never accepts: no curvature contribution
+    if (q1 <= 0.0) return std::numeric_limits<double>::infinity();
+    delta = std::max(delta, q2 / q1);
+  }
+  return delta;
+}
+
+double total_primal_curvature(double delta_later, double delta_earlier) {
+  if (delta_earlier > kEps) return delta_later / delta_earlier;
+  if (delta_later > kEps) return std::numeric_limits<double>::infinity();
+  return 1.0;  // 0/0: the pair constrains nothing
+}
+
+namespace {
+
+/// B'(x) under realization φ relative to the cautious user v_c: the benefit
+/// still collectable from x when the adversarial S may pre-demote x to FOF
+/// through a neighbor other than v_c.
+double b_prime(const AccuInstance& instance, const Realization& truth,
+               NodeId x, NodeId v_c) {
+  const BenefitModel& benefits = instance.benefits();
+  for (const graph::Neighbor& nb : instance.graph().neighbors(x)) {
+    if (nb.node != v_c && truth.edge_present(nb.edge)) {
+      return benefits.friend_benefit(x) - benefits.fof_benefit(x);
+    }
+  }
+  return benefits.friend_benefit(x);
+}
+
+}  // namespace
+
+double lemma4_lambda(const AccuInstance& instance, const Realization& truth) {
+  ACCU_ASSERT_MSG(instance.num_cautious() == 1,
+                  "Lemma 4 covers exactly one cautious user");
+  const NodeId v_c = instance.cautious_users().front();
+  const BenefitModel& benefits = instance.benefits();
+
+  std::vector<NodeId> neighbors;
+  for (const graph::Neighbor& nb : instance.graph().neighbors(v_c)) {
+    if (truth.edge_present(nb.edge)) neighbors.push_back(nb.node);
+  }
+  if (neighbors.empty()) {
+    throw InvalidArgument(
+        "lemma4_lambda: the cautious user has no realized neighbors");
+  }
+
+  if (neighbors.size() == 1) {
+    const double bp = b_prime(instance, truth, neighbors.front(), v_c);
+    return bp / (benefits.friend_benefit(v_c) + bp);
+  }
+
+  const std::uint32_t theta = instance.threshold(v_c);
+  std::vector<double> bp;
+  bp.reserve(neighbors.size());
+  for (const NodeId u : neighbors) bp.push_back(b_prime(instance, truth, u, v_c));
+  std::sort(bp.begin(), bp.end());
+
+  // Eq. (12): x / (B_f(v_c) + x) is increasing in x, so the minimizing U is
+  // the θ neighbors with smallest B'.
+  double candidate12 = 1.0;
+  if (theta <= bp.size()) {
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < theta; ++i) sum += bp[i];
+    candidate12 = sum / (benefits.friend_benefit(v_c) + sum);
+  }
+  // Eq. (13): v_c is FOF under S (which holds θ−1 >= 1 of its friends).
+  const double bp_vc =
+      theta > 1 ? benefits.upgrade_gain(v_c) : benefits.friend_benefit(v_c);
+  const double candidate13 = bp.front() / (bp_vc + bp.front());
+
+  return std::min(candidate12, candidate13);
+}
+
+double independent_cautious_lambda(const AccuInstance& instance,
+                                   const Realization& truth) {
+  if (instance.num_cautious() == 0) return 1.0;  // Observation 1
+  const Graph& g = instance.graph();
+  // Precondition: no two cautious users share a realized neighbor.
+  std::vector<NodeId> covered(instance.num_nodes(), kInvalidNode);
+  for (const NodeId v_c : instance.cautious_users()) {
+    for (const graph::Neighbor& nb : g.neighbors(v_c)) {
+      if (!truth.edge_present(nb.edge)) continue;
+      if (covered[nb.node] != kInvalidNode) {
+        throw InvalidArgument(
+            "independent_cautious_lambda: cautious users " +
+            std::to_string(covered[nb.node]) + " and " + std::to_string(v_c) +
+            " share realized neighbor " + std::to_string(nb.node) +
+            "; use lemma5_upper_bound instead");
+      }
+      covered[nb.node] = v_c;
+    }
+  }
+  // Rebuild single-cautious variants and take the minimum Lemma 4 value.
+  std::vector<UserClass> classes(instance.num_nodes());
+  std::vector<double> q(instance.num_nodes());
+  std::vector<std::uint32_t> theta(instance.num_nodes());
+  std::vector<double> bf(instance.num_nodes()), bfof(instance.num_nodes());
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    q[u] = instance.accept_prob(u);
+    theta[u] = instance.threshold(u);
+    bf[u] = instance.benefits().friend_benefit(u);
+    bfof[u] = instance.benefits().fof_benefit(u);
+  }
+  double lambda = 1.0;
+  for (const NodeId v_c : instance.cautious_users()) {
+    for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+      classes[u] = u == v_c ? UserClass::kCautious : UserClass::kReckless;
+    }
+    const AccuInstance single(instance.graph(), classes, q, theta,
+                              BenefitModel(bf, bfof));
+    lambda = std::min(lambda, lemma4_lambda(single, truth));
+  }
+  return lambda;
+}
+
+double lemma5_upper_bound(const AccuInstance& instance,
+                          const Realization& truth, NodeId shared_friend) {
+  const BenefitModel& benefits = instance.benefits();
+  double cautious_sum = 0.0;
+  std::uint32_t r = 0;
+  for (const graph::Neighbor& nb :
+       instance.graph().neighbors(shared_friend)) {
+    if (!truth.edge_present(nb.edge)) continue;
+    const NodeId v = nb.node;
+    if (!instance.is_cautious(v)) continue;
+    ++r;
+    cautious_sum += instance.threshold(v) > 1
+                        ? benefits.upgrade_gain(v)
+                        : benefits.friend_benefit(v);
+  }
+  if (r == 0) {
+    throw InvalidArgument(
+        "lemma5_upper_bound: node shares no realized cautious neighbors");
+  }
+  const double bf = benefits.friend_benefit(shared_friend);
+  return bf / (cautious_sum + bf);
+}
+
+}  // namespace accu

@@ -1,0 +1,95 @@
+// Submodularity ratios and approximation bounds (paper §III-B).
+//
+// These are the quantities the paper's theory is built on:
+//
+//   * RASR λ_φ (Definition 4): the largest scalar such that
+//       Σ_{u ∈ T\S} ρ_u(S)  >=  λ_φ · ρ_T(S)      for all S, T ⊆ V
+//     under realization φ, with ρ_X(S) = f(X ∪ S, φ) − f(S, φ).
+//     Computed here by exhaustive enumeration (small instances only).
+//
+//   * Adaptive submodular ratio λ (Definition 5): min over realizations of
+//     λ_φ; enumerated over all realizations with non-degenerate
+//     probability.
+//
+//   * Theorem 1 ratio 1 − e^{−λ·l/k}: greedy with l requests vs the
+//     optimal policy with k.
+//
+//   * Lemma 4 closed forms for a single cautious user, Lemma 5's upper
+//     bound when one friend is shared by r cautious users — both of which
+//     the tests validate against the brute-force λ_φ.
+//
+//   * The adaptive-total-primal-curvature ratio 1 − (1 − 1/(δk))^k from
+//     the prior work the paper contrasts against (with the generalized
+//     q1→q2 cautious model giving δ = max q2/q1; §III-B's numeric example
+//     δ=10, k=20 ⇒ 0.095).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+
+namespace accu {
+
+/// Brute-force λ_φ over all subset pairs.  Requires num_nodes <= 12 (the
+/// enumeration is 4^n f-evaluations, memoized to 2^n).
+/// Returns 1.0 when no pair has ρ_T(S) > 0 (vacuously submodular).
+[[nodiscard]] double realization_submodular_ratio(const AccuInstance& instance,
+                                                  const Realization& truth);
+
+/// λ = min_φ λ_φ, enumerating every realization over the instance's free
+/// coins and edges (those with probability strictly between 0 and 1).
+/// Requires the number of free binary outcomes to be <= `max_free_bits`.
+[[nodiscard]] double adaptive_submodular_ratio(const AccuInstance& instance,
+                                               std::uint32_t max_free_bits = 20);
+
+/// Theorem 1: greedy with l requests achieves at least (1 − e^{−λ·l/k})
+/// of the optimal policy's value with k requests.
+[[nodiscard]] double theorem1_ratio(double lambda, std::uint32_t l,
+                                    std::uint32_t k);
+
+/// The curvature-based ratio of [6],[7]: 1 − (1 − 1/(δk))^k, valid when
+/// the total primal curvature is bounded by δ.  Degenerates to 0 as
+/// δ → ∞, which is the paper's argument that curvature cannot bound ACCU.
+[[nodiscard]] double curvature_ratio(double delta, std::uint32_t k);
+
+/// Adaptive total primal curvature of one (u, ω ⊆ ω') pair:
+/// Γ = Δ(u|ω') / Δ(u|ω).  Infinity when Δ(u|ω) = 0 < Δ(u|ω') — the
+/// unbounded case the cautious model forces.  Exposed for the Fig. 1 /
+/// §III-B demonstrations.
+[[nodiscard]] double total_primal_curvature(double delta_later,
+                                            double delta_earlier);
+
+/// δ for the generalized cautious model (§III-B): max over cautious users
+/// of q2/q1.  Returns +infinity when any q1 = 0 — the deterministic model,
+/// for which the curvature ratio collapses to 0 (the paper's motivation
+/// for the adaptive submodular ratio).
+[[nodiscard]] double generalized_curvature_delta(const AccuInstance& instance);
+
+/// Lemma 4 closed form: λ for an instance with exactly one cautious user
+/// v_c, evaluated on realization φ (typically the deterministic
+/// `Realization::certain`).  B'(u) follows the paper:
+/// B'(u) = B_f(u) − B_fof(u) if u has at least one φ-neighbor besides v_c
+/// (so S can pre-demote u to FOF), else B_f(u).
+/// Because the lemma minimizes over a *family* of (S,T) candidates, its
+/// value always upper-bounds the brute-force λ_φ, with equality when the
+/// family contains the global minimizer (the tests exercise both).
+[[nodiscard]] double lemma4_lambda(const AccuInstance& instance,
+                                   const Realization& truth);
+
+/// Lemma 5: when `shared_friend` is adjacent (under φ) to the cautious
+/// users {v_c^i}, λ is at most B_f(u) / (Σ_i B'(v_c^i) + B_f(u)).
+[[nodiscard]] double lemma5_upper_bound(const AccuInstance& instance,
+                                        const Realization& truth,
+                                        NodeId shared_friend);
+
+/// The paper's multi-cautious composition (text after Lemma 4): when the
+/// cautious users share no realized common neighbors, λ is estimated as the
+/// minimum of the per-user Lemma 4 values, each computed as if that user
+/// were the only cautious one.  Throws InvalidArgument when two cautious
+/// users do share a realized neighbor (use lemma5_upper_bound then).
+[[nodiscard]] double independent_cautious_lambda(const AccuInstance& instance,
+                                                 const Realization& truth);
+
+}  // namespace accu

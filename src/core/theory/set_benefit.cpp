@@ -1,0 +1,65 @@
+#include "core/theory/set_benefit.hpp"
+
+namespace accu {
+
+std::vector<NodeId> friends_of_set(const AccuInstance& instance,
+                                   const Realization& truth,
+                                   const std::vector<NodeId>& requested) {
+  const Graph& g = instance.graph();
+  std::vector<bool> reckless_friend(instance.num_nodes(), false);
+  std::vector<NodeId> friends;
+  for (const NodeId u : requested) {
+    ACCU_ASSERT(u < instance.num_nodes());
+    if (!instance.is_cautious(u) && truth.reckless_accepts(u)) {
+      reckless_friend[u] = true;
+      friends.push_back(u);
+    }
+  }
+  for (const NodeId v : requested) {
+    if (!instance.is_cautious(v)) continue;
+    std::uint32_t mutual = 0;
+    for (const graph::Neighbor& nb : g.neighbors(v)) {
+      if (truth.edge_present(nb.edge) && reckless_friend[nb.node]) ++mutual;
+    }
+    if (mutual >= instance.threshold(v)) friends.push_back(v);
+  }
+  return friends;
+}
+
+double set_benefit(const AccuInstance& instance, const Realization& truth,
+                   const std::vector<NodeId>& requested) {
+  const Graph& g = instance.graph();
+  const BenefitModel& benefits = instance.benefits();
+  const std::vector<NodeId> friends =
+      friends_of_set(instance, truth, requested);
+  std::vector<bool> is_friend(instance.num_nodes(), false);
+  double total = 0.0;
+  for (const NodeId u : friends) {
+    is_friend[u] = true;
+    total += benefits.friend_benefit(u);
+  }
+  std::vector<bool> counted(instance.num_nodes(), false);
+  for (const NodeId u : friends) {
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      const NodeId w = nb.node;
+      if (!truth.edge_present(nb.edge) || is_friend[w] || counted[w]) {
+        continue;
+      }
+      counted[w] = true;
+      total += benefits.fof_benefit(w);
+    }
+  }
+  return total;
+}
+
+double set_benefit_mask(const AccuInstance& instance, const Realization& truth,
+                        std::uint64_t mask) {
+  ACCU_ASSERT(instance.num_nodes() <= 63);
+  std::vector<NodeId> requested;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    if ((mask >> u) & 1ULL) requested.push_back(u);
+  }
+  return set_benefit(instance, truth, requested);
+}
+
+}  // namespace accu

@@ -1,0 +1,42 @@
+// Set-function view of the benefit under a fixed realization (§III-B).
+//
+// The paper's ratio analysis treats, for a realization φ, the benefit of a
+// *set* A of requested users.  Under a fixed φ the friend set is
+//
+//   F(A, φ) = { reckless u ∈ A with an accepting coin }
+//           ∪ { cautious v ∈ A with |N_φ(v) ∩ F_R| >= θ_v },
+//
+// where F_R is the reckless part — well-defined without an order because
+// cautious users have only reckless neighbors (model assumption), i.e. the
+// semantics of "cautious requests are sent once their threshold is met",
+// which is how every sensible policy behaves (Lemma 2's argument).
+// FOF(A, φ) is then every non-friend with a realized edge to a friend, and
+//
+//   f(A, φ) = Σ_{u ∈ F} B_f(u) + Σ_{v ∈ FOF} B_fof(v).          (Eq. 1)
+
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+
+namespace accu {
+
+/// Friends resulting from requesting exactly the set `requested` under φ.
+[[nodiscard]] std::vector<NodeId> friends_of_set(
+    const AccuInstance& instance, const Realization& truth,
+    const std::vector<NodeId>& requested);
+
+/// f(requested, φ) per Eq. (1).
+[[nodiscard]] double set_benefit(const AccuInstance& instance,
+                                 const Realization& truth,
+                                 const std::vector<NodeId>& requested);
+
+/// Subset-mask convenience for exhaustive enumerations: bit u of `mask`
+/// marks u ∈ requested.  Only valid for instances with <= 63 nodes.
+[[nodiscard]] double set_benefit_mask(const AccuInstance& instance,
+                                      const Realization& truth,
+                                      std::uint64_t mask);
+
+}  // namespace accu

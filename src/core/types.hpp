@@ -1,0 +1,47 @@
+// Shared vocabulary types of the ACCU core.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace accu {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+using graph::kInvalidEdge;
+using graph::kInvalidNode;
+
+/// The paper partitions users into reckless V_R (probabilistic acceptance
+/// with probability q_u) and cautious V_C (deterministic linear-threshold
+/// acceptance: accept iff |N(v) ∩ N(s)| >= θ_v).  §II-A.
+enum class UserClass : std::uint8_t { kReckless = 0, kCautious = 1 };
+
+/// Friend-request status of a user from the attacker's perspective.
+/// `kUnknown` = no request sent yet (the paper's '?').
+enum class RequestState : std::uint8_t {
+  kUnknown = 0,
+  kAccepted = 1,
+  kRejected = 2,
+};
+
+/// Observation status of a potential edge.  `kUnknown` keeps the prior
+/// p_uv; once either endpoint accepts a request its incident edges are
+/// revealed as present or absent.
+enum class EdgeState : std::uint8_t {
+  kUnknown = 0,
+  kPresent = 1,
+  kAbsent = 2,
+};
+
+/// ABM potential-function weights (the paper's w_D, w_I).  §III-A.
+/// `direct = 1, indirect = 0` recovers the classic adaptive greedy that
+/// Theorem 1 analyzes; the paper's experiments default to 0.5 / 0.5.
+struct PotentialWeights {
+  double direct = 0.5;
+  double indirect = 0.5;
+};
+
+}  // namespace accu

@@ -1,0 +1,72 @@
+// Classic graph algorithms on the CSR substrate.
+//
+// These serve three roles in the reproduction: validating generated
+// networks (connectivity, degree laws, clustering — Table I), supporting
+// dataset construction (largest-component extraction, k-core), and giving
+// tests an independent reference implementation to check the simulator's
+// incremental bookkeeping against.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace accu::graph {
+
+/// BFS hop distances from `source`; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// Connected-component labels in [0, #components); label order follows the
+/// smallest node id in each component.
+struct Components {
+  std::vector<std::uint32_t> label;  // per node
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Nodes of the largest connected component (ties broken by lowest label),
+/// in increasing node-id order.
+[[nodiscard]] std::vector<NodeId> largest_component(const Graph& g);
+
+/// Rebuilds the subgraph induced by `nodes` (which must be sorted and
+/// unique), relabeling them 0..nodes.size()-1 and keeping edge
+/// probabilities.  Returns the graph and the old-id mapping.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_id;  // new id -> old id
+};
+[[nodiscard]] InducedSubgraph induced_subgraph(
+    const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Summary degree statistics used by the Table I reproduction.
+struct DegreeStats {
+  double mean = 0.0;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double median = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Fraction of nodes with degree in the inclusive window [lo, hi].
+[[nodiscard]] double degree_window_fraction(const Graph& g, std::uint32_t lo,
+                                            std::uint32_t hi);
+
+/// Average local clustering coefficient, estimated on `samples` random
+/// nodes of degree >= 2 (exact when samples >= #eligible nodes).
+[[nodiscard]] double clustering_coefficient(const Graph& g,
+                                            std::size_t samples,
+                                            util::Rng& rng);
+
+/// Core number of every node (standard peeling algorithm).
+[[nodiscard]] std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// Exact triangle count incident to node `v` (neighbors that are mutually
+/// adjacent); reference implementation for clustering tests.
+[[nodiscard]] std::uint64_t triangles_at(const Graph& g, NodeId v);
+
+}  // namespace accu::graph

@@ -1,0 +1,51 @@
+#include "graph/dot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace accu::graph {
+
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& options) {
+  os << "graph " << (options.name.empty() ? "accu" : options.name) << " {\n";
+  os << "  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (options.node_attributes) {
+      const std::string attrs = options.node_attributes(v);
+      if (!attrs.empty()) os << " [" << attrs << "]";
+    }
+    os << ";\n";
+  }
+  char prob[48];
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    os << "  n" << ep.lo << " -- n" << ep.hi;
+    std::string attrs;
+    if (options.edge_probabilities) {
+      std::snprintf(prob, sizeof prob, "label=\"%.2f\"", g.edge_prob(e));
+      attrs = prob;
+    }
+    if (options.edge_attributes) {
+      const std::string extra = options.edge_attributes(e);
+      if (!extra.empty()) {
+        if (!attrs.empty()) attrs += ',';
+        attrs += extra;
+      }
+    }
+    if (!attrs.empty()) os << " [" << attrs << "]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_dot_file(const Graph& g, const std::string& path,
+                    const DotOptions& options) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_dot(g, os, options);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
+}
+
+}  // namespace accu::graph

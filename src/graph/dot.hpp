@@ -1,0 +1,36 @@
+// GraphViz DOT export.
+//
+// Small-graph visualization for papers/notebooks: the full probabilistic
+// network, or an attack snapshot with per-node roles (attacker's friends,
+// FOFs, cautious users) supplied as label/style callbacks.  Intended for
+// graphs small enough to lay out (≤ a few hundred nodes); the writer
+// itself streams and has no size limit.
+
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace accu::graph {
+
+struct DotOptions {
+  /// Graph name in the `graph <name> { ... }` header.
+  std::string name = "accu";
+  /// Emit edge labels with the existence probabilities.
+  bool edge_probabilities = false;
+  /// Optional per-node attribute string (e.g. "color=red,shape=box");
+  /// empty result = no attributes.
+  std::function<std::string(NodeId)> node_attributes;
+  /// Optional per-edge attribute string; runs after the probability label.
+  std::function<std::string(EdgeId)> edge_attributes;
+};
+
+/// Writes an undirected DOT graph.
+void write_dot(const Graph& g, std::ostream& os, const DotOptions& options = {});
+void write_dot_file(const Graph& g, const std::string& path,
+                    const DotOptions& options = {});
+
+}  // namespace accu::graph

@@ -1,0 +1,76 @@
+// Random-network generators.
+//
+// The paper evaluates on four SNAP snapshots (Facebook, Slashdot, Twitter,
+// DBLP — Table I).  Those files cannot be shipped here, so the dataset
+// factory (src/datasets) substitutes synthetic networks whose *relevant*
+// structure matches each snapshot: size, mean degree, degree-tail shape and
+// clustering.  This header provides the generator zoo the factory draws
+// from; each generator is also a public API usable on its own.
+//
+// All generators return a GraphBuilder (edges with probability 1) so the
+// caller can assign edge-existence probabilities — the paper draws them
+// uniformly from [0,1) — before building the immutable Graph.  All are
+// deterministic given the Rng stream.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace accu::graph {
+
+/// G(n, p) via geometric skip-sampling; O(n + m) expected.
+[[nodiscard]] GraphBuilder erdos_renyi(NodeId n, double p, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` distinct existing nodes with probability proportional
+/// to degree (repeated-endpoint urn).  Produces the heavy-tailed degree
+/// distribution (γ≈3) typical of the Slashdot/Twitter snapshots.
+[[nodiscard]] GraphBuilder barabasi_albert(NodeId n,
+                                           std::uint32_t edges_per_node,
+                                           util::Rng& rng);
+
+/// Holme–Kim "powerlaw cluster" model: BA attachment where each attachment
+/// step is followed, with probability `triad_prob`, by a triad-closure step
+/// linking to a random neighbor of the just-linked node.  Keeps the BA tail
+/// while raising clustering — a good stand-in for the Facebook ego network.
+[[nodiscard]] GraphBuilder holme_kim(NodeId n, std::uint32_t edges_per_node,
+                                     double triad_prob, util::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side rewired with probability `beta`.  Requires 2k < n - 1.
+[[nodiscard]] GraphBuilder watts_strogatz(NodeId n, std::uint32_t k,
+                                          double beta, util::Rng& rng);
+
+/// Configuration-model graph with power-law degrees: each node draws a
+/// target degree from a discrete power law P(d) ∝ d^-gamma on
+/// [min_degree, max_degree], stubs are matched uniformly, and self-loops /
+/// duplicate edges are discarded (erased configuration model).
+[[nodiscard]] GraphBuilder powerlaw_configuration(NodeId n, double gamma,
+                                                  std::uint32_t min_degree,
+                                                  std::uint32_t max_degree,
+                                                  util::Rng& rng);
+
+/// Forest-fire model (Leskovec et al.): each new node picks a random
+/// ambassador, links to it, then "burns" through the ambassador's
+/// neighborhood recursively — at each burned node a geometric number of
+/// yet-unburned neighbors with mean `forward_prob / (1 − forward_prob)` is
+/// burned and linked.  Produces the shrinking-diameter, densifying shape of
+/// real evolving OSNs; useful as an alternative substrate for the
+/// sensitivity studies.  Requires forward_prob in [0, 1).
+[[nodiscard]] GraphBuilder forest_fire(NodeId n, double forward_prob,
+                                       util::Rng& rng);
+
+/// Overlapping-community (affiliation) graph: every node joins
+/// `memberships_per_node` communities chosen uniformly among
+/// round(n * memberships_per_node / mean_community_size) communities, and
+/// members of a community are pairwise linked with probability
+/// `intra_prob`.  Mimics the dense-clique collaboration structure of the
+/// DBLP snapshot.
+[[nodiscard]] GraphBuilder community_affiliation(
+    NodeId n, double mean_community_size,
+    std::uint32_t memberships_per_node, double intra_prob, util::Rng& rng);
+
+}  // namespace accu::graph

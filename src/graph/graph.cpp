@@ -1,0 +1,125 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace accu::graph {
+
+std::optional<EdgeId> Graph::find_edge(NodeId u, NodeId v) const {
+  ACCU_ASSERT(u < num_nodes() && v < num_nodes());
+  // Search the smaller adjacency row.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const Neighbor& n, NodeId target) { return n.node < target; });
+  if (it != adj.end() && it->node == v) return it->edge;
+  return std::nullopt;
+}
+
+double Graph::expected_degree(NodeId v) const {
+  double sum = 0.0;
+  for (const Neighbor& n : neighbors(v)) sum += probs_[n.edge];
+  return sum;
+}
+
+double Graph::expected_num_edges() const {
+  double sum = 0.0;
+  for (const double p : probs_) sum += p;
+  return sum;
+}
+
+struct GraphBuilder::EdgeSet {
+  std::unordered_set<std::uint64_t> keys;
+};
+
+GraphBuilder::GraphBuilder(NodeId num_nodes)
+    : num_nodes_(num_nodes), edge_set_(std::make_shared<EdgeSet>()) {
+  if (num_nodes == kInvalidNode) {
+    throw InvalidArgument("GraphBuilder: node count out of range");
+  }
+}
+
+std::uint64_t GraphBuilder::key(NodeId u, NodeId v) noexcept {
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, double p) {
+  if (!try_add_edge(u, v, p)) {
+    throw InvalidArgument("GraphBuilder: duplicate edge (" +
+                          std::to_string(u) + "," + std::to_string(v) + ")");
+  }
+}
+
+bool GraphBuilder::try_add_edge(NodeId u, NodeId v, double p) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw InvalidArgument("GraphBuilder: endpoint out of range");
+  }
+  if (u == v) {
+    throw InvalidArgument("GraphBuilder: self-loop on node " +
+                          std::to_string(u));
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument("GraphBuilder: edge probability outside [0,1]");
+  }
+  if (!edge_set_->keys.insert(key(u, v)).second) return false;
+  us_.push_back(std::min(u, v));
+  vs_.push_back(std::max(u, v));
+  ps_.push_back(p);
+  return true;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  return edge_set_->keys.contains(key(u, v));
+}
+
+EdgeEndpoints GraphBuilder::edge_at(std::size_t i) const {
+  ACCU_ASSERT(i < us_.size());
+  return {us_[i], vs_[i]};
+}
+
+void GraphBuilder::set_prob(std::size_t i, double p) {
+  ACCU_ASSERT(i < ps_.size());
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument("GraphBuilder: edge probability outside [0,1]");
+  }
+  ps_[i] = p;
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  const std::size_t m = us_.size();
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  g.probs_ = ps_;
+  g.endpoints_.resize(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    g.endpoints_[e] = {us_[e], vs_[e]};
+    ++g.offsets_[us_[e] + 1];
+    ++g.offsets_[vs_[e] + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.adjacency_.resize(2 * m);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto eid = static_cast<EdgeId>(e);
+    g.adjacency_[cursor[us_[e]]++] = {vs_[e], eid};
+    g.adjacency_[cursor[vs_[e]]++] = {us_[e], eid};
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+  }
+  return g;
+}
+
+}  // namespace accu::graph

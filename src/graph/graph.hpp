@@ -1,0 +1,162 @@
+// Immutable undirected graph with per-edge existence probabilities.
+//
+// This is the network substrate of the reproduction: the paper models an OSN
+// as G = (V, E, p) where E is the set of *potential* friendships and
+// p : E -> [0,1] gives each edge's existence probability (§II-A).  The
+// attacker's prior knowledge is exactly this object; ground-truth networks
+// are sampled from it (core/realization.hpp).
+//
+// Storage is compressed sparse rows (CSR) with sorted adjacency, so
+// neighborhood scans are cache-friendly and `find_edge` is a binary search.
+// Each undirected edge has a single EdgeId shared by both directions, which
+// lets per-edge observation state live in flat arrays indexed by EdgeId.
+//
+// Graphs are built through GraphBuilder (which validates and deduplicates)
+// and never mutated afterwards; every policy/simulator structure keeps a
+// `const Graph&`.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace accu::graph {
+
+/// Node index in [0, num_nodes).
+using NodeId = std::uint32_t;
+/// Undirected edge index in [0, num_edges); shared by both directions.
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One adjacency entry: the neighbor and the undirected edge reaching it.
+struct Neighbor {
+  NodeId node;
+  EdgeId edge;
+};
+
+/// Endpoints of an undirected edge, normalized so `lo < hi`.
+struct EdgeEndpoints {
+  NodeId lo;
+  NodeId hi;
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  /// Empty graph (0 nodes); useful as a default-constructed placeholder.
+  Graph() = default;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(endpoints_.size());
+  }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    ACCU_ASSERT(v < num_nodes());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Adjacency of `v`, sorted by neighbor id.
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId v) const {
+    ACCU_ASSERT(v < num_nodes());
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Existence probability of edge `e` (the paper's p_uv).
+  [[nodiscard]] double edge_prob(EdgeId e) const {
+    ACCU_ASSERT(e < num_edges());
+    return probs_[e];
+  }
+
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeId e) const {
+    ACCU_ASSERT(e < num_edges());
+    return endpoints_[e];
+  }
+
+  /// Binary-searches `u`'s adjacency for `v`; O(log deg(u)).
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v).has_value();
+  }
+
+  /// Sum of incident edge probabilities — the attacker's *expected* degree
+  /// of `v` under the prior; used by the MaxDegree baseline.
+  [[nodiscard]] double expected_degree(NodeId v) const;
+
+  /// Total probability mass of all edges (expected edge count).
+  [[nodiscard]] double expected_num_edges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;    // size num_nodes + 1
+  std::vector<Neighbor> adjacency_;     // size 2 * num_edges, sorted per row
+  std::vector<double> probs_;           // size num_edges
+  std::vector<EdgeEndpoints> endpoints_;  // size num_edges, lo < hi
+};
+
+/// Accumulates edges, validates them, and produces an immutable Graph.
+///
+/// Duplicate undirected edges and self-loops are rejected (generators that
+/// may propose duplicates use `try_add_edge`).  Edge probabilities default
+/// to 1 (a certain edge) and can be reassigned in bulk before `build`, which
+/// is how the dataset factory applies the paper's uniform-[0,1) priors
+/// without regenerating topology.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return us_.size(); }
+
+  /// Adds edge (u,v) with probability `p`.  Throws InvalidArgument on
+  /// out-of-range endpoints, self-loops, p outside [0,1], or duplicates.
+  void add_edge(NodeId u, NodeId v, double p = 1.0);
+
+  /// Adds the edge unless it already exists; returns whether it was added.
+  bool try_add_edge(NodeId u, NodeId v, double p = 1.0);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Endpoints of the i-th added edge (insertion order).
+  [[nodiscard]] EdgeEndpoints edge_at(std::size_t i) const;
+
+  /// Overwrites the probability of the i-th added edge.
+  void set_prob(std::size_t i, double p);
+
+  /// Assigns every edge an independent probability uniform in [lo, hi)
+  /// — the paper's §IV-A edge-probability protocol with [lo,hi) = [0,1).
+  template <typename RngT>
+  void assign_uniform_probs(RngT& rng, double lo = 0.0, double hi = 1.0) {
+    for (auto& p : ps_) p = rng.uniform(lo, hi);
+  }
+
+  /// Finalizes into CSR form.  The builder may be reused afterwards (its
+  /// edge list is left intact).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  [[nodiscard]] static std::uint64_t key(NodeId u, NodeId v) noexcept;
+
+  NodeId num_nodes_;
+  std::vector<NodeId> us_, vs_;
+  std::vector<double> ps_;
+  // Packed (lo,hi) keys of existing edges for O(1) duplicate detection.
+  // (definition in graph.cpp keeps <unordered_set> out of this header)
+  struct EdgeSet;
+  std::shared_ptr<EdgeSet> edge_set_;
+};
+
+}  // namespace accu::graph

@@ -1,0 +1,91 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace accu::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "# accu-graph nodes=" << g.num_nodes() << " edges=" << g.num_edges()
+     << '\n';
+  char buf[96];
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    std::snprintf(buf, sizeof buf, "%u %u %.17g\n", ep.lo, ep.hi,
+                  g.edge_prob(e));
+    os << buf;
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_edge_list(g, os);
+  os.flush();
+  if (!os) throw IoError("write failed: " + path);
+}
+
+Graph read_edge_list(std::istream& is) {
+  struct RawEdge {
+    NodeId u, v;
+    double p;
+  };
+  std::vector<RawEdge> edges;
+  NodeId declared_nodes = 0;
+  bool have_declared = false;
+  NodeId max_id = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        declared_nodes =
+            static_cast<NodeId>(std::strtoul(line.c_str() + pos + 6,
+                                             nullptr, 10));
+        have_declared = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    unsigned long u = 0, v = 0;
+    double p = 1.0;
+    if (!(ls >> u >> v)) {
+      throw IoError("malformed edge at line " + std::to_string(line_no));
+    }
+    ls >> p;  // optional third column
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw IoError("probability outside [0,1] at line " +
+                    std::to_string(line_no));
+    }
+    if (u == v) continue;  // tolerate self-loops in public snapshots
+    const auto un = static_cast<NodeId>(u);
+    const auto vn = static_cast<NodeId>(v);
+    edges.push_back({un, vn, p});
+    max_id = std::max({max_id, un, vn});
+  }
+  const NodeId n = have_declared
+                       ? declared_nodes
+                       : (edges.empty() ? 0 : max_id + 1);
+  if (have_declared && !edges.empty() && max_id >= n) {
+    throw IoError("edge endpoint exceeds declared node count");
+  }
+  GraphBuilder builder(n);
+  for (const RawEdge& e : edges) {
+    builder.try_add_edge(e.u, e.v, e.p);  // first occurrence wins
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace accu::graph

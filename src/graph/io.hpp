@@ -1,0 +1,31 @@
+// Plain-text edge-list serialization.
+//
+// Format (SNAP-compatible superset):
+//   # accu-graph nodes=<n> edges=<m>        (header, written by us)
+//   # any other comment line                (ignored on read)
+//   u v [p]                                 (one edge per line; p defaults 1)
+//
+// Reading a raw SNAP edge list (no header, no probabilities) works too: the
+// node count is inferred as max id + 1 and duplicate/self-loop lines are
+// skipped, matching how the paper's datasets are normally ingested.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace accu::graph {
+
+/// Writes the graph with header and per-edge probabilities (full precision).
+void write_edge_list(const Graph& g, std::ostream& os);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Reads an edge list.  Throws IoError on malformed lines or bad
+/// probabilities.  Duplicate edges and self-loops are tolerated (first
+/// occurrence wins / line skipped) because public snapshots contain them.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+}  // namespace accu::graph

@@ -1,0 +1,86 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace accu::graph {
+
+std::vector<std::uint64_t> degree_distribution(const Graph& g) {
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  std::vector<std::uint64_t> counts(
+      g.num_nodes() == 0 ? 1 : max_degree + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++counts[g.degree(v)];
+  return counts;
+}
+
+std::vector<double> degree_ccdf(const Graph& g) {
+  const std::vector<std::uint64_t> counts = degree_distribution(g);
+  std::vector<double> ccdf(counts.size() + 1, 0.0);
+  if (g.num_nodes() == 0) return ccdf;
+  std::uint64_t at_least = 0;
+  for (std::size_t d = counts.size(); d-- > 0;) {
+    at_least += counts[d];
+    ccdf[d] = static_cast<double>(at_least) /
+              static_cast<double>(g.num_nodes());
+  }
+  return ccdf;
+}
+
+double degree_assortativity(const Graph& g) {
+  // Pearson correlation of (deg(u), deg(v)) over all edges, both
+  // orientations (the standard Newman r).
+  if (g.num_edges() < 2) return 0.0;
+  double sum_x = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  const double m2 = 2.0 * static_cast<double>(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeEndpoints ep = g.endpoints(e);
+    const double du = g.degree(ep.lo);
+    const double dv = g.degree(ep.hi);
+    sum_x += du + dv;
+    sum_xx += du * du + dv * dv;
+    sum_xy += 2.0 * du * dv;
+  }
+  const double mean = sum_x / m2;
+  const double var = sum_xx / m2 - mean * mean;
+  if (var <= 1e-15) return 0.0;  // regular graph: undefined, report 0
+  const double cov = sum_xy / m2 - mean * mean;
+  return cov / var;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g, std::uint32_t sweeps,
+                                   util::Rng& rng) {
+  if (g.num_nodes() == 0) return 0;
+  std::uint32_t best = 0;
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    const auto start = static_cast<NodeId>(rng.index(g.num_nodes()));
+    const std::vector<std::uint32_t> first = bfs_distances(g, start);
+    NodeId farthest = start;
+    std::uint32_t farthest_distance = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (first[v] != kUnreachable && first[v] > farthest_distance) {
+        farthest_distance = first[v];
+        farthest = v;
+      }
+    }
+    const std::vector<std::uint32_t> second = bfs_distances(g, farthest);
+    for (const std::uint32_t d : second) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> component_sizes(const Graph& g) {
+  const Components comps = connected_components(g);
+  std::vector<std::size_t> sizes(comps.count, 0);
+  for (const std::uint32_t label : comps.label) ++sizes[label];
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+}  // namespace accu::graph

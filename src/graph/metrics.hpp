@@ -1,0 +1,45 @@
+// Structural network metrics beyond the basics in algorithms.hpp.
+//
+// Used to characterize the synthetic dataset substitutes against the SNAP
+// snapshots they stand in for (Table I reproduction / DESIGN.md §4) and
+// exposed as public API for downstream network analysis:
+//
+//   * degree distribution and its complementary CDF,
+//   * degree assortativity (Pearson correlation over edges — social
+//     networks are assortative, collaboration networks strongly so),
+//   * a diameter lower bound by the classic double-sweep BFS,
+//   * connected-component size distribution.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace accu::graph {
+
+/// counts[d] = number of nodes with degree d (length max_degree + 1).
+[[nodiscard]] std::vector<std::uint64_t> degree_distribution(const Graph& g);
+
+/// ccdf[d] = fraction of nodes with degree >= d (length max_degree + 2,
+/// ccdf[0] = 1, final entry 0); the straight line of this on log-log axes
+/// is the usual power-law diagnostic.
+[[nodiscard]] std::vector<double> degree_ccdf(const Graph& g);
+
+/// Pearson degree–degree correlation over edges; in [-1, 1], 0 for an
+/// empty/degenerate graph (fewer than 2 edges or constant degrees).
+[[nodiscard]] double degree_assortativity(const Graph& g);
+
+/// Lower bound on the diameter via double-sweep: BFS from `sweeps` random
+/// seeds, each followed by a BFS from the farthest node found.  Exact on
+/// trees; a strong lower bound in practice.
+[[nodiscard]] std::uint32_t diameter_lower_bound(const Graph& g,
+                                                 std::uint32_t sweeps,
+                                                 util::Rng& rng);
+
+/// Sizes of all connected components, descending.
+[[nodiscard]] std::vector<std::size_t> component_sizes(const Graph& g);
+
+}  // namespace accu::graph

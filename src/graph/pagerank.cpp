@@ -1,0 +1,51 @@
+#include "graph/pagerank.hpp"
+
+#include <cmath>
+
+namespace accu::graph {
+
+std::vector<double> pagerank(const Graph& g, const PageRankOptions& options) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return {};
+  ACCU_ASSERT(options.damping >= 0.0 && options.damping < 1.0);
+
+  // Out-mass per node under the chosen weighting.
+  std::vector<double> out_mass(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double mass = 0.0;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      mass += options.weighted ? g.edge_prob(nb.edge) : 1.0;
+    }
+    out_mass[v] = mass;
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out_mass[v] <= 0.0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * dangling * uniform;
+    for (NodeId v = 0; v < n; ++v) next[v] = base;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out_mass[v] <= 0.0) continue;
+      const double share = options.damping * rank[v] / out_mass[v];
+      for (const Neighbor& nb : g.neighbors(v)) {
+        const double w = options.weighted ? g.edge_prob(nb.edge) : 1.0;
+        next[nb.node] += share * w;
+      }
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace accu::graph

@@ -1,0 +1,35 @@
+// Weighted PageRank by power iteration.
+//
+// The paper's PageRank baseline (§IV-A) ranks users by their score on the
+// attacker's prior network.  Edges carry existence probabilities, so the
+// natural transition weights are those probabilities: the random surfer
+// follows edge (u,v) with weight p_uv relative to u's total incident mass.
+// With all probabilities equal this degenerates to classic unweighted
+// PageRank, which the tests verify.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace accu::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::size_t max_iterations = 100;
+  /// L1 change threshold for early convergence.
+  double tolerance = 1e-10;
+  /// Use edge probabilities as transition weights (true) or treat every
+  /// potential edge as weight-1 (false).
+  bool weighted = true;
+};
+
+/// Returns per-node scores summing to 1 (up to rounding).  Nodes whose
+/// incident probability mass is zero are treated as dangling: their rank is
+/// redistributed uniformly, as in the standard formulation.
+[[nodiscard]] std::vector<double> pagerank(const Graph& g,
+                                           const PageRankOptions& options = {});
+
+}  // namespace accu::graph

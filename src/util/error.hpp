@@ -1,0 +1,63 @@
+// Error handling primitives shared by every accu library.
+//
+// Two mechanisms, per the C++ Core Guidelines split between *preconditions /
+// invariants* and *recoverable errors*:
+//
+//  * ACCU_ASSERT / ACCU_ASSERT_MSG — always-on internal invariant checks.
+//    Violations indicate a bug inside this library; they print the failing
+//    expression with source location and abort.  They are kept on in release
+//    builds because the simulator's correctness claims (and the paper
+//    reproduction) depend on them.
+//
+//  * accu::InvalidArgument / accu::IoError — exceptions thrown when *caller
+//    provided* data is malformed (bad graph input, inconsistent model
+//    parameters, unreadable files).  These are thrown during construction /
+//    validation only, never on simulation hot paths.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace accu {
+
+/// Thrown when a caller-supplied argument violates a documented precondition
+/// (e.g. an edge probability outside [0,1], a threshold no reckless
+/// neighborhood can satisfy).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on I/O failures (unreadable edge-list file, malformed line, ...).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) noexcept {
+  std::fprintf(stderr, "ACCU_ASSERT failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace accu
+
+/// Always-on invariant check; aborts with location info on failure.
+#define ACCU_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::accu::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
+
+/// Always-on invariant check with an explanatory message.
+#define ACCU_ASSERT_MSG(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::accu::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace accu::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept {
+  if (static_cast<int>(level) >
+      g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[accu %s] ", level_tag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+
+#define ACCU_DEFINE_LOG(fn, level)                  \
+  void fn(const char* fmt, ...) noexcept {          \
+    std::va_list args;                              \
+    va_start(args, fmt);                            \
+    detail::vlog(level, fmt, args);                 \
+    va_end(args);                                   \
+  }
+
+ACCU_DEFINE_LOG(log_error, LogLevel::kError)
+ACCU_DEFINE_LOG(log_warn, LogLevel::kWarn)
+ACCU_DEFINE_LOG(log_info, LogLevel::kInfo)
+ACCU_DEFINE_LOG(log_debug, LogLevel::kDebug)
+
+#undef ACCU_DEFINE_LOG
+
+}  // namespace accu::util

@@ -1,0 +1,37 @@
+// Leveled stderr logging for the experiment harness.
+//
+// The library itself is silent at default level; bench binaries raise the
+// level with --verbose to watch sweep progress.  printf-style formatting is
+// used (checked by the compiler via the format attribute) to keep hot-path
+// call sites allocation-free when the level is filtered out.
+
+#pragma once
+
+#include <cstdarg>
+
+namespace accu::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args) noexcept;
+}  // namespace detail
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ACCU_PRINTF_LIKE __attribute__((format(printf, 1, 2)))
+#else
+#define ACCU_PRINTF_LIKE
+#endif
+
+void log_error(const char* fmt, ...) noexcept ACCU_PRINTF_LIKE;
+void log_warn(const char* fmt, ...) noexcept ACCU_PRINTF_LIKE;
+void log_info(const char* fmt, ...) noexcept ACCU_PRINTF_LIKE;
+void log_debug(const char* fmt, ...) noexcept ACCU_PRINTF_LIKE;
+
+#undef ACCU_PRINTF_LIKE
+
+}  // namespace accu::util

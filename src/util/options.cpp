@@ -1,0 +1,135 @@
+#include "util/options.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace accu::util {
+
+namespace {
+
+bool looks_like_option(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Options::Options(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looks_like_option(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) throw InvalidArgument("empty option name in " + arg);
+      values_[name] = body.substr(eq + 1);
+      continue;
+    }
+    values_[body] = "true";  // bare boolean flag
+  }
+}
+
+void Options::load_defaults_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open options file: " + path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim whitespace.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    std::string body = line.substr(first, last - first + 1);
+    if (body[0] == '#') continue;
+    if (body.rfind("--", 0) == 0) body = body.substr(2);
+    const std::size_t eq = body.find('=');
+    const std::string name = eq == std::string::npos ? body
+                                                     : body.substr(0, eq);
+    if (name.empty()) {
+      throw InvalidArgument("options file " + path + " line " +
+                            std::to_string(line_no) + ": empty option name");
+    }
+    const std::string value =
+        eq == std::string::npos ? "true" : body.substr(eq + 1);
+    values_.try_emplace(name, value);  // command line wins
+  }
+}
+
+Options& Options::declare(const std::string& name, const std::string& help) {
+  declared_[name] = help;
+  return *this;
+}
+
+void Options::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!declared_.contains(name) && name != "help") {
+      throw InvalidArgument("unknown option --" + name + "\n" + help_text());
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("option --" + name + " expects an integer, got '" +
+                          it->second + "'");
+  }
+  return parsed;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("option --" + name + " expects a number, got '" +
+                          it->second + "'");
+  }
+  return parsed;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + name + " expects a boolean, got '" + v +
+                        "'");
+}
+
+std::string Options::help_text() const {
+  std::string out = "options:\n";
+  for (const auto& [name, help] : declared_) {
+    out += "  --" + name + "  " + help + "\n";
+  }
+  return out;
+}
+
+}  // namespace accu::util

@@ -1,0 +1,67 @@
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Accepted forms: `--name=value` and bare `--flag` (boolean true).  The
+// space-separated `--name value` form is intentionally not supported — it
+// is ambiguous with positional arguments.  Unknown options raise
+// InvalidArgument so typos in a long benchmark invocation fail loudly
+// instead of silently running defaults.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace accu::util {
+
+class Options {
+ public:
+  /// Parses argv; throws InvalidArgument on malformed input.  Positional
+  /// (non `--`) arguments are collected in order.
+  Options(int argc, const char* const* argv);
+
+  /// Loads defaults from a response file: one `name=value` or bare `flag`
+  /// per line (leading `--` optional), `#` comments and blank lines
+  /// ignored.  Values already present (from the command line) win, so the
+  /// file supplies defaults — the conventional `--options=FILE` pattern
+  /// for long experiment configurations.  Throws IoError / InvalidArgument.
+  void load_defaults_file(const std::string& path);
+
+  /// Declares an option as known; returns *this for chaining.  After all
+  /// declarations, call `check_unknown()` to reject typos.
+  Options& declare(const std::string& name, const std::string& help);
+
+  /// Throws InvalidArgument if the command line contained an undeclared
+  /// option.
+  void check_unknown() const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// One-line-per-option usage text from the declarations.
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> declared_;  // name -> help
+  std::vector<std::string> positional_;
+};
+
+}  // namespace accu::util

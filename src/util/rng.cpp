@@ -1,0 +1,40 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace accu::util {
+
+std::vector<std::size_t> Rng::sample_without_replacement(
+    std::size_t population, std::size_t count) {
+  ACCU_ASSERT_MSG(count <= population,
+                  "cannot sample more items than the population holds");
+  std::vector<std::size_t> pool(population);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + index(population - i);
+    using std::swap;
+    swap(pool[i], pool[j]);
+    picked.push_back(pool[i]);
+  }
+  return picked;
+}
+
+std::uint64_t Rng::geometric_skips(double p) noexcept {
+  ACCU_ASSERT(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  // Inverse-CDF sampling: floor(log(U) / log(1-p)) failures before success.
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) is -inf, retry instead of
+  // producing an unbounded skip (probability 2^-53 per draw).
+  while (u <= 0.0) u = uniform();
+  const double skips = std::floor(std::log(u) / std::log1p(-p));
+  // Clamp pathological rounding to a sane non-negative integer.
+  if (skips < 0.0) return 0;
+  if (skips > 9.0e18) return static_cast<std::uint64_t>(9.0e18);
+  return static_cast<std::uint64_t>(skips);
+}
+
+}  // namespace accu::util

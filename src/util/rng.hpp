@@ -1,0 +1,161 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, realization
+// sampling, policies with random tie-breaking, the Random baseline) take an
+// explicit `Rng&`.  Nothing in the library ever touches a global or
+// time-seeded source, so every experiment is exactly reproducible from its
+// seed — a requirement for the paper's "100 sample networks × 30 runs"
+// protocol and for the regression tests.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through SplitMix64,
+// both implemented here so the library has zero dependence on the quality or
+// stability of the platform's <random> engines.  Distribution helpers are
+// also implemented locally because libstdc++/libc++ distributions are not
+// cross-platform deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace accu::util {
+
+/// SplitMix64 step: used for seeding and for cheap hash-style mixing.
+/// Advances `state` and returns the next 64-bit output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 pseudo-random generator with local distribution helpers.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can also be plugged
+/// into standard algorithms if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 256-bit state words via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x5eed'0000'0000'0001ULL) noexcept {
+    reseed(seed);
+  }
+
+  /// Re-initializes the state exactly as the equivalent constructor would.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64_next(sm);
+    }
+    // xoshiro's all-zero state is degenerate; SplitMix64 cannot produce four
+    // zero outputs in a row, but keep the guard explicit.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator.  Streams produced by `split`
+  /// with distinct tags are statistically independent of the parent and of
+  /// each other, which lets the experiment harness hand one generator to
+  /// each (sample, run) pair without sequencing constraints.
+  [[nodiscard]] Rng split(std::uint64_t tag) noexcept {
+    std::uint64_t mix = (*this)() ^ (tag * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64_next(mix)};
+  }
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept {
+    ACCU_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, bound) via unbiased modulo rejection.
+  /// Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    ACCU_ASSERT(bound > 0);
+    // Reject draws from the short final cycle of size (2^64 mod bound) so
+    // every residue is equally likely.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    std::uint64_t draw = (*this)();
+    while (draw < threshold) draw = (*this)();
+    return draw % bound;
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    ACCU_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? (*this)() : below(span);
+    return lo + static_cast<std::int64_t>(draw);
+  }
+
+  /// Uniform index into a container of `size` elements.  Requires size > 0.
+  std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Fisher-Yates shuffle of a vector, deterministic given the stream.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, population) without
+  /// replacement, in selection order (partial Fisher-Yates on an index
+  /// vector).  Requires count <= population.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t population, std::size_t count);
+
+  /// Geometric-like draw: number of failures before the first success of a
+  /// Bernoulli(p) sequence; used by skip-sampling graph generators.
+  /// Requires p in (0, 1].
+  std::uint64_t geometric_skips(double p) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace accu::util

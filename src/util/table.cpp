@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace accu::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw InvalidArgument("Table: header cannot be empty");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  ACCU_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+  ACCU_ASSERT_MSG(rows_.back().size() < header_.size(),
+                  "row has more cells than the header");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format(value, precision));
+}
+
+Table& Table::cell_int(long long value) { return cell(std::to_string(value)); }
+
+const std::vector<std::string>& Table::row_at(std::size_t i) const {
+  ACCU_ASSERT(i < rows_.size());
+  return rows_[i];
+}
+
+std::string Table::format(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "  " << v;
+      if (c + 1 < header_.size()) {
+        os << std::string(width[c] - v.size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 2;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& cells,
+                      std::size_t columns) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      if (c > 0) os << ',';
+      if (c < cells.size()) os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_, header_.size());
+  for (const auto& r : rows_) emit_row(r, header_.size());
+}
+
+}  // namespace accu::util

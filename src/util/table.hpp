@@ -1,0 +1,53 @@
+// Tabular output: aligned console tables (for bench binaries that reprint a
+// paper table/figure as rows) and RFC-4180 CSV emission (for plotting the
+// same data externally).  Cells are strings; numeric helpers format with a
+// fixed precision so columns stay aligned.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace accu::util {
+
+/// A rectangular table with a header row.  Rows may be added with fewer
+/// cells than the header; missing trailing cells render empty.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row.  Subsequent `cell` calls append to it.
+  Table& row();
+  /// Appends a string cell to the current row.
+  Table& cell(std::string value);
+  /// Appends a formatted numeric cell (fixed, `precision` decimals).
+  Table& cell(double value, int precision = 2);
+  /// Appends an integer cell.
+  Table& cell_int(long long value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row_at(std::size_t i) const;
+
+  /// Renders an aligned, box-drawing-free console table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180 CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& os) const;
+
+  /// Formats a double the same way `cell(double)` does.
+  [[nodiscard]] static std::string format(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace accu::util

@@ -1,0 +1,29 @@
+// Monotonic wall-clock timing for progress reporting in long experiment
+// sweeps.  Not used for any measured result — Google Benchmark owns those.
+
+#pragma once
+
+#include <chrono>
+
+namespace accu::util {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace accu::util

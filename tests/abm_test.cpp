@@ -1,0 +1,319 @@
+// Tests for the ABM policy: hand-computed potential values, the exact
+// Δ(u|ω) = q(u)·P_D(u) identity behind Theorem 1, indirect-gain mechanics,
+// incremental-vs-reference equivalence, and behavioural checks (threshold
+// seeking with high w_I).
+
+#include <gtest/gtest.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/theory/exact.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+/// Path 0 -(0.5)- 1 -(1.0)- 2 -(0.8)- 3 with cautious node 2 (θ=2),
+/// q = {0.9, 0.5, ·, 0.7}; benefits: reckless 2/1, cautious 10/1.
+AccuInstance chain_instance() {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 0.8);
+  std::vector<UserClass> classes(4, UserClass::kReckless);
+  classes[2] = UserClass::kCautious;
+  const BenefitModel benefits({2.0, 2.0, 10.0, 2.0}, {1.0, 1.0, 1.0, 1.0});
+  return AccuInstance(b.build(), classes, {0.9, 0.5, 0.0, 0.7}, {1, 1, 2, 1},
+                      benefits);
+}
+
+TEST(AbmPotentialTest, HandComputedInitialValues) {
+  const AccuInstance instance = chain_instance();
+  const AttackerView view(instance);
+
+  // q(u).
+  EXPECT_DOUBLE_EQ(AbmStrategy::effective_accept_prob(view, 0), 0.9);
+  EXPECT_DOUBLE_EQ(AbmStrategy::effective_accept_prob(view, 1), 0.5);
+  EXPECT_DOUBLE_EQ(AbmStrategy::effective_accept_prob(view, 2), 0.0);
+
+  // P_D: own friend benefit plus believed-new-FOF mass.
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 0), 2.0 + 0.5 * 1.0);
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 1),
+                   2.0 + 0.5 * 1.0 + 1.0 * 1.0);
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 3), 2.0 + 0.8 * 1.0);
+
+  // P_I: cautious neighbor 2 has θ−mutual = 2 and upgrade gain 9.
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 0), 0.0);
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 1), 1.0 * 9.0 / 2.0);
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 3), 0.8 * 9.0 / 2.0);
+  // Cautious users have zero indirect gain by the model assumption.
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 2), 0.0);
+
+  // Full potential with the paper's default weights.
+  const AbmStrategy abm(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(abm.potential(view, 0), 0.9 * 0.5 * 2.5);
+  EXPECT_DOUBLE_EQ(abm.potential(view, 1), 0.5 * (0.5 * 3.5 + 0.5 * 4.5));
+  EXPECT_DOUBLE_EQ(abm.potential(view, 2), 0.0);
+  EXPECT_DOUBLE_EQ(abm.potential(view, 3), 0.7 * (0.5 * 2.8 + 0.5 * 3.6));
+}
+
+TEST(AbmPotentialTest, ValuesAfterOneAcceptance) {
+  const AccuInstance instance = chain_instance();
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  view.record_acceptance(3, truth);  // node 2 becomes FOF, mutual(2) = 1
+
+  EXPECT_TRUE(view.is_fof(2));
+  // P_D(1): neighbor 2 is now FOF, so only neighbor 0 contributes.
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 1), 2.0 + 0.5 * 1.0);
+  // P_I(1): denominator shrank to 1 and the edge (1,2) belief is still 1.
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 1), 9.0);
+  // Cautious 2 still below threshold.
+  EXPECT_DOUBLE_EQ(AbmStrategy::effective_accept_prob(view, 2), 0.0);
+
+  // After one more mutual friend the threshold indicator flips to 1 and
+  // the direct gain counts the FOF-to-friend upgrade.
+  view.record_acceptance(1, truth);
+  EXPECT_DOUBLE_EQ(AbmStrategy::effective_accept_prob(view, 2), 1.0);
+  // P_D(2) = B_f − B_fof (both neighbors are friends now).
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 2), 9.0);
+}
+
+TEST(AbmPotentialTest, RejectedCautiousNeighborHasNoIndirectValue) {
+  const AccuInstance instance = chain_instance();
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  view.record_rejection(2);  // the cautious user was burned early
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 1), 0.0);
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 3), 0.0);
+  (void)truth;
+}
+
+TEST(AbmPotentialTest, AbsentEdgeRemovesContribution) {
+  const AccuInstance instance = chain_instance();
+  // Edge (1,2) absent in truth; accepting 1 reveals it.
+  std::vector<bool> edges{true, false, true};
+  const Realization truth(edges, std::vector<bool>(4, true));
+  AttackerView view(instance);
+  view.record_acceptance(1, truth);
+  // Node 3's indirect gain is unchanged (its edge to 2 is unobserved)…
+  EXPECT_DOUBLE_EQ(AbmStrategy::indirect_gain(view, 3), 0.8 * 9.0 / 2.0);
+  // …while node 0, whose edge to the new friend was revealed *present*, is
+  // now FOF, and its only neighbor is a friend:
+  // P_D(0) = B_f − B_fof = 1.
+  EXPECT_TRUE(view.is_fof(0));
+  EXPECT_DOUBLE_EQ(AbmStrategy::direct_gain(view, 0), 1.0);
+}
+
+// Δ(u|ω) = q(u) · P_D(u|ω): ABM with w_D=1, w_I=0 is the exact adaptive
+// greedy.  Verified against brute-force conditional expectation over the
+// full realization enumeration, from several observation states.
+class AbmDeltaIdentityTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbmDeltaIdentityTest, PotentialEqualsExactMarginalGain) {
+  util::Rng rng(GetParam());
+  // Keep the enumeration small: at most 9 probabilistic edges and free
+  // coins only on odd node ids (2^13 worlds max).
+  graph::GraphBuilder b = graph::erdos_renyi(8, 0.3, rng);
+  while (b.num_edges() > 9 || b.num_edges() < 4) {
+    util::Rng retry(rng());
+    b = graph::erdos_renyi(8, 0.3, retry);
+  }
+  b.assign_uniform_probs(rng);
+  const Graph g = b.build();
+  std::vector<UserClass> classes(8, UserClass::kReckless);
+  std::vector<std::uint32_t> thresholds(8, 1);
+  for (NodeId v = 0; v < 8; ++v) {
+    if (g.degree(v) >= 2) {
+      classes[v] = UserClass::kCautious;
+      thresholds[v] = 2;
+      break;  // exactly one cautious user, guaranteed no C-C edge
+    }
+  }
+  std::vector<double> q(8);
+  for (NodeId v = 0; v < 8; ++v) {
+    q[v] = (v % 2 == 1) ? rng.uniform() : 1.0;
+  }
+  const AccuInstance instance(g, classes, q, thresholds,
+                              BenefitModel::uniform(8, 2.0, 1.0));
+
+  const auto worlds = enumerate_realizations(instance, 13);
+  const Realization truth = Realization::sample(instance, rng);
+  AttackerView view(instance);
+  const AbmStrategy greedy = make_classic_greedy();
+
+  for (int step = 0; step < 4; ++step) {
+    for (NodeId u = 0; u < 8; ++u) {
+      if (view.is_requested(u)) continue;
+      const double exact = exact_marginal_gain(view, u, worlds);
+      const double surrogate =
+          AbmStrategy::effective_accept_prob(view, u) *
+          AbmStrategy::direct_gain(view, u);
+      ASSERT_NEAR(exact, surrogate, 1e-9) << "node " << u;
+      ASSERT_NEAR(greedy.potential(view, u), surrogate, 1e-12);
+    }
+    // Advance the observation state along a random path.
+    const auto target = static_cast<NodeId>(step * 2);
+    if (view.is_requested(target)) continue;
+    const bool accepted = instance.is_cautious(target)
+                              ? view.cautious_would_accept(target)
+                              : truth.reckless_accepts(target);
+    if (accepted) {
+      view.record_acceptance(target, truth);
+    } else {
+      view.record_rejection(target);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbmDeltaIdentityTest,
+                         testing::Values(31u, 32u, 33u, 34u, 35u));
+
+// Incremental heap maintenance must match the full-recompute reference
+// choice for choice on full-length attacks.
+class AbmIncrementalTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbmIncrementalTest, MatchesReferenceTrace) {
+  util::Rng rng(GetParam());
+  graph::GraphBuilder b = graph::barabasi_albert(80, 3, rng);
+  b.assign_uniform_probs(rng);
+  const Graph g = b.build();
+  std::vector<UserClass> classes(80, UserClass::kReckless);
+  std::vector<std::uint32_t> thresholds(80, 1);
+  std::vector<NodeId> cautious;
+  for (NodeId v = 10; v < 80 && cautious.size() < 8; ++v) {
+    if (g.degree(v) < 3) continue;
+    bool adjacent = false;
+    for (const NodeId c : cautious) adjacent |= g.has_edge(v, c);
+    if (adjacent) continue;
+    classes[v] = UserClass::kCautious;
+    thresholds[v] = 2;
+    cautious.push_back(v);
+  }
+  std::vector<double> q(80);
+  for (auto& x : q) x = rng.uniform();
+  const BenefitModel benefits = BenefitModel::paper_default(classes);
+  const AccuInstance instance(g, classes, q, thresholds, benefits);
+  const Realization truth = Realization::sample(instance, rng);
+
+  AbmStrategy::Config fast;
+  fast.weights = {0.5, 0.5};
+  fast.incremental = true;
+  AbmStrategy::Config slow = fast;
+  slow.incremental = false;
+  AbmStrategy a(fast), r(slow);
+  util::Rng rng_a(1), rng_r(1);
+  const SimulationResult ra = simulate(instance, truth, a, 40, rng_a);
+  const SimulationResult rr = simulate(instance, truth, r, 40, rng_r);
+  ASSERT_EQ(ra.trace.size(), rr.trace.size());
+  for (std::size_t i = 0; i < ra.trace.size(); ++i) {
+    ASSERT_EQ(ra.trace[i].target, rr.trace[i].target) << "request " << i;
+    ASSERT_EQ(ra.trace[i].accepted, rr.trace[i].accepted);
+  }
+  EXPECT_DOUBLE_EQ(ra.total_benefit, rr.total_benefit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbmIncrementalTest,
+                         testing::Values(41u, 42u, 43u, 44u, 45u, 46u));
+
+TEST(AbmBehaviourTest, FirstPickMaximizesPotential) {
+  const AccuInstance instance = chain_instance();
+  const Realization truth = Realization::certain(instance);
+  AbmStrategy abm(0.5, 0.5);
+  util::Rng rng(1);
+  const SimulationResult result = simulate(instance, truth, abm, 3, rng);
+  // Hand-computed potentials: node 3 (2.24) > node 1 (2.0) > node 0 (1.125).
+  EXPECT_EQ(result.trace[0].target, 3u);
+  // After 3 accepts: pot(1) = 0.5·(0.5·2.5 + 0.5·9) = 2.875 > pot(0).
+  EXPECT_EQ(result.trace[1].target, 1u);
+  // Now mutual(2) = 2 = θ: q flips to 1 and P_D(2) = 9 ⇒ pot(2) = 4.5
+  // dominates node 0 (1.125).
+  EXPECT_EQ(result.trace[2].target, 2u);
+  EXPECT_TRUE(result.trace[2].accepted);
+}
+
+TEST(AbmBehaviourTest, PureGreedyIgnoresCautiousPull) {
+  const AccuInstance instance = chain_instance();
+  const Realization truth = Realization::certain(instance);
+  AbmStrategy greedy = make_classic_greedy();
+  util::Rng rng(2);
+  const SimulationResult result = simulate(instance, truth, greedy, 1, rng);
+  // Pure greedy ranks by q·P_D: node 1: 0.5·3.5 = 1.75 < node 0:
+  // 0.9·2.5 = 2.25 > node 3: 0.7·2.8 = 1.96 ⇒ picks 0.
+  EXPECT_EQ(result.trace[0].target, 0u);
+}
+
+TEST(AbmBehaviourTest, HighIndirectWeightBefriendsCautiousEarlier) {
+  // Star of reckless users around a cautious hub requires threshold-seeking
+  // to unlock the big prize; compare when the cautious user is befriended.
+  graph::GraphBuilder b(8);
+  for (NodeId v = 1; v < 8; ++v) b.add_edge(0, v, 1.0);
+  std::vector<UserClass> classes(8, UserClass::kReckless);
+  classes[0] = UserClass::kCautious;
+  std::vector<double> q(8, 1.0);
+  q[0] = 0.0;
+  const BenefitModel benefits =
+      BenefitModel::paper_default(classes, 2.0, 100.0, 1.0);
+  const AccuInstance instance(b.build(), classes, q, {4, 1, 1, 1, 1, 1, 1, 1},
+                              benefits);
+  const Realization truth = Realization::certain(instance);
+
+  auto first_cautious_request = [&](double w_i) {
+    AbmStrategy abm(1.0 - w_i, w_i);
+    util::Rng rng(3);
+    const SimulationResult result =
+        simulate(instance, truth, abm, 8, rng);
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      if (result.trace[i].cautious_target) return i;
+    }
+    return result.trace.size();
+  };
+  // θ = 4: the hub unlocks after 4 leaves; with any positive weights ABM
+  // should eventually take it, and the pull is monotone in w_I here.
+  const std::size_t with_indirect = first_cautious_request(0.5);
+  EXPECT_EQ(with_indirect, 4u);  // immediately once unlocked
+}
+
+TEST(AbmBehaviourTest, WithoutCautiousUsersWeightsAreIrrelevant) {
+  // Observation 1 territory: with V_C = ∅, P_I ≡ 0, so ABM(w_D, w_I) ranks
+  // candidates by w_D·q·P_D — any positive w_D yields the greedy order.
+  util::Rng rng(55);
+  graph::GraphBuilder b = graph::barabasi_albert(60, 3, rng);
+  b.assign_uniform_probs(rng);
+  std::vector<double> q(60);
+  for (auto& x : q) x = rng.uniform();
+  const AccuInstance instance(b.build(), std::vector<UserClass>(60), q,
+                              std::vector<std::uint32_t>(60, 1),
+                              BenefitModel::uniform(60, 2.0, 1.0));
+  const Realization truth = Realization::sample(instance, rng);
+  AbmStrategy weighted(0.3, 0.7);
+  AbmStrategy greedy = make_classic_greedy();
+  util::Rng r1(1), r2(1);
+  const SimulationResult a = simulate(instance, truth, weighted, 25, r1);
+  const SimulationResult g2 = simulate(instance, truth, greedy, 25, r2);
+  ASSERT_EQ(a.trace.size(), g2.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].target, g2.trace[i].target) << "request " << i;
+  }
+}
+
+TEST(AbmBehaviourTest, NameEncodesWeights) {
+  EXPECT_EQ(AbmStrategy(0.5, 0.5).name(), "ABM(wD=0.50,wI=0.50)");
+  EXPECT_EQ(make_classic_greedy().name(), "ABM(wD=1.00,wI=0.00)");
+}
+
+TEST(AbmBehaviourTest, RejectsNegativeWeights) {
+  EXPECT_THROW(AbmStrategy(-0.1, 0.5), InvalidArgument);
+}
+
+TEST(AbmBehaviourTest, ExhaustsCandidates) {
+  const AccuInstance instance = chain_instance();
+  const Realization truth = Realization::certain(instance);
+  AbmStrategy abm(0.5, 0.5);
+  util::Rng rng(4);
+  const SimulationResult result =
+      simulate(instance, truth, abm, 100, rng);
+  EXPECT_EQ(result.trace.size(), 4u);
+}
+
+}  // namespace
+}  // namespace accu

@@ -1,0 +1,137 @@
+// Tests for BatchedAbmStrategy: batch-boundary semantics, equivalence with
+// sequential ABM at batch size 1, degenerate full-plan behaviour, and round
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/strategies/batched.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+AccuInstance random_instance(std::uint64_t seed, NodeId n = 60) {
+  util::Rng rng(seed);
+  graph::GraphBuilder b = graph::barabasi_albert(n, 3, rng);
+  b.assign_uniform_probs(rng);
+  const Graph g = b.build();
+  std::vector<UserClass> classes(n, UserClass::kReckless);
+  std::vector<std::uint32_t> thresholds(n, 1);
+  std::vector<NodeId> cautious;
+  for (NodeId v = 5; v < n && cautious.size() < 5; ++v) {
+    if (g.degree(v) < 3) continue;
+    bool adjacent = false;
+    for (const NodeId c : cautious) adjacent |= g.has_edge(v, c);
+    if (adjacent) continue;
+    classes[v] = UserClass::kCautious;
+    thresholds[v] = 2;
+    cautious.push_back(v);
+  }
+  std::vector<double> q(n);
+  for (auto& x : q) x = 0.2 + 0.8 * rng.uniform();
+  return AccuInstance(g, classes, q, thresholds,
+                      BenefitModel::paper_default(classes));
+}
+
+TEST(BatchedAbmTest, RejectsBadParameters) {
+  EXPECT_THROW(BatchedAbmStrategy({0.5, 0.5}, 0), InvalidArgument);
+  EXPECT_THROW(BatchedAbmStrategy({-1.0, 0.5}, 2), InvalidArgument);
+}
+
+TEST(BatchedAbmTest, NameEncodesBatchSize) {
+  EXPECT_EQ(BatchedAbmStrategy({0.5, 0.5}, 7).name(), "BatchedABM(b=7)");
+}
+
+class BatchedSeedTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedSeedTest, BatchSizeOneMatchesSequentialAbm) {
+  const AccuInstance instance = random_instance(GetParam());
+  util::Rng rng(GetParam() + 100);
+  const Realization truth = Realization::sample(instance, rng);
+  AbmStrategy sequential(0.5, 0.5);
+  BatchedAbmStrategy batched({0.5, 0.5}, 1);
+  util::Rng ra(1), rb(1);
+  const SimulationResult a = simulate(instance, truth, sequential, 25, ra);
+  const SimulationResult b = simulate(instance, truth, batched, 25, rb);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].target, b.trace[i].target) << "request " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.total_benefit, b.total_benefit);
+}
+
+TEST_P(BatchedSeedTest, HugeBatchIsNonAdaptivePlan) {
+  // With batch >= budget the whole attack is planned from the empty view:
+  // the targets must be exactly the top-k by initial potential, in order.
+  const AccuInstance instance = random_instance(GetParam());
+  util::Rng rng(GetParam() + 200);
+  const Realization truth = Realization::sample(instance, rng);
+  const std::uint32_t k = 15;
+  BatchedAbmStrategy batched({0.5, 0.5}, 1000);
+  util::Rng rb(1);
+  const SimulationResult result = simulate(instance, truth, batched, k, rb);
+
+  // Rank all users by initial potential (ties to smaller id).
+  const AttackerView fresh(instance);
+  const AbmStrategy scorer(0.5, 0.5);
+  std::vector<std::pair<double, NodeId>> scored;
+  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
+    scored.emplace_back(scorer.potential(fresh, u), u);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  ASSERT_EQ(result.trace.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(result.trace[i].target, scored[i].second) << "request " << i;
+  }
+}
+
+TEST_P(BatchedSeedTest, MidBatchObservationsAreIgnored) {
+  // The 2nd..bth targets of a batch must not depend on the realization:
+  // run the same strategy against two different ground truths and check
+  // the first batch is identical.
+  const AccuInstance instance = random_instance(GetParam());
+  util::Rng rng1(GetParam() + 300), rng2(GetParam() + 400);
+  const Realization t1 = Realization::sample(instance, rng1);
+  const Realization t2 = Realization::sample(instance, rng2);
+  const std::uint32_t batch = 8;
+  BatchedAbmStrategy s1({0.5, 0.5}, batch), s2({0.5, 0.5}, batch);
+  util::Rng ra(1), rb(1);
+  const SimulationResult a = simulate(instance, t1, s1, batch, ra);
+  const SimulationResult b = simulate(instance, t2, s2, batch, rb);
+  ASSERT_EQ(a.trace.size(), batch);
+  ASSERT_EQ(b.trace.size(), batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    EXPECT_EQ(a.trace[i].target, b.trace[i].target) << "request " << i;
+  }
+}
+
+TEST_P(BatchedSeedTest, RoundsAreCeilOfBudgetOverBatch) {
+  const AccuInstance instance = random_instance(GetParam());
+  util::Rng rng(GetParam() + 500);
+  const Realization truth = Realization::sample(instance, rng);
+  BatchedAbmStrategy batched({0.5, 0.5}, 10);
+  util::Rng rb(1);
+  const SimulationResult result = simulate(instance, truth, batched, 25, rb);
+  EXPECT_EQ(result.trace.size(), 25u);
+  EXPECT_EQ(batched.rounds(), 3u);  // 10 + 10 + 5
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedSeedTest,
+                         testing::Values(81u, 82u, 83u, 84u));
+
+TEST(BatchedAbmTest, ExhaustsCandidates) {
+  const AccuInstance instance = random_instance(91, 12);
+  const Realization truth = Realization::certain(instance);
+  BatchedAbmStrategy batched({0.5, 0.5}, 5);
+  util::Rng rng(1);
+  const SimulationResult result =
+      simulate(instance, truth, batched, 100, rng);
+  EXPECT_EQ(result.trace.size(), 12u);
+}
+
+}  // namespace
+}  // namespace accu

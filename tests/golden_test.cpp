@@ -1,0 +1,90 @@
+// Golden regression tests: exact outputs for fixed seeds.
+//
+// These pin the end-to-end behaviour of the stack (RNG → generators →
+// dataset protocol → realization → policies → simulator) to known-good
+// values, so any unintended behavioural change — a reordered RNG draw, a
+// tweaked tie-break, a generator edit — fails loudly here even when all
+// semantic invariants still hold.  If a change is *intentional*, update
+// the constants and say so in the commit.
+
+#include <gtest/gtest.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "datasets/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+TEST(GoldenTest, RngStream) {
+  util::Rng rng(42);
+  EXPECT_EQ(rng(), 1546998764402558742ULL);
+  EXPECT_EQ(rng(), 6990951692964543102ULL);
+  rng.reseed(42);
+  EXPECT_EQ(rng(), 1546998764402558742ULL);
+}
+
+TEST(GoldenTest, GeneratorShapes) {
+  util::Rng rng(2019);
+  const Graph ba = graph::barabasi_albert(500, 3, rng).build();
+  EXPECT_EQ(ba.num_edges(), 1491u);
+  util::Rng rng2(2019);
+  const Graph er = graph::erdos_renyi(400, 0.05, rng2).build();
+  EXPECT_EQ(er.num_edges(), 3988u);
+}
+
+TEST(GoldenTest, DatasetInstance) {
+  util::Rng rng(7);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 10;
+  const AccuInstance instance =
+      datasets::make_dataset("facebook", config, rng);
+  EXPECT_EQ(instance.num_nodes(), 202u);
+  EXPECT_EQ(instance.graph().num_edges(), 3960u);
+  EXPECT_EQ(instance.num_cautious(), 10u);
+  ASSERT_FALSE(instance.cautious_users().empty());
+  EXPECT_EQ(instance.cautious_users().front(), 50u);
+}
+
+TEST(GoldenTest, AbmAttackOutcome) {
+  util::Rng rng(7);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 10;
+  const AccuInstance instance =
+      datasets::make_dataset("facebook", config, rng);
+  util::Rng trng(13);
+  const Realization truth = Realization::sample(instance, trng);
+  AbmStrategy abm(0.5, 0.5);
+  util::Rng srng(1);
+  const SimulationResult result = simulate(instance, truth, abm, 40, srng);
+  // Exact values pinned 2026-07-04 with the v1 potential function.
+  EXPECT_EQ(result.trace.size(), 40u);
+  EXPECT_EQ(result.trace[0].target, 36u);
+  EXPECT_NEAR(result.total_benefit, 218.0, 1e-9);
+  EXPECT_EQ(result.num_accepted, 26u);
+  EXPECT_EQ(result.num_cautious_friends, 0u);
+}
+
+TEST(GoldenTest, BaselineOrderIsStable) {
+  util::Rng rng(7);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 10;
+  const AccuInstance instance =
+      datasets::make_dataset("facebook", config, rng);
+  MaxDegreeStrategy degree;
+  util::Rng d1(1);
+  degree.reset(instance, d1);
+  AttackerView view(instance);
+  EXPECT_EQ(degree.select(view, d1), 28u);
+  PageRankStrategy pagerank;
+  util::Rng p1(1);
+  pagerank.reset(instance, p1);
+  EXPECT_EQ(pagerank.select(view, p1), 28u);
+}
+
+}  // namespace
+}  // namespace accu

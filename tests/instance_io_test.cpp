@@ -1,0 +1,146 @@
+// Tests for ACCU instance serialization: exact round-trips (including the
+// generalized cautious model), malformed-input rejection, and file I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/instance_io.hpp"
+#include "datasets/datasets.hpp"
+
+namespace accu {
+namespace {
+
+void expect_same_instance(const AccuInstance& a, const AccuInstance& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.graph().num_edges(), b.graph().num_edges());
+  for (EdgeId e = 0; e < a.graph().num_edges(); ++e) {
+    const graph::EdgeEndpoints ep = a.graph().endpoints(e);
+    const auto mirrored = b.graph().find_edge(ep.lo, ep.hi);
+    ASSERT_TRUE(mirrored.has_value());
+    EXPECT_DOUBLE_EQ(b.graph().edge_prob(*mirrored), a.graph().edge_prob(e));
+  }
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.user_class(u), b.user_class(u));
+    EXPECT_DOUBLE_EQ(a.accept_prob(u), b.accept_prob(u));
+    EXPECT_EQ(a.threshold(u), b.threshold(u));
+    EXPECT_DOUBLE_EQ(a.benefits().friend_benefit(u),
+                     b.benefits().friend_benefit(u));
+    EXPECT_DOUBLE_EQ(a.benefits().fof_benefit(u),
+                     b.benefits().fof_benefit(u));
+    if (a.is_cautious(u)) {
+      EXPECT_DOUBLE_EQ(a.cautious_accept_prob(u, false),
+                       b.cautious_accept_prob(u, false));
+      EXPECT_DOUBLE_EQ(a.cautious_accept_prob(u, true),
+                       b.cautious_accept_prob(u, true));
+    }
+  }
+  EXPECT_EQ(a.has_generalized_cautious(), b.has_generalized_cautious());
+}
+
+TEST(InstanceIoTest, RoundTripDataset) {
+  util::Rng rng(1);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 8;
+  const AccuInstance original =
+      datasets::make_dataset("facebook", config, rng);
+  std::stringstream buffer;
+  write_instance(original, buffer);
+  const AccuInstance loaded = read_instance(buffer);
+  expect_same_instance(original, loaded);
+}
+
+TEST(InstanceIoTest, RoundTripGeneralizedModel) {
+  util::Rng rng(2);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 6;
+  config.cautious_below_prob = 0.125;
+  config.cautious_above_prob = 0.875;
+  const AccuInstance original =
+      datasets::make_dataset("facebook", config, rng);
+  ASSERT_TRUE(original.has_generalized_cautious());
+  std::stringstream buffer;
+  write_instance(original, buffer);
+  const AccuInstance loaded = read_instance(buffer);
+  expect_same_instance(original, loaded);
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  util::Rng rng(3);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 5;
+  const AccuInstance original =
+      datasets::make_dataset("twitter", config, rng);
+  const std::string path = testing::TempDir() + "accu_instance_test.accu";
+  write_instance_file(original, path);
+  const AccuInstance loaded = read_instance_file(path);
+  expect_same_instance(original, loaded);
+}
+
+TEST(InstanceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "nodes 2 edges 1\n"
+      "# another\n"
+      "e 0 1 0.5\n"
+      "n 0 R 0.5 1 2 1 0 1\n"
+      "n 1 C 0 1 50 1 0 1\n");
+  const AccuInstance instance = read_instance(in);
+  EXPECT_EQ(instance.num_nodes(), 2u);
+  EXPECT_TRUE(instance.is_cautious(1));
+  EXPECT_DOUBLE_EQ(instance.benefits().friend_benefit(1), 50.0);
+}
+
+TEST(InstanceIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream in("bogus\n");
+    EXPECT_THROW(read_instance(in), IoError);
+  }
+  {
+    std::stringstream in("nodes 2 edges 1\ne 0 5 0.5\n");
+    EXPECT_THROW(read_instance(in), IoError);  // endpoint out of range
+  }
+  {
+    std::stringstream in("nodes 2 edges 1\ne 0 1 1.5\n");
+    EXPECT_THROW(read_instance(in), IoError);  // probability out of range
+  }
+  {
+    std::stringstream in(
+        "nodes 2 edges 2\ne 0 1 0.5\ne 1 0 0.5\n");
+    EXPECT_THROW(read_instance(in), IoError);  // duplicate edge
+  }
+  {
+    std::stringstream in("nodes 1 edges 0\nn 0 X 0.5 1 2 1 0 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // bad class letter
+  }
+  {
+    std::stringstream in(
+        "nodes 2 edges 0\nn 0 R 0.5 1 2 1 0 1\nn 0 R 0.5 1 2 1 0 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // duplicate node line
+  }
+  {
+    std::stringstream in("nodes 2 edges 0\nn 0 R 0.5 1 2 1 0 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // missing node line
+  }
+}
+
+TEST(InstanceIoTest, ConstructorValidationStillApplies) {
+  // A cautious user with an infeasible threshold round-trips into the
+  // instance constructor's validation, not silent acceptance.
+  std::stringstream in(
+      "nodes 2 edges 1\n"
+      "e 0 1 0.5\n"
+      "n 0 R 0.5 1 2 1 0 1\n"
+      "n 1 C 0 5 50 1 0 1\n");  // θ = 5 > degree
+  EXPECT_THROW(read_instance(in), InvalidArgument);
+}
+
+TEST(InstanceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_instance_file("/nonexistent/nope.accu"), IoError);
+}
+
+}  // namespace
+}  // namespace accu

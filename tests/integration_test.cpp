@@ -1,0 +1,92 @@
+// End-to-end integration: full paper pipeline (dataset → policies →
+// experiment harness) on a small Facebook-like network, checking the
+// qualitative ordering the paper reports (ABM on top, Random at the bottom)
+// and cross-module consistency.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "datasets/datasets.hpp"
+
+namespace accu {
+namespace {
+
+class EndToEndTest : public testing::Test {
+ protected:
+  static const ExperimentResult& result() {
+    static const ExperimentResult cached = [] {
+      const InstanceFactory factory = [](std::uint32_t sample,
+                                         std::uint64_t seed) {
+        util::Rng rng(seed + 17 * sample);
+        datasets::DatasetConfig config;
+        config.scale = 0.15;  // ~600 nodes
+        config.num_cautious = 25;
+        return datasets::make_dataset("facebook", config, rng);
+      };
+      const std::vector<StrategyFactory> strategies = {
+          {"ABM", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
+          {"Greedy", [] { return std::make_unique<AbmStrategy>(
+                              make_classic_greedy()); }},
+          {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
+          {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
+          {"Random", [] { return std::make_unique<RandomStrategy>(); }},
+      };
+      ExperimentConfig config;
+      config.budget = 60;
+      config.samples = 3;
+      config.runs = 4;
+      config.seed = 20190701;
+      return run_experiment(factory, strategies, config);
+    }();
+    return cached;
+  }
+};
+
+TEST_F(EndToEndTest, AbmBeatsRandomDecisively) {
+  const double abm = result().by_name("ABM").total_benefit().mean();
+  const double random = result().by_name("Random").total_benefit().mean();
+  EXPECT_GT(abm, 1.5 * random);
+}
+
+TEST_F(EndToEndTest, AbmBeatsStaticBaselines) {
+  const double abm = result().by_name("ABM").total_benefit().mean();
+  EXPECT_GT(abm, result().by_name("MaxDegree").total_benefit().mean());
+  EXPECT_GT(abm, result().by_name("PageRank").total_benefit().mean());
+}
+
+TEST_F(EndToEndTest, AdaptiveGreedyAlsoBeatsStaticBaselines) {
+  const double greedy = result().by_name("Greedy").total_benefit().mean();
+  EXPECT_GT(greedy, result().by_name("Random").total_benefit().mean());
+}
+
+TEST_F(EndToEndTest, AbmBefriendsMoreCautiousUsersThanPureGreedy) {
+  // The indirect term exists precisely to seek cautious users (Fig. 4's
+  // monotone count).
+  EXPECT_GE(result().by_name("ABM").cautious_friends().mean(),
+            result().by_name("Greedy").cautious_friends().mean());
+}
+
+TEST_F(EndToEndTest, MarginalSplitSumsToTotalMarginal) {
+  const TraceAggregator& abm = result().by_name("ABM");
+  for (std::size_t i = 0; i < abm.marginal().length(); ++i) {
+    EXPECT_NEAR(abm.marginal().at(i).mean(),
+                abm.marginal_cautious().at(i).mean() +
+                    abm.marginal_reckless().at(i).mean(),
+                1e-9);
+  }
+}
+
+TEST_F(EndToEndTest, FractionCurvesAreProbabilities) {
+  for (const char* name : {"ABM", "Greedy", "Random"}) {
+    const auto means = result().by_name(name).cautious_fraction().means();
+    for (const double f : means) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accu

@@ -1,0 +1,115 @@
+// Tests for the one-step lookahead planner: parameter validation, the
+// constructed scenario where planning beats myopic greedy, beam behaviour
+// and determinism under a fixed rng stream.
+
+#include <gtest/gtest.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/strategies/lookahead.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+/// The planning trap: a decoy with the best myopic score (B_f = 3.5) vs a
+/// gateway n1 whose acceptance unlocks a cautious prize (θ = 1, B_f = 50).
+/// Myopic greedy spends its 2-request budget on decoy + gateway (6.5);
+/// lookahead takes gateway + prize (52).
+AccuInstance trap_instance() {
+  graph::GraphBuilder b(4);
+  // 0 = decoy (isolated), 1 = gateway, 2 = cautious prize, 3 = filler leaf.
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(1, 3, 0.0);  // never exists: keeps the gateway's P_D at 3
+  std::vector<UserClass> classes(4, UserClass::kReckless);
+  classes[2] = UserClass::kCautious;
+  const BenefitModel benefits({3.5, 2.0, 50.0, 2.0}, {1.0, 1.0, 1.0, 1.0});
+  return AccuInstance(b.build(), classes, {1.0, 1.0, 0.0, 1.0}, {1, 1, 1, 1},
+                      benefits);
+}
+
+TEST(LookaheadTest, RejectsBadConfig) {
+  LookaheadStrategy::Config config;
+  config.beam = 0;
+  EXPECT_THROW(LookaheadStrategy{config}, InvalidArgument);
+  config.beam = 2;
+  config.scenario_samples = 0;
+  EXPECT_THROW(LookaheadStrategy{config}, InvalidArgument);
+  config.scenario_samples = 1;
+  config.weights = {-1.0, 0.0};
+  EXPECT_THROW(LookaheadStrategy{config}, InvalidArgument);
+}
+
+TEST(LookaheadTest, NameEncodesConfig) {
+  EXPECT_EQ(LookaheadStrategy{}.name(), "Lookahead(beam=8,samples=4)");
+}
+
+TEST(LookaheadTest, EscapesTheMyopicTrap) {
+  const AccuInstance instance = trap_instance();
+  // Edge (1,2) exists, the probability-0 edge (1,3) does not.
+  const Realization truth({true, false}, std::vector<bool>(4, true));
+
+  AbmStrategy greedy = make_classic_greedy();
+  util::Rng rg(1);
+  const SimulationResult myopic = simulate(instance, truth, greedy, 2, rg);
+  EXPECT_EQ(myopic.trace[0].target, 0u);  // decoy first
+  EXPECT_DOUBLE_EQ(myopic.total_benefit, 6.5);
+
+  LookaheadStrategy planner;
+  util::Rng rl(1);
+  const SimulationResult planned =
+      simulate(instance, truth, planner, 2, rl);
+  EXPECT_EQ(planned.trace[0].target, 1u);  // gateway first
+  EXPECT_EQ(planned.trace[1].target, 2u);  // prize second
+  EXPECT_DOUBLE_EQ(planned.total_benefit, 52.0);
+}
+
+TEST(LookaheadTest, BeamOneIsMyopic) {
+  // With beam 1 only the top myopic candidate gets (useless) lookahead, so
+  // the choice sequence equals greedy's.
+  const AccuInstance instance = trap_instance();
+  const Realization truth({true, false}, std::vector<bool>(4, true));
+  LookaheadStrategy::Config config;
+  config.beam = 1;
+  LookaheadStrategy narrow(config);
+  AbmStrategy greedy = make_classic_greedy();
+  util::Rng r1(1), r2(1);
+  const SimulationResult a = simulate(instance, truth, narrow, 3, r1);
+  const SimulationResult b = simulate(instance, truth, greedy, 3, r2);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].target, b.trace[i].target);
+  }
+}
+
+TEST(LookaheadTest, DeterministicGivenRngStream) {
+  util::Rng rng(7);
+  graph::GraphBuilder b = graph::barabasi_albert(40, 3, rng);
+  b.assign_uniform_probs(rng);
+  std::vector<double> q(40);
+  for (auto& x : q) x = rng.uniform();
+  const AccuInstance instance(b.build(), std::vector<UserClass>(40), q,
+                              std::vector<std::uint32_t>(40, 1),
+                              BenefitModel::uniform(40, 2.0, 1.0));
+  const Realization truth = Realization::sample(instance, rng);
+  LookaheadStrategy p1, p2;
+  util::Rng r1(3), r2(3);
+  const SimulationResult a = simulate(instance, truth, p1, 12, r1);
+  const SimulationResult c = simulate(instance, truth, p2, 12, r2);
+  ASSERT_EQ(a.trace.size(), c.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].target, c.trace[i].target);
+  }
+}
+
+TEST(LookaheadTest, HandlesExhaustion) {
+  const AccuInstance instance = trap_instance();
+  const Realization truth = Realization::certain(instance);
+  LookaheadStrategy planner;
+  util::Rng rng(2);
+  const SimulationResult result =
+      simulate(instance, truth, planner, 100, rng);
+  EXPECT_EQ(result.trace.size(), 4u);
+}
+
+}  // namespace
+}  // namespace accu

@@ -1,0 +1,111 @@
+// Tests for the structural network metrics (graph/metrics.hpp).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace accu::graph {
+namespace {
+
+Graph path(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph star(NodeId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+TEST(DegreeDistributionTest, CountsPerDegree) {
+  const auto counts = degree_distribution(path(5));
+  // Path of 5: two endpoints (deg 1), three inner (deg 2).
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+TEST(DegreeDistributionTest, SumsToNodeCount) {
+  util::Rng rng(1);
+  const Graph g = barabasi_albert(300, 3, rng).build();
+  const auto counts = degree_distribution(g);
+  const auto total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(DegreeCcdfTest, MonotoneFromOneToZero) {
+  util::Rng rng(2);
+  const Graph g = barabasi_albert(300, 3, rng).build();
+  const auto ccdf = degree_ccdf(g);
+  EXPECT_DOUBLE_EQ(ccdf.front(), 1.0);
+  EXPECT_DOUBLE_EQ(ccdf.back(), 0.0);
+  for (std::size_t d = 1; d < ccdf.size(); ++d) {
+    EXPECT_LE(ccdf[d], ccdf[d - 1] + 1e-12);
+  }
+  // CCDF at the minimum degree (3 for BA) is still 1.
+  EXPECT_DOUBLE_EQ(ccdf[3], 1.0);
+}
+
+TEST(AssortativityTest, StarIsMaximallyDisassortative) {
+  EXPECT_NEAR(degree_assortativity(star(8)), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, RegularGraphReportsZero) {
+  // Cycle: all degrees equal — correlation undefined, reported as 0.
+  GraphBuilder b(6);
+  for (NodeId v = 0; v < 6; ++v) b.add_edge(v, (v + 1) % 6);
+  EXPECT_DOUBLE_EQ(degree_assortativity(b.build()), 0.0);
+}
+
+TEST(AssortativityTest, WithinValidRangeOnRandomGraphs) {
+  util::Rng rng(3);
+  const Graph g = powerlaw_configuration(600, 2.5, 2, 60, rng).build();
+  const double r = degree_assortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  // BA/configuration graphs are famously non-assortative-to-disassortative.
+  EXPECT_LT(r, 0.3);
+}
+
+TEST(DiameterTest, ExactOnPath) {
+  util::Rng rng(4);
+  EXPECT_EQ(diameter_lower_bound(path(10), 3, rng), 9u);
+}
+
+TEST(DiameterTest, StarIsTwo) {
+  util::Rng rng(5);
+  EXPECT_EQ(diameter_lower_bound(star(7), 3, rng), 2u);
+}
+
+TEST(DiameterTest, SmallWorldIsSmall) {
+  util::Rng rng(6);
+  const Graph g = holme_kim(2000, 5, 0.3, rng).build();
+  util::Rng sweep_rng(7);
+  const std::uint32_t d = diameter_lower_bound(g, 4, sweep_rng);
+  EXPECT_GE(d, 3u);
+  EXPECT_LE(d, 12u);  // O(log n) in scale-free networks
+}
+
+TEST(ComponentSizesTest, SortedDescending) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  // 5, 6 isolated.
+  const auto sizes = component_sizes(b.build());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 2, 1, 1}));
+}
+
+TEST(ComponentSizesTest, EmptyGraph) {
+  EXPECT_TRUE(component_sizes(Graph{}).empty());
+}
+
+}  // namespace
+}  // namespace accu::graph

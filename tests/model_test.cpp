@@ -1,0 +1,214 @@
+// Tests for the problem-model layer: BenefitModel, AccuInstance validation,
+// Realization sampling and probabilities.
+
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/realization.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+// --------------------------------------------------------- BenefitModel ----
+
+TEST(BenefitModelTest, UniformAndAccessors) {
+  const BenefitModel m = BenefitModel::uniform(3, 2.0, 1.0);
+  EXPECT_EQ(m.num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(m.friend_benefit(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.fof_benefit(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.upgrade_gain(1), 1.0);
+  EXPECT_TRUE(m.has_strict_gap());
+}
+
+TEST(BenefitModelTest, PaperDefaultSplitsByClass) {
+  const std::vector<UserClass> classes = {UserClass::kReckless,
+                                          UserClass::kCautious,
+                                          UserClass::kReckless};
+  const BenefitModel m = BenefitModel::paper_default(classes, 2.0, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.friend_benefit(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.friend_benefit(1), 50.0);
+  EXPECT_DOUBLE_EQ(m.fof_benefit(1), 1.0);
+}
+
+TEST(BenefitModelTest, RejectsInvalid) {
+  EXPECT_THROW(BenefitModel({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(BenefitModel({1.0}, {2.0}), InvalidArgument);   // B_f < B_fof
+  EXPECT_THROW(BenefitModel({1.0}, {-0.5}), InvalidArgument);  // negative
+}
+
+TEST(BenefitModelTest, StrictGapDetection) {
+  const BenefitModel equal = BenefitModel::uniform(2, 1.0, 1.0);
+  EXPECT_FALSE(equal.has_strict_gap());
+}
+
+// ---------------------------------------------------------- AccuInstance ----
+
+Graph path_graph(NodeId n) {
+  graph::GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, 0.5);
+  return b.build();
+}
+
+TEST(AccuInstanceTest, ValidInstanceAccessors) {
+  const Graph g = path_graph(4);
+  const std::vector<UserClass> classes = {
+      UserClass::kReckless, UserClass::kCautious, UserClass::kReckless,
+      UserClass::kReckless};
+  const AccuInstance instance(g, classes, {0.5, 0.0, 0.7, 0.9}, {1, 2, 1, 1},
+                              BenefitModel::uniform(4, 2.0, 1.0));
+  EXPECT_EQ(instance.num_nodes(), 4u);
+  EXPECT_EQ(instance.num_cautious(), 1u);
+  EXPECT_EQ(instance.num_reckless(), 3u);
+  EXPECT_TRUE(instance.is_cautious(1));
+  EXPECT_FALSE(instance.is_cautious(0));
+  EXPECT_EQ(instance.threshold(1), 2u);
+  EXPECT_DOUBLE_EQ(instance.accept_prob(2), 0.7);
+  EXPECT_EQ(instance.cautious_users(), std::vector<NodeId>{1});
+}
+
+TEST(AccuInstanceTest, RejectsSizeMismatch) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(AccuInstance(g, std::vector<UserClass>(2), {0.5, 0.5, 0.5},
+                            {1, 1, 1}, BenefitModel::uniform(3, 2, 1)),
+               InvalidArgument);
+}
+
+TEST(AccuInstanceTest, RejectsBadAcceptProbability) {
+  const Graph g = path_graph(2);
+  EXPECT_THROW(AccuInstance(g, std::vector<UserClass>(2), {1.5, 0.5}, {1, 1},
+                            BenefitModel::uniform(2, 2, 1)),
+               InvalidArgument);
+}
+
+TEST(AccuInstanceTest, RejectsCautiousCautiousEdge) {
+  const Graph g = path_graph(3);  // edges (0,1), (1,2)
+  const std::vector<UserClass> classes = {
+      UserClass::kCautious, UserClass::kCautious, UserClass::kReckless};
+  EXPECT_THROW(AccuInstance(g, classes, {0.0, 0.0, 0.5}, {1, 1, 1},
+                            BenefitModel::uniform(3, 2, 1)),
+               InvalidArgument);
+}
+
+TEST(AccuInstanceTest, RejectsZeroThresholdForCautious) {
+  const Graph g = path_graph(3);
+  const std::vector<UserClass> classes = {
+      UserClass::kReckless, UserClass::kCautious, UserClass::kReckless};
+  EXPECT_THROW(AccuInstance(g, classes, {0.5, 0.0, 0.5}, {1, 0, 1},
+                            BenefitModel::uniform(3, 2, 1)),
+               InvalidArgument);
+}
+
+TEST(AccuInstanceTest, RejectsInfeasibleThreshold) {
+  const Graph g = path_graph(3);  // node 1 has 2 reckless neighbors
+  const std::vector<UserClass> classes = {
+      UserClass::kReckless, UserClass::kCautious, UserClass::kReckless};
+  EXPECT_THROW(AccuInstance(g, classes, {0.5, 0.0, 0.5}, {1, 3, 1},
+                            BenefitModel::uniform(3, 2, 1)),
+               InvalidArgument);
+}
+
+// ----------------------------------------------------------- Realization ----
+
+AccuInstance small_instance() {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 0.5);
+  b.add_edge(1, 2, 0.25);
+  return AccuInstance(b.build(), std::vector<UserClass>(3),
+                      {0.5, 0.5, 0.5}, {1, 1, 1},
+                      BenefitModel::uniform(3, 2, 1));
+}
+
+TEST(RealizationTest, CertainHasEverything) {
+  const AccuInstance instance = small_instance();
+  const Realization truth = Realization::certain(instance);
+  EXPECT_TRUE(truth.edge_present(0));
+  EXPECT_TRUE(truth.edge_present(1));
+  EXPECT_TRUE(truth.reckless_accepts(2));
+  EXPECT_EQ(truth.realized_degree(instance.graph(), 1), 2u);
+}
+
+TEST(RealizationTest, SampleFrequenciesMatchProbabilities) {
+  const AccuInstance instance = small_instance();
+  util::Rng rng(21);
+  int edge0 = 0, edge1 = 0, coin0 = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const Realization truth = Realization::sample(instance, rng);
+    edge0 += truth.edge_present(0);
+    edge1 += truth.edge_present(1);
+    coin0 += truth.reckless_accepts(0);
+  }
+  EXPECT_NEAR(edge0 / static_cast<double>(trials), 0.5, 0.02);
+  EXPECT_NEAR(edge1 / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_NEAR(coin0 / static_cast<double>(trials), 0.5, 0.02);
+}
+
+TEST(RealizationTest, ProbabilityOfWorld) {
+  const AccuInstance instance = small_instance();
+  // Edges: present, absent.  Coins: accept, reject, accept.
+  const Realization truth({true, false}, {true, false, true});
+  // p = 0.5 · (1 − 0.25) · 0.5 · 0.5 · 0.5 = 0.046875
+  EXPECT_NEAR(truth.probability(instance), 0.046875, 1e-12);
+}
+
+TEST(RealizationTest, ProbabilitiesSumToOneOverEnumeration) {
+  const AccuInstance instance = small_instance();
+  double total = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    const Realization truth(
+        {(mask & 1) != 0, (mask & 2) != 0},
+        {(mask & 4) != 0, (mask & 8) != 0, (mask & 16) != 0});
+    total += truth.probability(instance);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RealizationTest, CautiousCoinIgnoredInProbability) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  const std::vector<UserClass> classes = {UserClass::kReckless,
+                                          UserClass::kCautious};
+  const AccuInstance instance(b.build(), classes, {0.5, 0.0}, {1, 1},
+                              BenefitModel::uniform(2, 2, 1));
+  const Realization a({true}, {true, true});
+  const Realization b2({true}, {true, false});
+  EXPECT_DOUBLE_EQ(a.probability(instance), b2.probability(instance));
+  EXPECT_DOUBLE_EQ(a.probability(instance), 0.5);
+}
+
+TEST(RealizationTest, RealizedDegreeCountsPresentOnly) {
+  const AccuInstance instance = small_instance();
+  const Realization truth({true, false}, {true, true, true});
+  EXPECT_EQ(truth.realized_degree(instance.graph(), 1), 1u);
+  EXPECT_EQ(truth.realized_degree(instance.graph(), 2), 0u);
+}
+
+TEST(RealizationTest, RealizedGraphKeepsPresentEdges) {
+  const AccuInstance instance = small_instance();
+  const Realization truth({true, false}, {true, true, true});
+  const Graph g = realized_graph(instance.graph(), truth);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_DOUBLE_EQ(g.edge_prob(0), 1.0);
+}
+
+TEST(RealizationTest, RealizedGraphDegreesMatchRealizedDegree) {
+  util::Rng rng(31);
+  graph::GraphBuilder b = graph::erdos_renyi(30, 0.2, rng);
+  b.assign_uniform_probs(rng);
+  const AccuInstance instance(b.build(), std::vector<UserClass>(30),
+                              std::vector<double>(30, 0.5),
+                              std::vector<std::uint32_t>(30, 1),
+                              BenefitModel::uniform(30, 2.0, 1.0));
+  const Realization truth = Realization::sample(instance, rng);
+  const Graph g = realized_graph(instance.graph(), truth);
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(g.degree(v), truth.realized_degree(instance.graph(), v));
+  }
+}
+
+}  // namespace
+}  // namespace accu

@@ -1,0 +1,231 @@
+// Tests for AttackerView — the partial-realization bookkeeping the whole
+// simulation relies on: state machine, edge revelation, FOF and mutual
+// counters, incremental benefit, plus randomized property checks against
+// brute-force recomputation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/observation.hpp"
+#include "core/theory/exact.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+/// Instance on 5 nodes: square 0-1-2-3 with chord (1,3) and pendant 4 on
+/// node 3.  Node 2 is cautious with θ = 2.
+AccuInstance square_instance(double edge_prob = 1.0) {
+  graph::GraphBuilder b(5);
+  b.add_edge(0, 1, edge_prob);
+  b.add_edge(1, 2, edge_prob);
+  b.add_edge(2, 3, edge_prob);
+  b.add_edge(0, 3, edge_prob);
+  b.add_edge(1, 3, edge_prob);
+  b.add_edge(3, 4, edge_prob);
+  std::vector<UserClass> classes(5, UserClass::kReckless);
+  classes[2] = UserClass::kCautious;
+  return AccuInstance(b.build(), classes, {0.5, 0.5, 0.0, 0.5, 0.5},
+                      {1, 1, 2, 1, 1}, BenefitModel::uniform(5, 3.0, 1.0));
+}
+
+TEST(AttackerViewTest, InitialStateIsAllUnknown) {
+  const AccuInstance instance = square_instance();
+  const AttackerView view(instance);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(view.request_state(v), RequestState::kUnknown);
+    EXPECT_FALSE(view.is_friend(v));
+    EXPECT_FALSE(view.is_fof(v));
+    EXPECT_EQ(view.mutual_friends(v), 0u);
+  }
+  for (EdgeId e = 0; e < instance.graph().num_edges(); ++e) {
+    EXPECT_EQ(view.edge_state(e), EdgeState::kUnknown);
+  }
+  EXPECT_DOUBLE_EQ(view.current_benefit(), 0.0);
+  EXPECT_EQ(view.num_requests(), 0u);
+}
+
+TEST(AttackerViewTest, RejectionRevealsNothing) {
+  const AccuInstance instance = square_instance();
+  AttackerView view(instance);
+  view.record_rejection(1);
+  EXPECT_EQ(view.request_state(1), RequestState::kRejected);
+  EXPECT_EQ(view.num_requests(), 1u);
+  for (EdgeId e = 0; e < instance.graph().num_edges(); ++e) {
+    EXPECT_EQ(view.edge_state(e), EdgeState::kUnknown);
+  }
+  EXPECT_DOUBLE_EQ(view.current_benefit(), 0.0);
+}
+
+TEST(AttackerViewTest, AcceptanceRevealsIncidentEdges) {
+  const AccuInstance instance = square_instance();
+  // Edge (1,3) absent in truth; everything else present.
+  std::vector<bool> edges(6, true);
+  const auto e13 = instance.graph().find_edge(1, 3);
+  ASSERT_TRUE(e13.has_value());
+  edges[*e13] = false;
+  const Realization truth(edges, std::vector<bool>(5, true));
+
+  AttackerView view(instance);
+  const auto effects = view.record_acceptance(1, truth);
+  EXPECT_FALSE(effects.was_fof);
+  EXPECT_TRUE(view.is_friend(1));
+  // Edges (0,1), (1,2) revealed present; (1,3) revealed absent.
+  EXPECT_EQ(view.edge_state(*instance.graph().find_edge(0, 1)),
+            EdgeState::kPresent);
+  EXPECT_EQ(view.edge_state(*e13), EdgeState::kAbsent);
+  // Non-incident edges remain unknown.
+  EXPECT_EQ(view.edge_state(*instance.graph().find_edge(2, 3)),
+            EdgeState::kUnknown);
+  // 0 and 2 became FOF; 3 did not (its only link to 1 is absent).
+  EXPECT_TRUE(view.is_fof(0));
+  EXPECT_TRUE(view.is_fof(2));
+  EXPECT_FALSE(view.is_fof(3));
+  EXPECT_EQ(effects.new_fof.size(), 2u);
+  // Benefit: B_f(1) + B_fof(0) + B_fof(2) = 3 + 1 + 1.
+  EXPECT_DOUBLE_EQ(view.current_benefit(), 5.0);
+}
+
+TEST(AttackerViewTest, EdgeBeliefTransitions) {
+  const AccuInstance instance = square_instance(0.4);
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  const EdgeId e01 = *instance.graph().find_edge(0, 1);
+  EXPECT_DOUBLE_EQ(view.edge_belief(e01), 0.4);
+  view.record_acceptance(0, truth);
+  EXPECT_DOUBLE_EQ(view.edge_belief(e01), 1.0);
+}
+
+TEST(AttackerViewTest, FriendUpgradeSubtractsFofBenefit) {
+  const AccuInstance instance = square_instance();
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  view.record_acceptance(0, truth);
+  // 1 and 3 are FOF now.
+  EXPECT_TRUE(view.is_fof(1));
+  const double before = view.current_benefit();
+  const auto effects = view.record_acceptance(1, truth);
+  EXPECT_TRUE(effects.was_fof);
+  // Marginal: B_f(1) − B_fof(1) + B_fof(2) = 3 − 1 + 1 = 3.
+  EXPECT_DOUBLE_EQ(view.current_benefit() - before, 3.0);
+  EXPECT_FALSE(view.is_fof(1));  // friends are not FOF
+}
+
+TEST(AttackerViewTest, MutualFriendCounting) {
+  const AccuInstance instance = square_instance();
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  view.record_acceptance(1, truth);
+  EXPECT_EQ(view.mutual_friends(2), 1u);  // via friend 1
+  EXPECT_FALSE(view.cautious_would_accept(2));  // θ = 2
+  view.record_acceptance(3, truth);
+  EXPECT_EQ(view.mutual_friends(2), 2u);
+  EXPECT_TRUE(view.cautious_would_accept(2));
+  // Friends also carry counts (3 is adjacent to friend 1).
+  EXPECT_EQ(view.mutual_friends(4), 1u);
+}
+
+TEST(AttackerViewTest, CautiousFriendCounter) {
+  const AccuInstance instance = square_instance();
+  const Realization truth = Realization::certain(instance);
+  AttackerView view(instance);
+  view.record_acceptance(1, truth);
+  view.record_acceptance(3, truth);
+  EXPECT_EQ(view.num_cautious_friends(), 0u);
+  view.record_acceptance(2, truth);
+  EXPECT_EQ(view.num_cautious_friends(), 1u);
+}
+
+TEST(AttackerViewTest, ConsistentWithFiltersWorlds) {
+  const AccuInstance instance = square_instance(0.5);
+  const auto worlds = enumerate_realizations(instance);
+  AttackerView view(instance);
+  // Before any observation every world is consistent.
+  std::size_t consistent = 0;
+  for (const auto& [truth, prob] : worlds) {
+    (void)prob;
+    consistent += consistent_with(view, truth);
+  }
+  EXPECT_EQ(consistent, worlds.size());
+
+  // Accept node 0 under a specific world; afterwards only worlds agreeing
+  // on 0's coin and 0's two incident edges remain.
+  const Realization chosen(std::vector<bool>{true, false, true, false, true,
+                                             true},
+                           std::vector<bool>(5, true));
+  view.record_acceptance(0, chosen);
+  double mass = 0.0;
+  consistent = 0;
+  for (const auto& [truth, prob] : worlds) {
+    if (consistent_with(view, truth)) {
+      ++consistent;
+      mass += prob;
+    }
+  }
+  // 2 incident edges fixed (of 6 free) and 1 coin fixed (of 5 free):
+  // 2^9 / 2^3 … relative count = 2^6·... just verify the exact fraction:
+  // edges: 2 of 6 pinned ⇒ ×(1/4); coins: 1 of 5 pinned ⇒ ×(1/2).
+  EXPECT_EQ(consistent, worlds.size() / 8);
+  EXPECT_NEAR(mass, 0.5 * 0.5 * 0.5, 1e-12);
+}
+
+// Property: across random instances and random acceptance sequences the
+// incremental benefit always equals the brute-force Eq.-(1) recomputation,
+// and mutual counts match a direct scan.
+class ViewPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViewPropertyTest, IncrementalMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  graph::GraphBuilder b = graph::erdos_renyi(40, 0.12, rng);
+  b.assign_uniform_probs(rng);
+  const Graph g = b.build();
+  std::vector<UserClass> classes(40, UserClass::kReckless);
+  std::vector<std::uint32_t> thresholds(40, 1);
+  // Make a few well-connected nodes cautious (no two adjacent).
+  std::vector<NodeId> cautious;
+  for (NodeId v = 0; v < 40 && cautious.size() < 4; ++v) {
+    if (g.degree(v) < 3) continue;
+    bool adjacent = false;
+    for (const NodeId c : cautious) adjacent |= g.has_edge(v, c);
+    if (adjacent) continue;
+    classes[v] = UserClass::kCautious;
+    thresholds[v] = 2;
+    cautious.push_back(v);
+  }
+  std::vector<double> q(40);
+  for (auto& x : q) x = rng.uniform();
+  const AccuInstance instance(g, classes, q, thresholds,
+                              BenefitModel::uniform(40, 2.0, 1.0));
+  const Realization truth = Realization::sample(instance, rng);
+
+  AttackerView view(instance);
+  std::vector<NodeId> order(40);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const NodeId v = order[i];
+    if (rng.bernoulli(0.6)) {
+      view.record_acceptance(v, truth);
+    } else {
+      view.record_rejection(v);
+    }
+    ASSERT_NEAR(view.current_benefit(), view.recompute_benefit(), 1e-9);
+    // Mutual counts against a direct scan of realized friend edges.
+    for (NodeId w = 0; w < 40; ++w) {
+      std::uint32_t expected = 0;
+      for (const graph::Neighbor& nb : g.neighbors(w)) {
+        if (truth.edge_present(nb.edge) && view.is_friend(nb.node)) {
+          ++expected;
+        }
+      }
+      ASSERT_EQ(view.mutual_friends(w), expected) << "node " << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewPropertyTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace accu

@@ -1,0 +1,252 @@
+// Tests for the temporal (growing-network) extension: schedules, arrival
+// revelation, benefit restricted to arrived users, the wait action, and
+// the reduction to the static simulator on an all-at-start schedule.
+
+#include <gtest/gtest.h>
+
+#include "core/strategies/abm.hpp"
+#include "core/temporal/temporal.hpp"
+#include "graph/generators.hpp"
+
+namespace accu {
+namespace {
+
+/// Path 0-1-2-3 with cautious node 2 (θ=2); benefits 3/1; everyone accepts.
+AccuInstance path_instance() {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  std::vector<UserClass> classes(4, UserClass::kReckless);
+  classes[2] = UserClass::kCautious;
+  return AccuInstance(b.build(), classes, {1.0, 1.0, 0.0, 1.0}, {1, 1, 2, 1},
+                      BenefitModel::uniform(4, 3.0, 1.0));
+}
+
+TEST(ArrivalScheduleTest, Constructors) {
+  const ArrivalSchedule all = ArrivalSchedule::all_at_start(5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(all.arrival_round(v), 0u);
+
+  util::Rng rng(1);
+  const ArrivalSchedule uniform =
+      ArrivalSchedule::uniform_arrivals(2000, 0.5, 10, rng);
+  std::size_t late = 0;
+  for (NodeId v = 0; v < 2000; ++v) {
+    const std::uint32_t r = uniform.arrival_round(v);
+    EXPECT_LE(r, 10u);
+    late += r > 0;
+  }
+  EXPECT_NEAR(static_cast<double>(late) / 2000.0, 0.5, 0.05);
+  EXPECT_THROW(ArrivalSchedule::uniform_arrivals(10, 1.5, 5, rng),
+               InvalidArgument);
+  EXPECT_THROW(ArrivalSchedule::uniform_arrivals(10, 0.5, 0, rng),
+               InvalidArgument);
+}
+
+TEST(TemporalViewTest, InactiveUsersAreInvisible) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  // Node 0 arrives at round 3; everyone else at 0.
+  const ArrivalSchedule schedule(std::vector<std::uint32_t>{3, 0, 0, 0});
+  TemporalView view(instance, schedule, truth);
+  EXPECT_FALSE(view.is_active(0));
+  EXPECT_TRUE(view.is_active(1));
+  // Befriending 1 reveals only the active-side edges.
+  view.record_acceptance(1);
+  EXPECT_EQ(view.edge_state(*instance.graph().find_edge(1, 2)),
+            EdgeState::kPresent);
+  EXPECT_EQ(view.edge_state(*instance.graph().find_edge(0, 1)),
+            EdgeState::kUnknown);
+  // Node 0 is not FOF (inactive) and contributes no benefit: friend 1 +
+  // FOF 2 only.
+  EXPECT_FALSE(view.is_fof(0));
+  EXPECT_DOUBLE_EQ(view.current_benefit(), 4.0);
+  EXPECT_DOUBLE_EQ(view.recompute_benefit(), 4.0);
+  // Belief of an edge with an inactive endpoint is 0.
+  EXPECT_DOUBLE_EQ(view.edge_belief(*instance.graph().find_edge(0, 1)), 0.0);
+}
+
+TEST(TemporalViewTest, ArrivalRevealsEdgesToFriends) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  const ArrivalSchedule schedule(std::vector<std::uint32_t>{3, 0, 0, 0});
+  TemporalView view(instance, schedule, truth);
+  view.record_acceptance(1);
+  const double before = view.current_benefit();
+  view.advance_to(3);  // node 0 arrives: edge (0,1) to friend 1 revealed
+  EXPECT_TRUE(view.is_active(0));
+  EXPECT_EQ(view.edge_state(*instance.graph().find_edge(0, 1)),
+            EdgeState::kPresent);
+  EXPECT_TRUE(view.is_fof(0));
+  EXPECT_DOUBLE_EQ(view.current_benefit(), before + 1.0);
+  EXPECT_DOUBLE_EQ(view.recompute_benefit(), view.current_benefit());
+  EXPECT_TRUE(view.all_arrived());
+}
+
+TEST(TemporalViewTest, MutualCountsGateCautiousAcceptance) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  // Node 3 arrives late: the cautious user 2 cannot reach θ=2 before then.
+  const ArrivalSchedule schedule(std::vector<std::uint32_t>{0, 0, 0, 5});
+  TemporalView view(instance, schedule, truth);
+  view.record_acceptance(1);
+  EXPECT_EQ(view.mutual_friends(2), 1u);
+  EXPECT_FALSE(view.cautious_would_accept(2));
+  view.advance_to(5);
+  view.record_acceptance(3);
+  EXPECT_EQ(view.mutual_friends(2), 2u);
+  EXPECT_TRUE(view.cautious_would_accept(2));
+}
+
+TEST(TemporalSimulatorTest, StaticScheduleMatchesStaticAbm) {
+  util::Rng rng(7);
+  graph::GraphBuilder b = graph::barabasi_albert(60, 3, rng);
+  b.assign_uniform_probs(rng);
+  const Graph g = b.build();
+  std::vector<UserClass> classes(60, UserClass::kReckless);
+  std::vector<std::uint32_t> thresholds(60, 1);
+  std::vector<NodeId> cautious;
+  for (NodeId v = 6; v < 60 && cautious.size() < 5; ++v) {
+    if (g.degree(v) < 3) continue;
+    bool adjacent = false;
+    for (const NodeId c : cautious) adjacent |= g.has_edge(v, c);
+    if (adjacent) continue;
+    classes[v] = UserClass::kCautious;
+    thresholds[v] = 2;
+    cautious.push_back(v);
+  }
+  std::vector<double> q(60);
+  for (auto& x : q) x = rng.uniform();
+  const AccuInstance instance(g, classes, q, thresholds,
+                              BenefitModel::paper_default(classes));
+  const Realization truth = Realization::sample(instance, rng);
+
+  // Static run.
+  AbmStrategy abm(0.5, 0.5);
+  util::Rng rs(1);
+  const SimulationResult static_result =
+      simulate(instance, truth, abm, 25, rs);
+  // Temporal run with everyone present from round 0.
+  TemporalAbm temporal({0.5, 0.5});
+  util::Rng rt(1);
+  const TemporalResult temporal_result = simulate_temporal(
+      instance, ArrivalSchedule::all_at_start(60), truth, temporal, 25, 25,
+      rt);
+  ASSERT_EQ(temporal_result.trace.size(), static_result.trace.size());
+  for (std::size_t i = 0; i < static_result.trace.size(); ++i) {
+    EXPECT_EQ(temporal_result.trace[i].target,
+              static_result.trace[i].target)
+        << "round " << i;
+    EXPECT_EQ(temporal_result.trace[i].accepted,
+              static_result.trace[i].accepted);
+  }
+  EXPECT_DOUBLE_EQ(temporal_result.total_benefit,
+                   static_result.total_benefit);
+}
+
+TEST(TemporalSimulatorTest, WaitsWhenNothingUsefulIsActive) {
+  // Only a q=0 user is active at the start; the valuable users arrive at
+  // round 2 — TemporalABM must wait, not burn budget.
+  graph::GraphBuilder b(3);
+  b.add_edge(1, 2);
+  const AccuInstance instance(b.build(), std::vector<UserClass>(3),
+                              {0.0, 1.0, 1.0},
+                              std::vector<std::uint32_t>(3, 1),
+                              BenefitModel::uniform(3, 2.0, 1.0));
+  const Realization truth = Realization::certain(instance);
+  const ArrivalSchedule schedule(std::vector<std::uint32_t>{0, 2, 2});
+  TemporalAbm strategy({1.0, 0.0});
+  util::Rng rng(2);
+  const TemporalResult result = simulate_temporal(
+      instance, schedule, truth, strategy, 6, 2, rng);
+  ASSERT_GE(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0].target, kInvalidNode);  // waited
+  EXPECT_EQ(result.trace[1].target, kInvalidNode);  // waited
+  EXPECT_NE(result.trace[2].target, kInvalidNode);  // arrivals landed
+  EXPECT_EQ(result.requests_sent, 2u);
+  EXPECT_DOUBLE_EQ(result.total_benefit, 4.0);  // both friends
+}
+
+TEST(TemporalSimulatorTest, BudgetAndRoundsBothBind) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  const ArrivalSchedule schedule = ArrivalSchedule::all_at_start(4);
+  {
+    TemporalAbm strategy({0.5, 0.5});
+    util::Rng rng(3);
+    const TemporalResult result = simulate_temporal(
+        instance, schedule, truth, strategy, 10, 2, rng);
+    EXPECT_EQ(result.requests_sent, 2u);  // budget binds
+  }
+  {
+    TemporalAbm strategy({0.5, 0.5});
+    util::Rng rng(4);
+    const TemporalResult result = simulate_temporal(
+        instance, schedule, truth, strategy, 3, 10, rng);
+    EXPECT_EQ(result.requests_sent, 3u);  // rounds bind
+  }
+}
+
+TEST(TemporalAbmTest, PotentialMatchesStaticFormulasWhenAllActive) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  TemporalView view(instance, ArrivalSchedule::all_at_start(4), truth);
+  const TemporalAbm abm({0.5, 0.5});
+  // Hand values mirror the static ABM on the same state: node 1 has
+  // P_D = 3 + 1 + 1 = 5 and P_I = (3−1)/2 = 1 via cautious neighbor 2.
+  EXPECT_DOUBLE_EQ(abm.potential(view, 1), 1.0 * (0.5 * 5.0 + 0.5 * 1.0));
+  EXPECT_DOUBLE_EQ(abm.potential(view, 2), 0.0);  // below threshold
+  EXPECT_DOUBLE_EQ(abm.potential(view, 0), 0.5 * (3.0 + 1.0));
+}
+
+TEST(TemporalAbmTest, InactiveNeighborsCarryNoPotentialMass) {
+  const AccuInstance instance = path_instance();
+  const Realization truth = Realization::certain(instance);
+  // Node 2 (the cautious neighbor of 1) arrives late.
+  const ArrivalSchedule schedule(std::vector<std::uint32_t>{0, 0, 9, 0});
+  TemporalView view(instance, schedule, truth);
+  const TemporalAbm abm({0.5, 0.5});
+  // Node 1's potential loses both the B_fof(2) mass and the indirect term.
+  EXPECT_DOUBLE_EQ(abm.potential(view, 1), 1.0 * (0.5 * 4.0 + 0.5 * 0.0));
+  view.advance_to(9);
+  EXPECT_DOUBLE_EQ(abm.potential(view, 1), 1.0 * (0.5 * 5.0 + 0.5 * 1.0));
+}
+
+class TemporalPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemporalPropertyTest, BenefitBookkeepingMatchesRecompute) {
+  util::Rng rng(GetParam());
+  graph::GraphBuilder b = graph::erdos_renyi(40, 0.12, rng);
+  b.assign_uniform_probs(rng);
+  const AccuInstance instance(b.build(), std::vector<UserClass>(40),
+                              std::vector<double>(40, 0.7),
+                              std::vector<std::uint32_t>(40, 1),
+                              BenefitModel::uniform(40, 2.0, 1.0));
+  const Realization truth = Realization::sample(instance, rng);
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::uniform_arrivals(40, 0.5, 20, rng);
+  TemporalView view(instance, schedule, truth);
+  for (std::uint32_t round = 0; round < 25; ++round) {
+    view.advance_to(round);
+    // Request a random active, un-requested node (if any).
+    for (NodeId v = 0; v < 40; ++v) {
+      if (!view.is_active(v) || view.is_requested(v)) continue;
+      if (rng.bernoulli(0.5)) {
+        if (truth.reckless_accepts(v)) {
+          view.record_acceptance(v);
+        } else {
+          view.record_rejection(v);
+        }
+        break;
+      }
+    }
+    ASSERT_NEAR(view.current_benefit(), view.recompute_benefit(), 1e-9)
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalPropertyTest,
+                         testing::Values(301u, 302u, 303u, 304u, 305u));
+
+}  // namespace
+}  // namespace accu

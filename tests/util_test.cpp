@@ -1,0 +1,347 @@
+// Unit tests for the utility substrate: RNG determinism and distribution
+// sanity, streaming statistics, tables/CSV, option parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace accu::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremesAreDeterministic) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BelowCoversRangeUniformly) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.range(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  const auto picks = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::vector<std::size_t> sorted = picks;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (const std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(12);
+  const auto picks = rng.sample_without_replacement(5, 5);
+  std::vector<std::size_t> sorted = picks;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(13);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, GeometricSkipsMeanMatches) {
+  Rng rng(14);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.geometric_skips(p));
+  }
+  // Mean failures before success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / trials, 4.0, 0.15);
+}
+
+TEST(RngTest, GeometricSkipsCertainSuccess) {
+  Rng rng(15);
+  EXPECT_EQ(rng.geometric_skips(1.0), 0u);
+}
+
+// ---------------------------------------------------------- RunningStat ----
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance of this classic sample is 4; unbiased = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  RunningStat all, left, right;
+  Rng rng(16);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+// ----------------------------------------------------- SeriesAccumulator ----
+
+TEST(SeriesAccumulatorTest, PerIndexMeans) {
+  SeriesAccumulator acc;
+  acc.add_run({1.0, 2.0, 3.0});
+  acc.add_run({3.0, 4.0});
+  EXPECT_EQ(acc.length(), 3u);
+  EXPECT_DOUBLE_EQ(acc.at(0).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.at(1).mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.at(2).mean(), 3.0);
+  EXPECT_EQ(acc.at(2).count(), 1u);
+}
+
+TEST(SeriesAccumulatorTest, AddAtGrows) {
+  SeriesAccumulator acc;
+  acc.add_at(5, 7.0);
+  EXPECT_EQ(acc.length(), 6u);
+  EXPECT_EQ(acc.at(0).count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.at(5).mean(), 7.0);
+}
+
+// -------------------------------------------------------------- Histogram ----
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(HistogramTest, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ Table ----
+
+TEST(TableTest, AlignedPrintContainsCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.25, 2);
+  t.row().cell("b").cell_int(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  Table t({"x", "y"});
+  t.row().cell("a,b").cell("c");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n\"a,b\",c\n");
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Options ----
+
+TEST(OptionsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=2.5", "--flag", "pos1"};
+  Options opts(5, argv);
+  EXPECT_EQ(opts.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(opts.get_double("beta", 0.0), 2.5);
+  EXPECT_TRUE(opts.get_bool("flag", false));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "pos1");
+}
+
+TEST(OptionsTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_EQ(opts.get_int("k", 123), 123);
+  EXPECT_DOUBLE_EQ(opts.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(opts.get("name", "d"), "d");
+  EXPECT_FALSE(opts.has("k"));
+}
+
+TEST(OptionsTest, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Options opts(2, argv);
+  EXPECT_THROW(opts.get_int("k", 0), InvalidArgument);
+}
+
+TEST(OptionsTest, UnknownOptionDetected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Options opts(2, argv);
+  opts.declare("k", "budget");
+  EXPECT_THROW(opts.check_unknown(), InvalidArgument);
+}
+
+TEST(OptionsTest, ResponseFileSuppliesDefaults) {
+  const std::string path = testing::TempDir() + "accu_options_test.opts";
+  {
+    std::ofstream os(path);
+    os << "# experiment defaults\n"
+          "\n"
+          "k=250\n"
+          "--scale=0.5\n"
+          "verbose\n";
+  }
+  const char* argv[] = {"prog", "--k=99"};
+  Options opts(2, argv);
+  opts.load_defaults_file(path);
+  EXPECT_EQ(opts.get_int("k", 0), 99);  // command line wins
+  EXPECT_DOUBLE_EQ(opts.get_double("scale", 0.0), 0.5);
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+}
+
+TEST(OptionsTest, ResponseFileErrors) {
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_THROW(opts.load_defaults_file("/nonexistent/opts"), IoError);
+  const std::string path = testing::TempDir() + "accu_options_bad.opts";
+  {
+    std::ofstream os(path);
+    os << "=value\n";
+  }
+  EXPECT_THROW(opts.load_defaults_file(path), InvalidArgument);
+}
+
+TEST(OptionsTest, DeclaredOptionPasses) {
+  const char* argv[] = {"prog", "--k=5"};
+  Options opts(2, argv);
+  opts.declare("k", "budget");
+  EXPECT_NO_THROW(opts.check_unknown());
+}
+
+}  // namespace
+}  // namespace accu::util

@@ -1,0 +1,403 @@
+// accu — command-line front end to the ACCU library.
+//
+// Subcommands:
+//   generate   build a synthetic dataset instance and write it to a file
+//   stats      print network/model statistics of an instance file
+//   attack     run one policy against an instance and print the trace
+//   compare    run the full policy roster and print a comparison table
+//   assess     defender-side vulnerability report (Monte Carlo ABM)
+//   ratio      brute-force submodularity ratios of a small instance
+//
+// Every subcommand accepts --help.  Instances travel as the text format of
+// core/instance_io.hpp, so a `generate`d file reproduces exactly the same
+// experiment anywhere.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/defense.hpp"
+#include "core/experiment.hpp"
+#include "core/instance_io.hpp"
+#include "core/report.hpp"
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "core/multibot/multibot.hpp"
+#include "core/strategies/batched.hpp"
+#include "core/strategies/oracle.hpp"
+#include "core/theory/ratios.hpp"
+#include "datasets/datasets.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/dot.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace accu;
+
+constexpr const char* kUsage =
+    "usage: accu <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  generate   build a synthetic dataset instance (--dataset, --scale,\n"
+    "             --cautious, --cautious-bf, --theta, --q1, --q2, --seed,\n"
+    "             --out=FILE)\n"
+    "  stats      statistics of an instance (--in=FILE)\n"
+    "  attack     run one policy (--in=FILE, --policy=abm|greedy|maxdegree|\n"
+    "             pagerank|random|batched, --k, --wd, --wi, --batch, --seed,\n"
+    "             --trace)\n"
+    "  compare    compare the paper's policy roster (--in=FILE, --k, --runs,\n"
+    "             --seed)\n"
+    "  assess     defender vulnerability report (--in=FILE, --k, --trials,\n"
+    "             --seed, --top)\n"
+    "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
+    "             --wi, --seed)\n"
+    "  ratio      submodularity ratios, small instances only (--in=FILE)\n";
+
+AccuInstance load_instance(const util::Options& opts) {
+  const std::string path = opts.get("in", "");
+  if (path.empty()) {
+    throw InvalidArgument("missing --in=FILE (generate one with 'accu "
+                          "generate')");
+  }
+  return read_instance_file(path);
+}
+
+std::unique_ptr<Strategy> make_policy(const util::Options& opts) {
+  const std::string policy = opts.get("policy", "abm");
+  const double wd = opts.get_double("wd", 0.5);
+  const double wi = opts.get_double("wi", 0.5);
+  if (policy == "abm") return std::make_unique<AbmStrategy>(wd, wi);
+  if (policy == "greedy") return std::make_unique<AbmStrategy>(1.0, 0.0);
+  if (policy == "maxdegree") return std::make_unique<MaxDegreeStrategy>();
+  if (policy == "pagerank") return std::make_unique<PageRankStrategy>();
+  if (policy == "random") return std::make_unique<RandomStrategy>();
+  if (policy == "batched") {
+    const auto batch =
+        static_cast<std::uint32_t>(opts.get_int("batch", 20));
+    return std::make_unique<BatchedAbmStrategy>(PotentialWeights{wd, wi},
+                                                batch);
+  }
+  throw InvalidArgument("unknown --policy=" + policy);
+}
+
+int cmd_generate(const util::Options& opts) {
+  datasets::DatasetConfig config;
+  config.scale = opts.get_double("scale", 0.1);
+  config.num_cautious =
+      static_cast<std::uint32_t>(opts.get_int("cautious", 100));
+  config.cautious_friend_benefit = opts.get_double("cautious-bf", 50.0);
+  config.threshold_fraction = opts.get_double("theta", 0.3);
+  config.cautious_below_prob = opts.get_double("q1", 0.0);
+  config.cautious_above_prob = opts.get_double("q2", 1.0);
+  const std::string dataset = opts.get("dataset", "facebook");
+  const std::string out = opts.get("out", dataset + ".accu");
+  util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  // --edges=FILE ingests a real snapshot (e.g. an actual SNAP edge list)
+  // instead of generating a synthetic substitute.
+  const AccuInstance instance =
+      opts.has("edges")
+          ? datasets::make_dataset_from_edge_list(opts.get("edges", ""),
+                                                  config, rng)
+          : datasets::make_dataset(dataset, config, rng);
+  write_instance_file(instance, out);
+  std::printf("wrote %s: %u users (%u cautious), %u potential edges\n",
+              out.c_str(), instance.num_nodes(), instance.num_cautious(),
+              instance.graph().num_edges());
+  return 0;
+}
+
+int cmd_stats(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  const Graph& g = instance.graph();
+  const graph::DegreeStats degrees = graph::degree_stats(g);
+  util::Rng rng(1);
+  util::Table table({"metric", "value"});
+  table.row().cell("users").cell_int(g.num_nodes());
+  table.row().cell("potential edges").cell_int(g.num_edges());
+  table.row().cell("expected edges").cell(g.expected_num_edges(), 1);
+  table.row().cell("cautious users").cell_int(instance.num_cautious());
+  table.row().cell("mean degree").cell(degrees.mean, 2);
+  table.row().cell("max degree").cell_int(degrees.max);
+  table.row().cell("median degree").cell(degrees.median, 1);
+  table.row().cell("clustering (sampled)").cell(
+      graph::clustering_coefficient(g, 2000, rng), 4);
+  table.row().cell("deg∈[10,100] fraction").cell(
+      graph::degree_window_fraction(g, 10, 100), 4);
+  table.row().cell("generalized cautious model").cell(
+      instance.has_generalized_cautious() ? "yes" : "no");
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_attack(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 100));
+  util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const Realization truth = Realization::sample(instance, rng);
+  std::unique_ptr<Strategy> policy;
+  if (opts.get("policy", "abm") == "oracle") {
+    // Clairvoyant upper-bound reference: needs the ground truth.
+    policy = std::make_unique<ClairvoyantGreedyStrategy>(truth);
+  } else {
+    policy = make_policy(opts);
+  }
+  util::Rng policy_rng = rng.split(1);
+  AttackerView view(instance);
+  const SimulationResult result =
+      simulate_with_view(instance, truth, *policy, k, policy_rng, view);
+  std::printf("%s, budget %u: benefit %.1f, friends %u (cautious %u)\n",
+              policy->name().c_str(), k, result.total_benefit,
+              result.num_accepted, result.num_cautious_friends);
+  std::printf("crawl coverage: %zu of %u potential edges observed (%.1f%%)\n",
+              view.num_observed_edges(), instance.graph().num_edges(),
+              100.0 * static_cast<double>(view.num_observed_edges()) /
+                  std::max(1u, instance.graph().num_edges()));
+  if (opts.has("dot")) {
+    // Export the harvested network with role annotations.
+    graph::DotOptions dot_options;
+    dot_options.name = "crawl";
+    dot_options.node_attributes = [&](NodeId v) {
+      if (view.is_friend(v)) {
+        return instance.is_cautious(v)
+                   ? std::string("color=red,style=filled")
+                   : std::string("color=lightblue,style=filled");
+      }
+      if (view.is_fof(v)) return std::string("color=gray");
+      return std::string();
+    };
+    graph::write_dot_file(observed_graph(view), opts.get("dot", ""),
+                          dot_options);
+    std::printf("observed network written to %s\n",
+                opts.get("dot", "").c_str());
+  }
+  if (opts.get_bool("trace", false)) {
+    util::Table table({"#", "target", "class", "outcome", "marginal",
+                       "cumulative"});
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      const RequestRecord& r = result.trace[i];
+      table.row()
+          .cell_int(static_cast<long long>(i + 1))
+          .cell_int(r.target)
+          .cell(r.cautious_target ? "cautious" : "reckless")
+          .cell(r.accepted ? "accepted" : "rejected")
+          .cell(r.marginal(), 1)
+          .cell(r.benefit_after, 1);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_compare(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 100));
+  const auto runs = static_cast<std::uint32_t>(opts.get_int("runs", 10));
+  ExperimentConfig config;
+  config.budget = k;
+  config.samples = 1;  // the instance is fixed: repeat realizations only
+  config.runs = runs;
+  config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  config.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  const InstanceFactory factory = [&instance](std::uint32_t, std::uint64_t) {
+    return instance;
+  };
+  const std::vector<StrategyFactory> strategies = {
+      {"ABM", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
+      {"Greedy", [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }},
+      {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
+      {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
+      {"Random", [] { return std::make_unique<RandomStrategy>(); }},
+  };
+  const ExperimentResult result = run_experiment(factory, strategies, config);
+  util::Table table({"policy", "benefit", "±95%", "friends",
+                     "cautious friends"});
+  for (std::size_t i = 0; i < result.strategy_names.size(); ++i) {
+    const TraceAggregator& agg = result.aggregates[i];
+    table.row()
+        .cell(result.strategy_names[i])
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(agg.total_benefit().ci95_halfwidth(), 1)
+        .cell(agg.accepted_requests().mean(), 1)
+        .cell(agg.cautious_friends().mean(), 2);
+  }
+  table.print(std::cout);
+  if (opts.has("report")) {
+    std::ofstream os(opts.get("report", ""));
+    if (!os) throw IoError("cannot open --report file");
+    ReportOptions report_options;
+    report_options.title = "accu compare — " + opts.get("in", "");
+    write_markdown_report(result, config, os, report_options);
+    std::printf("markdown report written to %s\n",
+                opts.get("report", "").c_str());
+  }
+  if (opts.has("curves")) {
+    std::ofstream os(opts.get("curves", ""));
+    if (!os) throw IoError("cannot open --curves file");
+    write_curves_csv(result, os);
+    std::printf("curve CSV written to %s\n", opts.get("curves", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_assess(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  defense::AttackModel model;
+  model.budget = static_cast<std::uint32_t>(opts.get_int("k", 100));
+  model.trials = static_cast<std::uint32_t>(opts.get_int("trials", 20));
+  model.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const defense::VulnerabilityReport report =
+      defense::assess(instance, model);
+  std::printf("attacker benefit: %.1f ± %.1f; expected cautious capture "
+              "rate: %.3f\n",
+              report.attacker_benefit.mean(),
+              report.attacker_benefit.ci95_halfwidth(),
+              report.mean_capture_rate);
+  const auto top = report.most_vulnerable(
+      static_cast<std::size_t>(opts.get_int("top", 10)));
+  util::Table table({"user", "degree", "θ", "capture probability"});
+  for (const NodeId v : top) {
+    double prob = 0.0;
+    for (std::size_t i = 0; i < report.cautious_users.size(); ++i) {
+      if (report.cautious_users[i] == v) prob = report.capture_probability[i];
+    }
+    table.row()
+        .cell_int(v)
+        .cell_int(instance.graph().degree(v))
+        .cell_int(instance.threshold(v))
+        .cell(prob, 3);
+  }
+  std::cout << "most vulnerable cautious users:\n";
+  table.print(std::cout);
+  const auto gateways = report.top_gateways(
+      static_cast<std::size_t>(opts.get_int("top", 10)));
+  if (!gateways.empty()) {
+    util::Table gw({"gateway user", "degree",
+                    "cautious captures enabled / attack"});
+    for (const NodeId v : gateways) {
+      gw.row()
+          .cell_int(v)
+          .cell_int(instance.graph().degree(v))
+          .cell(report.gateway_score[v], 3);
+    }
+    std::cout << "gateway accounts (protect these friendships first):\n";
+    gw.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_swarm(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  if (instance.has_generalized_cautious()) {
+    throw InvalidArgument(
+        "swarm: multi-bot attacks cover the deterministic cautious model");
+  }
+  const auto k = static_cast<std::uint32_t>(opts.get_int("k", 100));
+  const auto repeats =
+      static_cast<std::uint32_t>(opts.get_int("runs", 5));
+  util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  util::Table table({"#bots", "rounds", "benefit", "±95%",
+                     "cautious friends"});
+  for (const BotId bots : {1u, 2u, 4u, 8u}) {
+    util::RunningStat benefit, cautious, rounds;
+    for (std::uint32_t r = 0; r < repeats; ++r) {
+      util::Rng run_rng = rng.split(bots * 1000 + r);
+      const MultiBotRealization truth =
+          MultiBotRealization::sample(instance, bots, run_rng);
+      MultiBotAbm coalition({opts.get_double("wd", 0.5),
+                             opts.get_double("wi", 0.5)});
+      util::Rng policy_rng = run_rng.split(3);
+      const MultiBotResult result =
+          simulate_multibot(instance, truth, coalition, k, bots, policy_rng);
+      benefit.add(result.total_benefit);
+      cautious.add(result.num_cautious_friends);
+      rounds.add(result.rounds);
+    }
+    table.row()
+        .cell_int(bots)
+        .cell(rounds.mean(), 1)
+        .cell(benefit.mean(), 1)
+        .cell(benefit.ci95_halfwidth(), 1)
+        .cell(cautious.mean(), 2);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_ratio(const util::Options& opts) {
+  const AccuInstance instance = load_instance(opts);
+  if (instance.num_nodes() > 12) {
+    throw InvalidArgument("ratio: brute force needs <= 12 users (got " +
+                          std::to_string(instance.num_nodes()) + ")");
+  }
+  const Realization certain = Realization::certain(instance);
+  std::printf("RASR λ_φ (certain world): %.6f\n",
+              realization_submodular_ratio(instance, certain));
+  const double lambda = adaptive_submodular_ratio(instance);
+  std::printf("adaptive submodular ratio λ: %.6f\n", lambda);
+  std::printf("Theorem 1 greedy guarantee 1−e^{−λ}: %.6f\n",
+              theorem1_ratio(lambda, 1, 1));
+  if (instance.num_cautious() == 1) {
+    std::printf("Lemma 4 closed-form estimate: %.6f\n",
+                lemma4_lambda(instance, certain));
+  }
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  util::Options opts(argc - 1, argv + 1);
+  opts.declare("in", "instance file to read")
+      .declare("out", "output file")
+      .declare("dataset", "dataset name (generate)")
+      .declare("edges", "ingest a real edge-list snapshot (generate)")
+      .declare("scale", "dataset scale (generate)")
+      .declare("cautious", "number of cautious users (generate)")
+      .declare("cautious-bf", "cautious friend benefit (generate)")
+      .declare("theta", "threshold fraction (generate)")
+      .declare("q1", "generalized below-threshold acceptance (generate)")
+      .declare("q2", "generalized at-threshold acceptance (generate)")
+      .declare("seed", "random seed")
+      .declare("policy", "attack policy (attack)")
+      .declare("k", "request budget")
+      .declare("wd", "ABM direct weight")
+      .declare("wi", "ABM indirect weight")
+      .declare("batch", "batch size for --policy=batched")
+      .declare("trace", "print the full request trace (attack)")
+      .declare("dot", "write the observed network as GraphViz DOT (attack)")
+      .declare("runs", "repetitions (compare)")
+      .declare("trials", "Monte Carlo trials (assess)")
+      .declare("threads", "worker threads (compare)")
+      .declare("report", "write a Markdown report (compare)")
+      .declare("curves", "write long-format curve CSV (compare)")
+      .declare("top", "how many users to list (assess)");
+  opts.check_unknown();
+  if (command == "generate") return cmd_generate(opts);
+  if (command == "stats") return cmd_stats(opts);
+  if (command == "attack") return cmd_attack(opts);
+  if (command == "compare") return cmd_compare(opts);
+  if (command == "assess") return cmd_assess(opts);
+  if (command == "swarm") return cmd_swarm(opts);
+  if (command == "ratio") return cmd_ratio(opts);
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "accu: %s\n", e.what());
+    return 1;
+  }
+}
