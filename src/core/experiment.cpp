@@ -1,8 +1,15 @@
 #include "core/experiment.hpp"
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
 
+#include "core/strategies/retrying.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -27,7 +34,9 @@ void TraceAggregator::add(const SimulationResult& result,
     }
   }
   // Hold the final benefit for unused budget so per-index averages compare
-  // policies over the same horizon.
+  // policies over the same horizon.  Suspension-stalled rounds are *not*
+  // padding: they sit inside the trace as explicit zero-marginal records,
+  // so their indices keep one sample per run like every other round.
   for (std::size_t i = result.trace.size(); i < budget; ++i) {
     cumulative_benefit_.add_at(i, running);
     marginal_.add_at(i, 0.0);
@@ -38,6 +47,10 @@ void TraceAggregator::add(const SimulationResult& result,
   total_benefit_.add(result.total_benefit);
   cautious_friends_.add(result.num_cautious_friends);
   accepted_.add(result.num_accepted);
+  faulted_.add(result.num_faulted);
+  retries_.add(result.num_retries);
+  suspended_.add(result.rounds_suspended);
+  abandoned_.add(result.num_abandoned);
 }
 
 void TraceAggregator::merge(const TraceAggregator& other) {
@@ -49,6 +62,10 @@ void TraceAggregator::merge(const TraceAggregator& other) {
   total_benefit_.merge(other.total_benefit_);
   cautious_friends_.merge(other.cautious_friends_);
   accepted_.merge(other.accepted_);
+  faulted_.merge(other.faulted_);
+  retries_.merge(other.retries_);
+  suspended_.merge(other.suspended_);
+  abandoned_.merge(other.abandoned_);
 }
 
 const TraceAggregator& ExperimentResult::by_name(
@@ -74,11 +91,289 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
   return util::splitmix64_next(state);
 }
 
+// Distinct stream salts so fault / retry randomness never collides with
+// the truth or policy streams of the same cell.
+constexpr std::uint64_t kFaultStreamSalt = 0xfa17fa17fa17fa17ULL;
+constexpr std::uint64_t kRetryStreamSalt = 0x5e77bacc0ff5e7ULL;
+
+// ---------------------------------------------------------------------------
+// Checkpointing.  Line-oriented, mirroring the instance-io format:
+//
+//   # accu-checkpoint v1
+//   sweep seed <u64> samples <S> runs <R> budget <k> strategies <n>
+//   faults <drop> <timeout> <transient> <ratelimit> <w> retry <kind> <max>
+//       <base> <cap>                                       (one line)
+//   name <i> <strategy name>                               (n lines)
+//   begin <task>
+//   t <s> <target> <accepted> <cautious> <fault> <attempt> <benefit_after>
+//   m <s> <num_abandoned>
+//   end <task>
+//
+// One `begin..end` block per completed (sample, run) cell, appended
+// atomically under a mutex.  Doubles round-trip exactly (%.17g) and blocks
+// replay through TraceAggregator::add in fixed task order, so a resumed
+// sweep's aggregates are bit-identical to an uninterrupted one.  A
+// trailing block without its `end` line (crash mid-write) is discarded and
+// its cell simply re-runs.
+// ---------------------------------------------------------------------------
+
+struct CheckpointFingerprint {
+  std::uint64_t seed = 0;
+  std::uint32_t samples = 0;
+  std::uint32_t runs = 0;
+  std::uint32_t budget = 0;
+  std::vector<std::string> names;
+  FaultConfig faults{};
+  util::RetryPolicy retry{};
+};
+
+CheckpointFingerprint fingerprint_of(const ExperimentConfig& config,
+                                     const std::vector<std::string>& names) {
+  CheckpointFingerprint fp;
+  fp.seed = config.seed;
+  fp.samples = config.samples;
+  fp.runs = config.runs;
+  fp.budget = config.budget;
+  fp.names = names;
+  fp.faults = config.faults;
+  fp.retry = config.retry;
+  return fp;
+}
+
+void write_checkpoint_header(std::ostream& os,
+                             const CheckpointFingerprint& fp) {
+  os << "# accu-checkpoint v1\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "sweep seed %" PRIu64
+                " samples %u runs %u budget %u strategies %zu\n",
+                fp.seed, fp.samples, fp.runs, fp.budget, fp.names.size());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "faults %.17g %.17g %.17g %.17g %u retry %u %u %u %u\n",
+                fp.faults.drop_rate, fp.faults.timeout_rate,
+                fp.faults.transient_rate, fp.faults.rate_limit_rate,
+                fp.faults.suspension_rounds,
+                static_cast<unsigned>(fp.retry.kind), fp.retry.max_retries,
+                fp.retry.base_delay, fp.retry.max_delay);
+  os << buf;
+  for (std::size_t i = 0; i < fp.names.size(); ++i) {
+    os << "name " << i << ' ' << fp.names[i] << '\n';
+  }
+  os.flush();
+}
+
+[[noreturn]] void checkpoint_mismatch(const std::string& path,
+                                      const std::string& what) {
+  throw IoError("checkpoint " + path +
+                " does not match this experiment (" + what +
+                "); delete it or pick another path to start fresh");
+}
+
+/// Appends one completed cell.  Caller holds the checkpoint mutex.
+void write_checkpoint_cell(std::ostream& os, std::size_t task,
+                           const std::vector<SimulationResult>& outcomes) {
+  std::ostringstream block;
+  block << "begin " << task << '\n';
+  char buf[192];
+  for (std::size_t s = 0; s < outcomes.size(); ++s) {
+    for (const RequestRecord& r : outcomes[s].trace) {
+      std::snprintf(buf, sizeof buf, "t %zu %u %d %d %u %u %.17g\n", s,
+                    r.target, r.accepted ? 1 : 0, r.cautious_target ? 1 : 0,
+                    static_cast<unsigned>(r.fault), r.attempt,
+                    r.benefit_after);
+      block << buf;
+    }
+    block << "m " << s << ' ' << outcomes[s].num_abandoned << '\n';
+  }
+  block << "end " << task << '\n';
+  os << block.str();
+  os.flush();
+}
+
+/// Rebuilds a SimulationResult from checkpointed trace lines.  Only the
+/// fields TraceAggregator::add consumes are populated.
+SimulationResult replay_result(const std::vector<RequestRecord>& trace,
+                               std::uint32_t num_abandoned) {
+  SimulationResult result;
+  result.trace = trace;
+  result.num_abandoned = num_abandoned;
+  for (const RequestRecord& r : result.trace) {
+    if (r.accepted) {
+      ++result.num_accepted;
+      if (r.cautious_target) ++result.num_cautious_friends;
+    }
+    if (r.fault == FaultKind::kSuspensionStall) {
+      ++result.rounds_suspended;
+    } else if (r.fault != FaultKind::kNone) {
+      ++result.num_faulted;
+    }
+    if (r.attempt > 0) ++result.num_retries;
+  }
+  if (!result.trace.empty()) {
+    result.total_benefit = result.trace.back().benefit_after;
+  }
+  return result;
+}
+
+/// Loads an existing checkpoint, replaying completed cells into
+/// `partials` and marking them in `done`.  Returns the number of cells
+/// restored.  Throws IoError when the file belongs to a different
+/// experiment; tolerates a truncated trailing block.
+std::size_t load_checkpoint(const std::string& path,
+                            const CheckpointFingerprint& expected,
+                            std::size_t tasks, std::uint32_t budget,
+                            std::vector<std::vector<TraceAggregator>>& partials,
+                            std::vector<bool>& done) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open checkpoint for reading: " + path);
+  const std::size_t nstrategies = expected.names.size();
+  std::string line;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  // Header.
+  {
+    if (!next_line()) throw IoError("checkpoint " + path + ": empty file");
+    std::istringstream ls(line);
+    std::string kw1, kw2, kw3, kw4, kw5, kw6;
+    std::uint64_t seed = 0;
+    std::uint32_t samples = 0, runs = 0, budget_in = 0;
+    std::size_t n = 0;
+    if (!(ls >> kw1 >> kw2 >> seed >> kw3 >> samples >> kw4 >> runs >> kw5 >>
+          budget_in >> kw6 >> n) ||
+        kw1 != "sweep" || kw2 != "seed") {
+      throw IoError("checkpoint " + path + ": malformed sweep header");
+    }
+    if (seed != expected.seed || samples != expected.samples ||
+        runs != expected.runs || budget_in != expected.budget ||
+        n != nstrategies) {
+      checkpoint_mismatch(path, "different sweep shape or seed");
+    }
+  }
+  {
+    if (!next_line()) {
+      throw IoError("checkpoint " + path + ": missing faults line");
+    }
+    std::istringstream ls(line);
+    std::string kw1, kw2;
+    double dr = 0, to = 0, tr = 0, rl = 0;
+    std::uint32_t w = 0;
+    unsigned kind = 0;
+    std::uint32_t maxr = 0, base = 0, cap = 0;
+    if (!(ls >> kw1 >> dr >> to >> tr >> rl >> w >> kw2 >> kind >> maxr >>
+          base >> cap) ||
+        kw1 != "faults" || kw2 != "retry") {
+      throw IoError("checkpoint " + path + ": malformed faults line");
+    }
+    const FaultConfig& f = expected.faults;
+    const util::RetryPolicy& r = expected.retry;
+    if (dr != f.drop_rate || to != f.timeout_rate || tr != f.transient_rate ||
+        rl != f.rate_limit_rate || w != f.suspension_rounds ||
+        kind != static_cast<unsigned>(r.kind) || maxr != r.max_retries ||
+        base != r.base_delay || cap != r.max_delay) {
+      checkpoint_mismatch(path, "different fault or retry configuration");
+    }
+  }
+  for (std::size_t i = 0; i < nstrategies; ++i) {
+    if (!next_line()) {
+      throw IoError("checkpoint " + path + ": missing strategy name line");
+    }
+    std::istringstream ls(line);
+    std::string kw;
+    std::size_t index = 0;
+    if (!(ls >> kw >> index) || kw != "name" || index != i) {
+      throw IoError("checkpoint " + path + ": malformed strategy name line");
+    }
+    std::string name;
+    std::getline(ls, name);
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    if (name != expected.names[i]) {
+      checkpoint_mismatch(path, "different strategy roster");
+    }
+  }
+
+  // Cell blocks.
+  std::size_t restored = 0;
+  while (next_line()) {
+    std::istringstream header(line);
+    std::string kw;
+    std::size_t task = 0;
+    if (!(header >> kw >> task) || kw != "begin" || task >= tasks) {
+      break;  // corrupt or foreign tail: everything from here re-runs
+    }
+    std::vector<std::vector<RequestRecord>> traces(nstrategies);
+    std::vector<std::uint32_t> abandoned(nstrategies, 0);
+    bool complete = false, malformed = false;
+    while (next_line()) {
+      if (line.rfind("end ", 0) == 0) {
+        std::istringstream ls(line);
+        std::string end_kw;
+        std::size_t end_task = 0;
+        complete = (ls >> end_kw >> end_task) && end_task == task;
+        break;
+      }
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "t") {
+        std::size_t s = 0;
+        unsigned long target = 0;
+        int accepted = 0, cautious = 0;
+        unsigned fault = 0;
+        std::uint32_t attempt = 0;
+        double after = 0.0;
+        if (!(ls >> s >> target >> accepted >> cautious >> fault >> attempt >>
+              after) ||
+            s >= nstrategies ||
+            fault > static_cast<unsigned>(FaultKind::kSuspensionStall)) {
+          malformed = true;
+          break;
+        }
+        RequestRecord r;
+        r.target = static_cast<NodeId>(target);
+        r.accepted = accepted != 0;
+        r.cautious_target = cautious != 0;
+        r.fault = static_cast<FaultKind>(fault);
+        r.attempt = attempt;
+        r.benefit_before =
+            traces[s].empty() ? 0.0 : traces[s].back().benefit_after;
+        r.benefit_after = after;
+        traces[s].push_back(r);
+      } else if (tag == "m") {
+        std::size_t s = 0;
+        std::uint32_t count = 0;
+        if (!(ls >> s >> count) || s >= nstrategies) {
+          malformed = true;
+          break;
+        }
+        abandoned[s] = count;
+      } else {
+        malformed = true;
+        break;
+      }
+    }
+    if (!complete || malformed) break;  // truncated tail: cell re-runs
+    if (done[task]) continue;           // duplicate block: keep the first
+    for (std::size_t s = 0; s < nstrategies; ++s) {
+      partials[task][s].add(replay_result(traces[s], abandoned[s]), budget);
+    }
+    done[task] = true;
+    ++restored;
+  }
+  return restored;
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const InstanceFactory& make_instance,
                                 const std::vector<StrategyFactory>& strategies,
                                 const ExperimentConfig& config) {
+  config.faults.validate();
   ExperimentResult result;
   result.strategy_names.reserve(strategies.size());
   for (const StrategyFactory& factory : strategies) {
@@ -87,38 +382,115 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   result.aggregates.resize(strategies.size());
 
   util::Timer timer;
-  // One instance per sample network, generated up front so runs can share
-  // it (the factory owns all dataset-level randomness through the seed).
-  std::vector<AccuInstance> instances;
-  instances.reserve(config.samples);
-  for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
-    instances.push_back(
-        make_instance(sample, derive_seed(config.seed, sample)));
-    util::log_info("experiment: sample %u/%u generated (%.1fs elapsed)",
-                   sample + 1, config.samples, timer.seconds());
-  }
-
   // Task grid: one (sample, run) cell produces one partial aggregate per
   // strategy; cells are independent and merged in fixed task order below.
   const std::size_t tasks =
       static_cast<std::size_t>(config.samples) * config.runs;
   std::vector<std::vector<TraceAggregator>> partials(
       tasks, std::vector<TraceAggregator>(strategies.size()));
+  std::vector<bool> done(tasks, false);
 
+  // Checkpoint: restore completed cells, then append new ones as they
+  // finish.
+  const CheckpointFingerprint fingerprint =
+      fingerprint_of(config, result.strategy_names);
+  std::ofstream checkpoint_out;
+  std::mutex checkpoint_mutex;
+  if (!config.checkpoint_path.empty()) {
+    std::size_t restored = 0;
+    if (std::ifstream probe(config.checkpoint_path); probe.good()) {
+      restored = load_checkpoint(config.checkpoint_path, fingerprint, tasks,
+                                 config.budget, partials, done);
+    }
+    checkpoint_out.open(config.checkpoint_path,
+                        std::ios::out | std::ios::app);
+    if (!checkpoint_out) {
+      throw IoError("cannot open checkpoint for writing: " +
+                    config.checkpoint_path);
+    }
+    if (restored == 0 && checkpoint_out.tellp() == std::streampos(0)) {
+      write_checkpoint_header(checkpoint_out, fingerprint);
+    }
+    if (restored > 0) {
+      util::log_info("experiment: resumed %zu/%zu cells from %s", restored,
+                     tasks, config.checkpoint_path.c_str());
+    }
+  }
+
+  std::mutex failure_mutex;
+  // One instance per sample network, generated up front so runs can share
+  // it (the factory owns all dataset-level randomness through the seed).
+  // Samples whose cells are all checkpointed skip generation; a factory
+  // that throws fails that sample's cells instead of the whole sweep.
+  std::vector<std::optional<AccuInstance>> instances(config.samples);
+  for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
+    bool needed = false;
+    for (std::uint32_t run = 0; run < config.runs; ++run) {
+      needed |= !done[static_cast<std::size_t>(sample) * config.runs + run];
+    }
+    if (!needed) continue;
+    try {
+      instances[sample] =
+          make_instance(sample, derive_seed(config.seed, sample));
+      util::log_info("experiment: sample %u/%u generated (%.1fs elapsed)",
+                     sample + 1, config.samples, timer.seconds());
+    } catch (const std::exception& e) {
+      result.failures.push_back(
+          {sample, CellFailure::kAllRuns,
+           std::string("instance factory failed: ") + e.what()});
+      util::log_warn("experiment: sample %u instance factory failed: %s",
+                     sample, e.what());
+    }
+  }
+
+  const bool faulty = config.faults.total_rate() > 0.0;
   auto run_task = [&](std::size_t task) {
+    if (done[task]) return;
     const std::uint32_t sample =
         static_cast<std::uint32_t>(task / config.runs);
     const std::uint32_t run = static_cast<std::uint32_t>(task % config.runs);
-    const AccuInstance& instance = instances[sample];
-    // One ground truth per (sample, run), shared by every policy.
-    util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
-    const Realization truth = Realization::sample(instance, truth_rng);
-    for (std::size_t s = 0; s < strategies.size(); ++s) {
-      util::Rng policy_rng(derive_seed(config.seed, sample, run + 1, s + 1));
-      const std::unique_ptr<Strategy> strategy = strategies[s].make();
-      const SimulationResult outcome =
-          simulate(instance, truth, *strategy, config.budget, policy_rng);
-      partials[task][s].add(outcome, config.budget);
+    if (!instances[sample].has_value()) return;  // factory failure, reported
+    const AccuInstance& instance = *instances[sample];
+    try {
+      // One ground truth per (sample, run), shared by every policy.
+      util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
+      const Realization truth = Realization::sample(instance, truth_rng);
+      std::vector<SimulationResult> outcomes(strategies.size());
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        util::Rng policy_rng(
+            derive_seed(config.seed, sample, run + 1, s + 1));
+        std::unique_ptr<Strategy> strategy = strategies[s].make();
+        if (config.retry.kind != util::RetryKind::kNone) {
+          strategy = std::make_unique<RetryingStrategy>(
+              std::move(strategy), config.retry,
+              derive_seed(config.seed ^ kRetryStreamSalt, sample, run + 1,
+                          s + 1));
+        }
+        if (faulty) {
+          FaultModel faults(config.faults,
+                            derive_seed(config.seed ^ kFaultStreamSalt,
+                                        sample, run + 1, s + 1));
+          outcomes[s] = simulate_with_faults(instance, truth, *strategy,
+                                             config.budget, policy_rng,
+                                             faults);
+        } else {
+          outcomes[s] =
+              simulate(instance, truth, *strategy, config.budget, policy_rng);
+        }
+        partials[task][s].add(outcomes[s], config.budget);
+      }
+      if (checkpoint_out.is_open()) {
+        const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+        write_checkpoint_cell(checkpoint_out, task, outcomes);
+      }
+    } catch (const std::exception& e) {
+      // Surface the failure per cell instead of crashing the sweep; wipe
+      // any half-filled partials so surviving cells aggregate cleanly.
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        partials[task][s] = TraceAggregator();
+      }
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      result.failures.push_back({sample, run, e.what()});
     }
   };
 
@@ -150,6 +522,11 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     for (std::size_t s = 0; s < strategies.size(); ++s) {
       result.aggregates[s].merge(partials[task][s]);
     }
+  }
+  if (!result.failures.empty()) {
+    util::log_warn("experiment: %zu of %zu cells failed (see "
+                   "ExperimentResult::failures)",
+                   result.failures.size(), tasks);
   }
   util::log_info("experiment: %zu cells × %zu strategies done in %.1fs",
                  tasks, strategies.size(), timer.seconds());

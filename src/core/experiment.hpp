@@ -10,6 +10,13 @@
 //   * totals: benefit, #cautious friends, #accepted             (Fig. 4, 6, 7)
 //   * fraction of runs whose i-th request targeted a cautious
 //     user                                                      (Fig. 5)
+//   * robustness totals under fault injection: faulted requests,
+//     retries, rounds lost to suspension, abandoned targets
+//
+// The harness is crash-safe: worker exceptions are captured per cell and
+// reported in ExperimentResult::failures (surviving cells still
+// aggregate), and an optional checkpoint file lets a killed sweep resume
+// at (sample, run) granularity with bit-identical aggregates.
 
 #pragma once
 
@@ -19,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/simulator.hpp"
+#include "util/backoff.hpp"
 #include "util/stats.hpp"
 
 namespace accu {
@@ -68,6 +77,18 @@ class TraceAggregator {
     return accepted_;
   }
 
+  // --- robustness stats (all zero on a reliable platform) ----------------
+  [[nodiscard]] const util::RunningStat& faulted_requests() const {
+    return faulted_;
+  }
+  [[nodiscard]] const util::RunningStat& retries() const { return retries_; }
+  [[nodiscard]] const util::RunningStat& suspended_rounds() const {
+    return suspended_;
+  }
+  [[nodiscard]] const util::RunningStat& abandoned_targets() const {
+    return abandoned_;
+  }
+
  private:
   util::SeriesAccumulator cumulative_benefit_;
   util::SeriesAccumulator marginal_;
@@ -77,6 +98,10 @@ class TraceAggregator {
   util::RunningStat total_benefit_;
   util::RunningStat cautious_friends_;
   util::RunningStat accepted_;
+  util::RunningStat faulted_;
+  util::RunningStat retries_;
+  util::RunningStat suspended_;
+  util::RunningStat abandoned_;
 };
 
 /// Builds a fresh policy instance per simulation (policies are stateful).
@@ -101,11 +126,37 @@ struct ExperimentConfig {
   /// fixed order, so simulation outcomes are identical for any thread
   /// count (aggregate moments agree up to floating-point re-association).
   std::uint32_t threads = 1;
+  /// Platform fault injection (core/faults.hpp).  All-zero (the default)
+  /// runs the paper's reliable platform through the unchanged `simulate`
+  /// path.  Fault streams derive statelessly per (sample, run, strategy),
+  /// so faulted sweeps stay thread-count invariant.
+  FaultConfig faults{};
+  /// When not kNone, every strategy instance is wrapped in a
+  /// RetryingStrategy with this policy (jitter seeded per cell).
+  util::RetryPolicy retry{};
+  /// When non-empty, completed (sample, run) cells are appended to this
+  /// file as they finish, and an existing file is loaded first so a killed
+  /// sweep resumes where it stopped — with aggregates bit-identical to an
+  /// uninterrupted run.  The file must belong to the same experiment
+  /// (config fingerprint is checked; mismatch throws IoError).
+  std::string checkpoint_path{};
+};
+
+/// One (sample, run) cell whose worker threw instead of completing.  The
+/// sweep survives: failed cells contribute nothing to the aggregates and
+/// are reported here.  `run == kAllRuns` marks a sample whose instance
+/// factory failed (all its cells are skipped).
+struct CellFailure {
+  static constexpr std::uint32_t kAllRuns = 0xffffffffu;
+  std::uint32_t sample = 0;
+  std::uint32_t run = 0;
+  std::string error;
 };
 
 struct ExperimentResult {
   std::vector<std::string> strategy_names;
   std::vector<TraceAggregator> aggregates;  // parallel to strategy_names
+  std::vector<CellFailure> failures;        // empty on a clean sweep
 
   [[nodiscard]] const TraceAggregator& by_name(const std::string& name) const;
 };

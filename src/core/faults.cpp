@@ -1,0 +1,80 @@
+#include "core/faults.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace accu {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+    throw InvalidArgument(std::string("FaultConfig: ") + name +
+                          " must be a finite probability in [0,1], got " +
+                          std::to_string(rate));
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_rate(drop_rate, "drop_rate");
+  check_rate(timeout_rate, "timeout_rate");
+  check_rate(transient_rate, "transient_rate");
+  check_rate(rate_limit_rate, "rate_limit_rate");
+  if (total_rate() > 1.0) {
+    throw InvalidArgument(
+        "FaultConfig: fault rates must sum to at most 1, got " +
+        std::to_string(total_rate()));
+  }
+}
+
+FaultConfig FaultConfig::uniform(double total,
+                                 std::uint32_t suspension_rounds) {
+  if (!std::isfinite(total) || total < 0.0 || total > 1.0) {
+    throw InvalidArgument(
+        "FaultConfig::uniform: total fault rate must be a finite "
+        "probability in [0,1], got " +
+        std::to_string(total));
+  }
+  FaultConfig config;
+  config.drop_rate = total / 4.0;
+  config.timeout_rate = total / 4.0;
+  config.transient_rate = total / 4.0;
+  config.rate_limit_rate = total / 4.0;
+  config.suspension_rounds = suspension_rounds;
+  return config;
+}
+
+FaultModel::FaultModel(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.validate();
+}
+
+FaultKind FaultModel::next() {
+  if (config_.total_rate() <= 0.0) return FaultKind::kNone;
+  const double u = rng_.uniform();
+  double acc = config_.drop_rate;
+  if (u < acc) return FaultKind::kDrop;
+  acc += config_.timeout_rate;
+  if (u < acc) return FaultKind::kTimeout;
+  acc += config_.transient_rate;
+  if (u < acc) return FaultKind::kTransient;
+  acc += config_.rate_limit_rate;
+  if (u < acc) return FaultKind::kRateLimit;
+  return FaultKind::kNone;
+}
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kRateLimit: return "rate-limit";
+    case FaultKind::kSuspensionStall: return "suspension-stall";
+  }
+  return "?";
+}
+
+}  // namespace accu

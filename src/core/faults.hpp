@@ -1,0 +1,133 @@
+// Unreliable-platform simulation (fault injection).
+//
+// The paper's protocol assumes a perfectly reliable platform: every friend
+// request is delivered and its outcome fully observed.  Real campaigns run
+// against platforms that silently drop requests, time out, return transient
+// errors, and rate-limit aggressive accounts.  The adaptive-policy framework
+// only requires the policy to be well-defined under whatever feedback
+// arrives, so the fault layer slots in *under* the strategies:
+//
+//   * kDrop       — the request is lost; the platform never processes it and
+//                   the attacker receives no answer.
+//   * kTimeout    — the platform never answers in time; the outcome is
+//                   unknown to the attacker.  (Like a drop, the request is
+//                   not processed; the two differ only in how they would be
+//                   logged by a real platform, and both surface to the
+//                   attacker as "no response".)
+//   * kTransient  — the platform returns an explicit retryable error; the
+//                   request was not processed.
+//   * kRateLimit  — the platform refuses the request and suspends the
+//                   attacker for `suspension_rounds` rounds.  The budget
+//                   keeps ticking during the suspension: those rounds are
+//                   lost (graceful-degradation pressure).
+//
+// Faults are drawn from the FaultModel's *own* deterministic RNG stream —
+// never from the strategy's — so a fault sequence is reproducible from its
+// seed and the pristine (fault-free) simulation consumes exactly the same
+// strategy randomness as `simulate`.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace accu {
+
+class AttackerView;
+
+/// Ground-truth fault injected on one simulated round (recorded in the
+/// trace).  kSuspensionStall marks a round consumed by an earlier
+/// rate-limit suspension: no request was sent, the budget ticked anyway.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop = 1,
+  kTimeout = 2,
+  kTransient = 3,
+  kRateLimit = 4,
+  kSuspensionStall = 5,
+};
+
+/// What the *attacker* can see of a faulted request.  Drops and timeouts
+/// are indistinguishable from the attacker's side (silence); transient
+/// errors and rate limits are explicit platform answers.
+enum class FaultFeedback : std::uint8_t {
+  kNoResponse = 0,
+  kTransientError = 1,
+  kRateLimited = 2,
+};
+
+/// A fault-aware strategy's decision about a faulted request.
+enum class FaultResponse : std::uint8_t {
+  /// Write the target off.  The simulator records the request as rejected
+  /// in the attacker's view (no information gained, target never pursued
+  /// again) and notifies the strategy through the normal observe() path.
+  kAbandon = 0,
+  /// Keep the target pending; the view is left untouched so the target
+  /// stays selectable for a later retry.
+  kRetryLater = 1,
+};
+
+/// Optional mixin for strategies that want fault feedback (the
+/// RetryingStrategy decorator implements it).  Plain strategies without it
+/// degrade gracefully: every faulted request is abandoned.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+
+  /// Called instead of Strategy::observe when the request faulted.  The
+  /// view has *not* been modified.  Return kRetryLater to keep the target
+  /// requestable, kAbandon to write it off as rejected.
+  virtual FaultResponse observe_fault(NodeId target, FaultFeedback feedback,
+                                      const AttackerView& view) = 0;
+};
+
+/// Per-request fault probabilities.  All-zero (the default) reproduces the
+/// paper's reliable platform exactly.
+struct FaultConfig {
+  double drop_rate = 0.0;
+  double timeout_rate = 0.0;
+  double transient_rate = 0.0;
+  double rate_limit_rate = 0.0;
+  /// Rounds lost after a rate-limit fault (the platform's back-off window
+  /// `w`); the budget keeps ticking while suspended.
+  std::uint32_t suspension_rounds = 3;
+
+  [[nodiscard]] double total_rate() const noexcept {
+    return drop_rate + timeout_rate + transient_rate + rate_limit_rate;
+  }
+
+  /// Throws InvalidArgument on non-finite / negative rates or a total
+  /// above 1.
+  void validate() const;
+
+  /// A config spreading `total` evenly across the four fault kinds — the
+  /// single-knob `--fault-rate` used by the CLI and the robustness sweep.
+  [[nodiscard]] static FaultConfig uniform(double total,
+                                           std::uint32_t suspension_rounds = 3);
+};
+
+/// Draws one fault per request attempt from a dedicated RNG stream.
+class FaultModel {
+ public:
+  /// Validates the config (throws InvalidArgument if malformed).
+  FaultModel(const FaultConfig& config, std::uint64_t seed);
+
+  /// The fault hitting the next request attempt; kNone = delivered.
+  /// Exactly one uniform draw per call when any rate is positive, zero
+  /// draws otherwise.
+  [[nodiscard]] FaultKind next();
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  FaultConfig config_;
+  util::Rng rng_;
+};
+
+/// Short human-readable label ("drop", "rate-limit", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+}  // namespace accu

@@ -1,5 +1,6 @@
 #include "core/instance_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -47,6 +48,22 @@ namespace {
                 what);
 }
 
+/// Rejects NaN/Inf up front so a corrupt file fails with a line number
+/// instead of poisoning the instance (NaN compares false against every
+/// range check downstream).
+void check_finite(std::size_t line_no, const char* field, double value) {
+  if (!std::isfinite(value)) {
+    malformed(line_no, std::string(field) + " is not finite");
+  }
+}
+
+void check_probability(std::size_t line_no, const char* field, double value) {
+  check_finite(line_no, field, value);
+  if (value < 0.0 || value > 1.0) {
+    malformed(line_no, std::string(field) + " outside [0,1]");
+  }
+}
+
 }  // namespace
 
 AccuInstance read_instance(std::istream& is) {
@@ -78,7 +95,10 @@ AccuInstance read_instance(std::istream& is) {
 
   graph::GraphBuilder builder(n);
   for (std::size_t e = 0; e < m; ++e) {
-    if (!next_line()) malformed(line_no, "missing edge line");
+    if (!next_line()) {
+      malformed(line_no, "truncated input: expected " + std::to_string(m) +
+                             " edge lines, got " + std::to_string(e));
+    }
     std::istringstream ls(line);
     std::string tag;
     unsigned long u = 0, v = 0;
@@ -87,8 +107,7 @@ AccuInstance read_instance(std::istream& is) {
       malformed(line_no, "expected 'e <u> <v> <p>'");
     }
     if (u >= n || v >= n) malformed(line_no, "edge endpoint out of range");
-    if (!(p >= 0.0 && p <= 1.0)) malformed(line_no, "probability outside "
-                                                    "[0,1]");
+    check_probability(line_no, "edge probability", p);
     if (!builder.try_add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v),
                               p)) {
       malformed(line_no, "duplicate edge");
@@ -102,7 +121,10 @@ AccuInstance read_instance(std::istream& is) {
                                      std::vector<double>(n, 1.0)};
   std::vector<bool> seen(n, false);
   for (NodeId i = 0; i < n; ++i) {
-    if (!next_line()) malformed(line_no, "missing node line");
+    if (!next_line()) {
+      malformed(line_no, "truncated input: expected " + std::to_string(n) +
+                             " node lines, got " + std::to_string(i));
+    }
     std::istringstream ls(line);
     std::string tag, klass;
     unsigned long id = 0, th = 0;
@@ -120,6 +142,11 @@ AccuInstance read_instance(std::istream& is) {
     } else if (klass != "R") {
       malformed(line_no, "user class must be R or C");
     }
+    check_probability(line_no, "accept probability q", qu);
+    check_probability(line_no, "q1", q1);
+    check_probability(line_no, "q2", q2);
+    check_finite(line_no, "friend benefit", f);
+    check_finite(line_no, "friend-of-friend benefit", fof);
     q[id] = qu;
     theta[id] = static_cast<std::uint32_t>(th);
     bf[id] = f;

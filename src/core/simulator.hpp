@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/instance.hpp"
 #include "core/observation.hpp"
 #include "core/realization.hpp"
@@ -27,7 +28,11 @@
 
 namespace accu {
 
-/// One friend request in a simulation trace.
+/// One simulated round: a friend request, or (under the fault layer) a
+/// round lost to a rate-limit suspension (`fault == kSuspensionStall`,
+/// `target == kInvalidNode`).  Stall rounds stay in the trace so request
+/// index i always means "round i" — curves from faulted and pristine runs
+/// aggregate index-aligned.
 struct RequestRecord {
   NodeId target = kInvalidNode;
   bool accepted = false;
@@ -37,6 +42,10 @@ struct RequestRecord {
   /// `benefit_after - benefit_before`.
   double benefit_before = 0.0;
   double benefit_after = 0.0;
+  /// Platform fault injected on this round (kNone on a reliable platform).
+  FaultKind fault = FaultKind::kNone;
+  /// How many earlier attempts at this same target faulted (0 = first try).
+  std::uint32_t attempt = 0;
 
   [[nodiscard]] double marginal() const noexcept {
     return benefit_after - benefit_before;
@@ -50,6 +59,16 @@ struct SimulationResult {
   std::uint32_t num_accepted = 0;
   std::uint32_t num_cautious_friends = 0;
   std::vector<NodeId> friends;
+  // --- robustness accounting (all zero on a reliable platform) ----------
+  /// Requests that hit a fault (drop/timeout/transient/rate-limit).
+  std::uint32_t num_faulted = 0;
+  /// Attempts that re-requested a previously faulted target.
+  std::uint32_t num_retries = 0;
+  /// Rounds lost to rate-limit suspensions (budget kept ticking).
+  std::uint32_t rounds_suspended = 0;
+  /// Faulted targets written off as rejected (retries exhausted, or the
+  /// strategy is not fault-aware).
+  std::uint32_t num_abandoned = 0;
 };
 
 /// An adaptive befriending policy (the paper's π).
@@ -101,5 +120,31 @@ class Strategy {
                                                   std::uint32_t budget,
                                                   util::Rng& rng,
                                                   AttackerView& view_out);
+
+/// As `simulate`, but runs against an unreliable platform: each request
+/// attempt may fault per `faults` (core/faults.hpp).  The budget counts
+/// *rounds* — delivered requests, faulted requests, and suspension stalls
+/// all consume one each.  Fault handling:
+///
+///   * If the strategy implements FaultObserver (e.g. RetryingStrategy),
+///     it is asked whether to keep the target pending for a retry or
+///     abandon it.
+///   * Otherwise every faulted target is abandoned: recorded as rejected
+///     in the view (no information gained) and surfaced to the strategy
+///     through the normal observe() path — any Strategy degrades
+///     gracefully without modification.
+///
+/// With an all-zero FaultConfig this produces byte-identical traces to
+/// `simulate` for every strategy (a regression test enforces this).
+[[nodiscard]] SimulationResult simulate_with_faults(
+    const AccuInstance& instance, const Realization& truth,
+    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
+    FaultModel& faults);
+
+/// As `simulate_with_faults`, but exposes the final view.
+[[nodiscard]] SimulationResult simulate_with_faults(
+    const AccuInstance& instance, const Realization& truth,
+    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
+    FaultModel& faults, AttackerView& view_out);
 
 }  // namespace accu

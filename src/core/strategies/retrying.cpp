@@ -1,0 +1,80 @@
+#include "core/strategies/retrying.hpp"
+
+#include <algorithm>
+
+namespace accu {
+
+RetryingStrategy::RetryingStrategy(std::unique_ptr<Strategy> inner,
+                                   util::RetryPolicy policy,
+                                   std::uint64_t seed)
+    : inner_(std::move(inner)), policy_(policy), seed_(seed), rng_(seed) {
+  ACCU_ASSERT_MSG(inner_ != nullptr, "RetryingStrategy needs an inner policy");
+}
+
+void RetryingStrategy::reset(const AccuInstance& instance, util::Rng& rng) {
+  round_ = 0;
+  pending_.clear();
+  failed_attempts_.assign(instance.num_nodes(), 0);
+  rng_.reseed(seed_);
+  inner_->reset(instance, rng);
+}
+
+NodeId RetryingStrategy::select(const AttackerView& view, util::Rng& rng) {
+  ++round_;
+  // A due retry preempts the inner policy.  Deterministic order: earliest
+  // due round first, ties to the smaller node id.
+  const auto best_pending = [this](bool only_due) {
+    auto best = pending_.end();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (only_due && it->due_round > round_) continue;
+      if (best == pending_.end() || it->due_round < best->due_round ||
+          (it->due_round == best->due_round && it->target < best->target)) {
+        best = it;
+      }
+    }
+    return best == pending_.end() ? kInvalidNode : best->target;
+  };
+  const NodeId due = best_pending(/*only_due=*/true);
+  if (due != kInvalidNode) return due;
+  const NodeId choice = inner_->select(view, rng);
+  if (choice != kInvalidNode) return choice;
+  // Inner policy ran out of candidates: flush not-yet-due retries rather
+  // than stopping — waiting would waste the remaining budget anyway.
+  return best_pending(/*only_due=*/false);
+}
+
+void RetryingStrategy::observe(NodeId target, bool accepted,
+                               const AttackerView& view,
+                               const AttackerView::AcceptanceEffects* effects) {
+  // A genuine outcome (or an abandonment surfaced as a rejection) settles
+  // the target for good.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [target](const PendingRetry& p) {
+                                  return p.target == target;
+                                }),
+                 pending_.end());
+  inner_->observe(target, accepted, view, effects);
+}
+
+FaultResponse RetryingStrategy::observe_fault(NodeId target,
+                                              FaultFeedback feedback,
+                                              const AttackerView& view) {
+  (void)feedback;  // no-response / transient / rate-limit are all retryable
+  (void)view;
+  ACCU_ASSERT(target < failed_attempts_.size());
+  const std::uint32_t failures = ++failed_attempts_[target];
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [target](const PendingRetry& p) {
+                                  return p.target == target;
+                                }),
+                 pending_.end());
+  if (!policy_.should_retry(failures)) return FaultResponse::kAbandon;
+  pending_.push_back({target, round_ + policy_.delay(failures, rng_)});
+  return FaultResponse::kRetryLater;
+}
+
+std::string RetryingStrategy::name() const {
+  return inner_->name() + "+retry(" + policy_.name() + ")";
+}
+
+}  // namespace accu

@@ -1,0 +1,70 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace accu::util {
+
+std::uint32_t RetryPolicy::delay(std::uint32_t attempt, Rng& rng) const {
+  ACCU_ASSERT(attempt >= 1);
+  switch (kind) {
+    case RetryKind::kNone:
+      return 1;  // unreachable in practice; keep the contract total
+    case RetryKind::kFixed:
+      return std::max(1u, base_delay);
+    case RetryKind::kExponentialJitter: {
+      // base · 2^(attempt-1), saturating, capped at max_delay.
+      const std::uint32_t shift = std::min(attempt - 1, 31u);
+      const std::uint64_t raw = static_cast<std::uint64_t>(
+                                    std::max(1u, base_delay))
+                                << shift;
+      const std::uint64_t capped =
+          std::min<std::uint64_t>(raw, std::max(1u, max_delay));
+      // Full jitter: uniform in [1, capped].
+      return static_cast<std::uint32_t>(1 + rng.below(capped));
+    }
+  }
+  return 1;
+}
+
+RetryPolicy RetryPolicy::fixed(std::uint32_t retries,
+                               std::uint32_t every) noexcept {
+  RetryPolicy policy;
+  policy.kind = RetryKind::kFixed;
+  policy.max_retries = retries;
+  policy.base_delay = every;
+  return policy;
+}
+
+RetryPolicy RetryPolicy::exponential_jitter(std::uint32_t retries,
+                                            std::uint32_t base,
+                                            std::uint32_t cap) noexcept {
+  RetryPolicy policy;
+  policy.kind = RetryKind::kExponentialJitter;
+  policy.max_retries = retries;
+  policy.base_delay = base;
+  policy.max_delay = cap;
+  return policy;
+}
+
+RetryPolicy RetryPolicy::parse(const std::string& spec) {
+  if (spec == "none") return none();
+  if (spec == "fixed") return fixed(3);
+  if (spec == "exp" || spec == "exponential" || spec == "backoff") {
+    return exponential_jitter(3);
+  }
+  throw InvalidArgument("unknown retry policy '" + spec +
+                        "' (expected none|fixed|exp)");
+}
+
+const char* RetryPolicy::name() const noexcept {
+  switch (kind) {
+    case RetryKind::kNone: return "none";
+    case RetryKind::kFixed: return "fixed";
+    case RetryKind::kExponentialJitter: return "exp-jitter";
+  }
+  return "?";
+}
+
+}  // namespace accu::util

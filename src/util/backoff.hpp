@@ -1,0 +1,60 @@
+// Retry/backoff policies for requests against an unreliable platform.
+//
+// A RetryPolicy answers two questions about a request that faulted:
+// whether to try again after `failed_attempts` failures, and how many
+// rounds to wait before the retry.  Delays are measured in attacker
+// actions (simulation rounds), not wall time — during the wait the
+// attacker keeps requesting other targets, so backing off is not dead
+// budget.  The exponential schedule uses full jitter (uniform in
+// [1, min(cap, base·2^(attempt−1))]), the standard defence against
+// retry storms; jitter randomness comes from whatever Rng the caller
+// passes, never from a hidden global.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace accu::util {
+
+enum class RetryKind : std::uint8_t {
+  kNone = 0,
+  kFixed = 1,
+  kExponentialJitter = 2,
+};
+
+struct RetryPolicy {
+  RetryKind kind = RetryKind::kNone;
+  /// Retry attempts allowed beyond the first request.
+  std::uint32_t max_retries = 3;
+  /// Rounds before the first retry (fixed: every retry).
+  std::uint32_t base_delay = 1;
+  /// Cap for the exponential schedule.
+  std::uint32_t max_delay = 64;
+
+  [[nodiscard]] bool should_retry(std::uint32_t failed_attempts) const noexcept {
+    return kind != RetryKind::kNone && failed_attempts <= max_retries;
+  }
+
+  /// Rounds to wait before retry number `attempt` (1-based: the retry
+  /// following the attempt-th failure).  Always at least 1.
+  [[nodiscard]] std::uint32_t delay(std::uint32_t attempt, Rng& rng) const;
+
+  [[nodiscard]] static RetryPolicy none() noexcept { return {}; }
+  [[nodiscard]] static RetryPolicy fixed(std::uint32_t retries,
+                                         std::uint32_t every = 1) noexcept;
+  [[nodiscard]] static RetryPolicy exponential_jitter(
+      std::uint32_t retries, std::uint32_t base = 1,
+      std::uint32_t cap = 64) noexcept;
+
+  /// Parses a CLI spec: "none", "fixed", "exp" (aliases "exponential",
+  /// "backoff").  Throws InvalidArgument naming the bad spec otherwise.
+  [[nodiscard]] static RetryPolicy parse(const std::string& spec);
+
+  /// Short label for tables ("none", "fixed", "exp-jitter").
+  [[nodiscard]] const char* name() const noexcept;
+};
+
+}  // namespace accu::util

@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -12,6 +13,23 @@ namespace {
 
 bool looks_like_option(const std::string& arg) {
   return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+/// Edit distance for the did-you-mean hint on unknown options.
+std::size_t levenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t prev = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = prev;
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace
@@ -71,9 +89,21 @@ Options& Options::declare(const std::string& name, const std::string& help) {
 void Options::check_unknown() const {
   for (const auto& [name, value] : values_) {
     (void)value;
-    if (!declared_.contains(name) && name != "help") {
-      throw InvalidArgument("unknown option --" + name + "\n" + help_text());
+    if (declared_.contains(name) || name == "help") continue;
+    std::string message = "unknown option --" + name;
+    // Suggest the closest declared name when the typo is small.
+    std::string best;
+    std::size_t best_distance = 3;  // suggest only near-misses
+    for (const auto& [known, help] : declared_) {
+      (void)help;
+      const std::size_t d = levenshtein(name, known);
+      if (d < best_distance) {
+        best_distance = d;
+        best = known;
+      }
     }
+    if (!best.empty()) message += " (did you mean --" + best + "?)";
+    throw InvalidArgument(message + "\n" + help_text());
   }
 }
 
@@ -94,6 +124,10 @@ std::int64_t Options::get_int(const std::string& name,
   errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    throw InvalidArgument("option --" + name + ": value '" + it->second +
+                          "' is out of range for a 64-bit integer");
+  }
   if (errno != 0 || end == it->second.c_str() || *end != '\0') {
     throw InvalidArgument("option --" + name + " expects an integer, got '" +
                           it->second + "'");
@@ -107,6 +141,10 @@ double Options::get_double(const std::string& name, double fallback) const {
   errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(it->second.c_str(), &end);
+  if (errno == ERANGE) {
+    throw InvalidArgument("option --" + name + ": value '" + it->second +
+                          "' is out of range for a double");
+  }
   if (errno != 0 || end == it->second.c_str() || *end != '\0') {
     throw InvalidArgument("option --" + name + " expects a number, got '" +
                           it->second + "'");

@@ -127,6 +127,84 @@ TEST(InstanceIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(InstanceIoTest, RejectsNonFiniteValues) {
+  {
+    std::stringstream in("nodes 2 edges 1\ne 0 1 nan\n");
+    EXPECT_THROW(read_instance(in), IoError);  // NaN edge probability
+  }
+  {
+    std::stringstream in("nodes 2 edges 1\ne 0 1 inf\n");
+    EXPECT_THROW(read_instance(in), IoError);  // Inf edge probability
+  }
+  {
+    std::stringstream in(
+        "nodes 1 edges 0\nn 0 R nan 1 2 1 0 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // NaN accept probability
+  }
+  {
+    std::stringstream in(
+        "nodes 1 edges 0\nn 0 R 0.5 1 inf 1 0 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // Inf friend benefit
+  }
+  {
+    std::stringstream in(
+        "nodes 1 edges 0\nn 0 C 0 1 2 1 nan 1\n");
+    EXPECT_THROW(read_instance(in), IoError);  // NaN q1
+  }
+  {
+    std::stringstream in(
+        "nodes 1 edges 0\nn 0 R 0.5 1 2 1 0 2.5\n");
+    EXPECT_THROW(read_instance(in), IoError);  // q2 outside [0,1]
+  }
+}
+
+TEST(InstanceIoTest, ErrorsCarryLineNumbers) {
+  {
+    // NaN node probability on (1-based) line 4.
+    std::stringstream in(
+        "nodes 2 edges 1\n"
+        "e 0 1 0.5\n"
+        "n 0 R 0.5 1 2 1 0 1\n"
+        "n 1 R nan 1 2 1 0 1\n");
+    try {
+      read_instance(in);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Truncated edge section: the message names the last line read and
+    // the shortfall.
+    std::stringstream in("nodes 3 edges 2\ne 0 1 0.5\n");
+    try {
+      read_instance(in);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+      EXPECT_NE(what.find("expected 2 edge lines, got 1"), std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(InstanceIoTest, TruncatedNodeSectionNamesShortfall) {
+  std::stringstream in(
+      "nodes 2 edges 1\n"
+      "e 0 1 0.5\n"
+      "n 0 R 0.5 1 2 1 0 1\n");
+  try {
+    read_instance(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("expected 2 node lines, got 1"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(InstanceIoTest, ConstructorValidationStillApplies) {
   // A cautious user with an infeasible threshold round-trips into the
   // instance constructor's validation, not silent acceptance.

@@ -109,3 +109,79 @@ TEST(ComponentSizesTest, EmptyGraph) {
 
 }  // namespace
 }  // namespace accu::graph
+
+// ------------------------------------------------------------------------
+// TraceAggregator index-alignment regression: a rate-limit suspension adds
+// explicit zero-marginal records *inside* the trace (core/simulator.hpp),
+// so stalled rounds contribute a real zero sample at their index instead
+// of silently shifting later requests leftward.
+// ------------------------------------------------------------------------
+
+#include "core/experiment.hpp"
+
+namespace accu {
+namespace {
+
+RequestRecord plain_record(NodeId target, double before, double after) {
+  RequestRecord r;
+  r.target = target;
+  r.accepted = after > before;
+  r.benefit_before = before;
+  r.benefit_after = after;
+  return r;
+}
+
+RequestRecord stall_record(double benefit) {
+  RequestRecord r;  // target stays kInvalidNode
+  r.fault = FaultKind::kSuspensionStall;
+  r.benefit_before = benefit;
+  r.benefit_after = benefit;
+  return r;
+}
+
+TEST(TraceAggregatorStallTest, StallRoundsKeepMarginalSeriesAligned) {
+  // Run A: accept (+4), two stall rounds, accept (+6).
+  // Run B: four plain accepts of +1 each.
+  SimulationResult a;
+  a.trace = {plain_record(0, 0, 4), stall_record(4), stall_record(4),
+             plain_record(1, 4, 10)};
+  a.total_benefit = 10;
+  a.rounds_suspended = 2;
+  SimulationResult b;
+  b.trace = {plain_record(0, 0, 1), plain_record(1, 1, 2),
+             plain_record(2, 2, 3), plain_record(3, 3, 4)};
+  b.total_benefit = 4;
+
+  TraceAggregator agg;
+  agg.add(a, 4);
+  agg.add(b, 4);
+
+  // Every index holds exactly one sample per run — the stalled rounds are
+  // explicit zeros, not skipped indices.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(agg.marginal().at(i).count(), 2u) << "index " << i;
+  }
+  EXPECT_DOUBLE_EQ(agg.marginal().at(0).mean(), 2.5);  // (4+1)/2
+  EXPECT_DOUBLE_EQ(agg.marginal().at(1).mean(), 0.5);  // (0+1)/2: stall is 0
+  EXPECT_DOUBLE_EQ(agg.marginal().at(2).mean(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.marginal().at(3).mean(), 3.5);  // (6+1)/2
+  // The cumulative curve holds flat through the suspension.
+  EXPECT_DOUBLE_EQ(agg.cumulative_benefit().at(1).mean(), 3.0);  // (4+2)/2
+  EXPECT_DOUBLE_EQ(agg.cumulative_benefit().at(2).mean(), 3.5);  // (4+3)/2
+  // Robustness totals flow through.
+  EXPECT_DOUBLE_EQ(agg.suspended_rounds().mean(), 1.0);  // (2+0)/2
+}
+
+TEST(TraceAggregatorStallTest, StallRecordsCountAsRecklessZero) {
+  SimulationResult run;
+  run.trace = {stall_record(0), plain_record(0, 0, 2)};
+  TraceAggregator agg;
+  agg.add(run, 2);
+  EXPECT_DOUBLE_EQ(agg.cautious_fraction().at(0).mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.marginal_cautious().at(0).mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.marginal_reckless().at(0).mean(), 0.0);
+  EXPECT_EQ(agg.marginal_reckless().at(1).count(), 1u);
+}
+
+}  // namespace
+}  // namespace accu

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "util/backoff.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -341,6 +343,123 @@ TEST(OptionsTest, DeclaredOptionPasses) {
   Options opts(2, argv);
   opts.declare("k", "budget");
   EXPECT_NO_THROW(opts.check_unknown());
+}
+
+TEST(OptionsTest, ErrorsNameTheFlag) {
+  const char* argv[] = {"prog", "--budget=abc", "--rate=xyz", "--flag=maybe"};
+  Options opts(4, argv);
+  try {
+    opts.get_int("budget", 0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--budget"), std::string::npos);
+  }
+  try {
+    opts.get_double("rate", 0.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos);
+  }
+  try {
+    opts.get_bool("flag", false);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--flag"), std::string::npos);
+  }
+}
+
+TEST(OptionsTest, OutOfRangeValuesAreDiagnosed) {
+  const char* argv[] = {"prog", "--k=99999999999999999999999",
+                        "--x=1e999999"};
+  Options opts(3, argv);
+  try {
+    opts.get_int("k", 0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+  try {
+    opts.get_double("x", 0.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(OptionsTest, UnknownOptionSuggestsNearestDeclared) {
+  const char* argv[] = {"prog", "--fault-rte=0.1"};
+  Options opts(2, argv);
+  opts.declare("fault-rate", "fault probability").declare("k", "budget");
+  try {
+    opts.check_unknown();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--fault-rte"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean --fault-rate?"), std::string::npos)
+        << what;
+  }
+}
+
+// ---------------------------------------------------------------- Backoff ----
+
+TEST(BackoffTest, NonePolicyNeverRetries) {
+  const RetryPolicy policy = RetryPolicy::none();
+  EXPECT_FALSE(policy.should_retry(1));
+  EXPECT_STREQ(policy.name(), "none");
+}
+
+TEST(BackoffTest, FixedPolicyDelaysAndBudget) {
+  const RetryPolicy policy = RetryPolicy::fixed(/*retries=*/2, /*every=*/4);
+  EXPECT_TRUE(policy.should_retry(1));
+  EXPECT_TRUE(policy.should_retry(2));
+  EXPECT_FALSE(policy.should_retry(3));
+  Rng rng(1);
+  EXPECT_EQ(policy.delay(1, rng), 4u);
+  EXPECT_EQ(policy.delay(2, rng), 4u);  // fixed: no growth, no jitter
+}
+
+TEST(BackoffTest, ExponentialJitterStaysInWindow) {
+  const RetryPolicy policy =
+      RetryPolicy::exponential_jitter(/*retries=*/6, /*base=*/2, /*cap=*/16);
+  Rng rng(7);
+  for (std::uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    const std::uint32_t window =
+        std::min<std::uint32_t>(16, 2u << (attempt - 1));
+    for (int i = 0; i < 200; ++i) {
+      const std::uint32_t d = policy.delay(attempt, rng);
+      EXPECT_GE(d, 1u);
+      EXPECT_LE(d, window) << "attempt " << attempt;
+    }
+  }
+  // Large attempt numbers saturate at the cap instead of overflowing.
+  EXPECT_LE(policy.delay(40, rng), 16u);
+}
+
+TEST(BackoffTest, JitterIsDeterministicGivenRng) {
+  const RetryPolicy policy = RetryPolicy::exponential_jitter(3);
+  Rng a(5), b(5);
+  for (std::uint32_t attempt = 1; attempt <= 3; ++attempt) {
+    EXPECT_EQ(policy.delay(attempt, a), policy.delay(attempt, b));
+  }
+}
+
+TEST(BackoffTest, ParseAcceptsKnownSpecs) {
+  EXPECT_EQ(RetryPolicy::parse("none").kind, RetryKind::kNone);
+  EXPECT_EQ(RetryPolicy::parse("fixed").kind, RetryKind::kFixed);
+  EXPECT_EQ(RetryPolicy::parse("exp").kind, RetryKind::kExponentialJitter);
+  EXPECT_EQ(RetryPolicy::parse("exponential").kind,
+            RetryKind::kExponentialJitter);
+  EXPECT_EQ(RetryPolicy::parse("backoff").kind,
+            RetryKind::kExponentialJitter);
+  try {
+    (void)RetryPolicy::parse("sometimes");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("'sometimes'"), std::string::npos);
+  }
 }
 
 }  // namespace

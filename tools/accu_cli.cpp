@@ -28,6 +28,7 @@
 #include "core/multibot/multibot.hpp"
 #include "core/strategies/batched.hpp"
 #include "core/strategies/oracle.hpp"
+#include "core/strategies/retrying.hpp"
 #include "core/theory/ratios.hpp"
 #include "datasets/datasets.hpp"
 #include "graph/algorithms.hpp"
@@ -49,9 +50,9 @@ constexpr const char* kUsage =
     "  stats      statistics of an instance (--in=FILE)\n"
     "  attack     run one policy (--in=FILE, --policy=abm|greedy|maxdegree|\n"
     "             pagerank|random|batched, --k, --wd, --wi, --batch, --seed,\n"
-    "             --trace)\n"
+    "             --trace, --fault-rate, --retry)\n"
     "  compare    compare the paper's policy roster (--in=FILE, --k, --runs,\n"
-    "             --seed)\n"
+    "             --seed, --fault-rate, --retry, --resume=CHECKPOINT)\n"
     "  assess     defender vulnerability report (--in=FILE, --k, --trials,\n"
     "             --seed, --top)\n"
     "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
@@ -65,6 +66,19 @@ AccuInstance load_instance(const util::Options& opts) {
                           "generate')");
   }
   return read_instance_file(path);
+}
+
+/// Shared fault-injection knobs: `--fault-rate` spreads its value evenly
+/// over the four fault kinds; `--retry` picks the recovery policy.
+FaultConfig fault_config(const util::Options& opts) {
+  const double rate = opts.get_double("fault-rate", 0.0);
+  const auto w =
+      static_cast<std::uint32_t>(opts.get_int("suspension-rounds", 3));
+  return FaultConfig::uniform(rate, w);
+}
+
+util::RetryPolicy retry_policy(const util::Options& opts) {
+  return util::RetryPolicy::parse(opts.get("retry", "none"));
 }
 
 std::unique_ptr<Strategy> make_policy(const util::Options& opts) {
@@ -146,13 +160,30 @@ int cmd_attack(const util::Options& opts) {
   } else {
     policy = make_policy(opts);
   }
+  const FaultConfig faults_config = fault_config(opts);
+  const util::RetryPolicy retry = retry_policy(opts);
+  if (retry.kind != util::RetryKind::kNone) {
+    policy = std::make_unique<RetryingStrategy>(std::move(policy), retry);
+  }
   util::Rng policy_rng = rng.split(1);
   AttackerView view(instance);
-  const SimulationResult result =
-      simulate_with_view(instance, truth, *policy, k, policy_rng, view);
+  SimulationResult result;
+  if (faults_config.total_rate() > 0.0) {
+    FaultModel faults(faults_config, rng.split(2)());
+    result = simulate_with_faults(instance, truth, *policy, k, policy_rng,
+                                  faults, view);
+  } else {
+    result = simulate_with_view(instance, truth, *policy, k, policy_rng, view);
+  }
   std::printf("%s, budget %u: benefit %.1f, friends %u (cautious %u)\n",
               policy->name().c_str(), k, result.total_benefit,
               result.num_accepted, result.num_cautious_friends);
+  if (faults_config.total_rate() > 0.0) {
+    std::printf("platform faults: %u faulted, %u retries, %u rounds "
+                "suspended, %u targets abandoned\n",
+                result.num_faulted, result.num_retries,
+                result.rounds_suspended, result.num_abandoned);
+  }
   std::printf("crawl coverage: %zu of %u potential edges observed (%.1f%%)\n",
               view.num_observed_edges(), instance.graph().num_edges(),
               100.0 * static_cast<double>(view.num_observed_edges()) /
@@ -203,6 +234,9 @@ int cmd_compare(const util::Options& opts) {
   config.runs = runs;
   config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   config.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  config.faults = fault_config(opts);
+  config.retry = retry_policy(opts);
+  config.checkpoint_path = opts.get("resume", "");
   const InstanceFactory factory = [&instance](std::uint32_t, std::uint64_t) {
     return instance;
   };
@@ -214,18 +248,34 @@ int cmd_compare(const util::Options& opts) {
       {"Random", [] { return std::make_unique<RandomStrategy>(); }},
   };
   const ExperimentResult result = run_experiment(factory, strategies, config);
-  util::Table table({"policy", "benefit", "±95%", "friends",
-                     "cautious friends"});
+  const bool faulty = config.faults.total_rate() > 0.0;
+  std::vector<std::string> headers = {"policy", "benefit", "±95%", "friends",
+                                      "cautious friends"};
+  if (faulty) {
+    headers.insert(headers.end(),
+                   {"faulted", "retries", "suspended", "abandoned"});
+  }
+  util::Table table(headers);
   for (std::size_t i = 0; i < result.strategy_names.size(); ++i) {
     const TraceAggregator& agg = result.aggregates[i];
-    table.row()
-        .cell(result.strategy_names[i])
-        .cell(agg.total_benefit().mean(), 1)
-        .cell(agg.total_benefit().ci95_halfwidth(), 1)
-        .cell(agg.accepted_requests().mean(), 1)
-        .cell(agg.cautious_friends().mean(), 2);
+    auto& row = table.row()
+                    .cell(result.strategy_names[i])
+                    .cell(agg.total_benefit().mean(), 1)
+                    .cell(agg.total_benefit().ci95_halfwidth(), 1)
+                    .cell(agg.accepted_requests().mean(), 1)
+                    .cell(agg.cautious_friends().mean(), 2);
+    if (faulty) {
+      row.cell(agg.faulted_requests().mean(), 1)
+          .cell(agg.retries().mean(), 1)
+          .cell(agg.suspended_rounds().mean(), 1)
+          .cell(agg.abandoned_targets().mean(), 1);
+    }
   }
   table.print(std::cout);
+  for (const CellFailure& failure : result.failures) {
+    std::fprintf(stderr, "warning: cell (sample %u, run %u) failed: %s\n",
+                 failure.sample, failure.run, failure.error.c_str());
+  }
   if (opts.has("report")) {
     std::ofstream os(opts.get("report", ""));
     if (!os) throw IoError("cannot open --report file");
@@ -378,7 +428,16 @@ int dispatch(int argc, char** argv) {
       .declare("threads", "worker threads (compare)")
       .declare("report", "write a Markdown report (compare)")
       .declare("curves", "write long-format curve CSV (compare)")
-      .declare("top", "how many users to list (assess)");
+      .declare("top", "how many users to list (assess)")
+      .declare("fault-rate",
+               "total per-request fault probability, split evenly over "
+               "drop/timeout/transient/rate-limit (attack, compare)")
+      .declare("suspension-rounds",
+               "rounds lost per rate-limit suspension (default 3)")
+      .declare("retry", "retry policy: none|fixed|exp (attack, compare)")
+      .declare("resume",
+               "checkpoint file: load completed cells and append new ones "
+               "(compare)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build + test twice.
+#
+#   1. plain RelWithDebInfo         — the configuration users run
+#   2. Debug with ACCU_SANITIZE=ON  — AddressSanitizer + UBSan
+#
+# Usage: tools/ci.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build (RelWithDebInfo) ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ci -j "${JOBS}"
+ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+
+echo "=== sanitized build (Debug, address+undefined) ==="
+cmake -B build-ci-san -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=ON
+cmake --build build-ci-san -j "${JOBS}"
+ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}"
+
+echo "=== CI OK ==="
