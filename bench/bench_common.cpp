@@ -24,6 +24,13 @@ void declare_common_options(util::Options& opts) {
       .declare("csv", "also write results as CSV to this path")
       .declare("verbose", "log sweep progress")
       .declare("threads", "experiment worker threads (0 = hardware)")
+      .declare("deadline-ms",
+               "wall-clock budget per (sample, run) cell in ms; 0 = none")
+      .declare("max-cell-retries",
+               "re-run a deadline-cancelled cell up to this many times")
+      .declare("checkpoint",
+               "checkpoint file: completed cells append here and a killed "
+               "study resumes bit-identically")
       .declare("options", "load option defaults from a response file");
 }
 
@@ -57,6 +64,11 @@ CommonConfig read_common_config(util::Options& opts) {
   config.verbose = opts.get_bool("verbose", false);
   config.threads =
       static_cast<std::uint32_t>(opts.get_int("threads", config.threads));
+  config.deadline_ms = static_cast<std::uint32_t>(
+      opts.get_int("deadline-ms", config.deadline_ms));
+  config.max_cell_retries = static_cast<std::uint32_t>(
+      opts.get_int("max-cell-retries", config.max_cell_retries));
+  config.checkpoint_path = opts.get("checkpoint", "");
   if (config.verbose) util::set_log_level(util::LogLevel::kInfo);
   return config;
 }
@@ -100,6 +112,9 @@ ExperimentConfig experiment_config(const CommonConfig& config) {
   out.runs = config.runs;
   out.seed = config.seed;
   out.threads = config.threads;
+  out.cell_deadline_ms = config.deadline_ms;
+  out.max_cell_retries = config.max_cell_retries;
+  out.checkpoint_path = config.checkpoint_path;
   return out;
 }
 

@@ -35,6 +35,12 @@ struct CommonConfig {
   std::string csv_path;           // when set, write CSV next to the table
   bool verbose = false;
   std::uint32_t threads = 0;      // experiment workers; 0 = hardware
+  // Supervision knobs, forwarded into ExperimentConfig: a per-cell
+  // wall-clock deadline (0 = none), deterministic re-runs for cells that
+  // blow it, and an optional checkpoint file so a killed study resumes.
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t max_cell_retries = 0;
+  std::string checkpoint_path;
 };
 
 /// Declares the shared options on `opts`; call before check_unknown().

@@ -1,15 +1,20 @@
 #include "core/experiment.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
 
 #include "core/strategies/retrying.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cancel.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -68,6 +73,15 @@ void TraceAggregator::merge(const TraceAggregator& other) {
   abandoned_.merge(other.abandoned_);
 }
 
+const char* cell_failure_kind_name(CellFailure::Kind kind) noexcept {
+  switch (kind) {
+    case CellFailure::Kind::kError: return "error";
+    case CellFailure::Kind::kDeadline: return "deadline";
+    case CellFailure::Kind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 const TraceAggregator& ExperimentResult::by_name(
     const std::string& name) const {
   for (std::size_t i = 0; i < strategy_names.size(); ++i) {
@@ -95,11 +109,15 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
 // the truth or policy streams of the same cell.
 constexpr std::uint64_t kFaultStreamSalt = 0xfa17fa17fa17fa17ULL;
 constexpr std::uint64_t kRetryStreamSalt = 0x5e77bacc0ff5e7ULL;
+// Salt for the fresh seed-stream tag of a deadline-retried cell: attempt
+// `a` > 0 re-derives policy/fault/retry streams from this base while the
+// ground-truth stream stays untouched (the paired design survives).
+constexpr std::uint64_t kCellRetrySalt = 0xdead11e0dead11e0ULL;
 
 // ---------------------------------------------------------------------------
 // Checkpointing.  Line-oriented, mirroring the instance-io format:
 //
-//   # accu-checkpoint v1
+//   # accu-checkpoint v2
 //   sweep seed <u64> samples <S> runs <R> budget <k> strategies <n>
 //   faults <drop> <timeout> <transient> <ratelimit> <w> retry <kind> <max>
 //       <base> <cap>                                       (one line)
@@ -108,13 +126,18 @@ constexpr std::uint64_t kRetryStreamSalt = 0x5e77bacc0ff5e7ULL;
 //   t <s> <target> <accepted> <cautious> <fault> <attempt> <benefit_after>
 //   m <s> <num_abandoned>
 //   end <task>
+//   crc <task> <crc32-hex>
 //
-// One `begin..end` block per completed (sample, run) cell, appended
-// atomically under a mutex.  Doubles round-trip exactly (%.17g) and blocks
-// replay through TraceAggregator::add in fixed task order, so a resumed
-// sweep's aggregates are bit-identical to an uninterrupted one.  A
-// trailing block without its `end` line (crash mid-write) is discarded and
-// its cell simply re-runs.
+// One `begin..crc` block per completed (sample, run) cell.  The header is
+// written atomically (temp file + fsync + rename); each block is appended
+// and fsynced as its cell finishes, so a crash loses at most the in-flight
+// cell.  The `crc` trailer covers every byte from `begin` through the
+// `end` line: the loader recomputes it and truncates the file at the last
+// block that verifies, so a torn or bit-flipped tail costs one cell, not
+// the run.  Doubles round-trip exactly (%.17g) and blocks replay through
+// TraceAggregator::add in fixed task order, so a resumed sweep's
+// aggregates are bit-identical to an uninterrupted one.  v1 files (no CRC
+// trailers) are still readable; resuming one rewrites it as v2.
 // ---------------------------------------------------------------------------
 
 struct CheckpointFingerprint {
@@ -140,9 +163,9 @@ CheckpointFingerprint fingerprint_of(const ExperimentConfig& config,
   return fp;
 }
 
-void write_checkpoint_header(std::ostream& os,
-                             const CheckpointFingerprint& fp) {
-  os << "# accu-checkpoint v1\n";
+std::string checkpoint_header(const CheckpointFingerprint& fp) {
+  std::ostringstream os;
+  os << "# accu-checkpoint v2\n";
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "sweep seed %" PRIu64
@@ -160,7 +183,7 @@ void write_checkpoint_header(std::ostream& os,
   for (std::size_t i = 0; i < fp.names.size(); ++i) {
     os << "name " << i << ' ' << fp.names[i] << '\n';
   }
-  os.flush();
+  return os.str();
 }
 
 [[noreturn]] void checkpoint_mismatch(const std::string& path,
@@ -170,8 +193,8 @@ void write_checkpoint_header(std::ostream& os,
                 "); delete it or pick another path to start fresh");
 }
 
-/// Appends one completed cell.  Caller holds the checkpoint mutex.
-void write_checkpoint_cell(std::ostream& os, std::size_t task,
+/// Serializes one completed cell as a v2 block, CRC trailer included.
+std::string serialize_cell(std::size_t task,
                            const std::vector<SimulationResult>& outcomes) {
   std::ostringstream block;
   block << "begin " << task << '\n';
@@ -187,8 +210,11 @@ void write_checkpoint_cell(std::ostream& os, std::size_t task,
     block << "m " << s << ' ' << outcomes[s].num_abandoned << '\n';
   }
   block << "end " << task << '\n';
-  os << block.str();
-  os.flush();
+  std::string text = block.str();
+  std::snprintf(buf, sizeof buf, "crc %zu %08x\n", task,
+                util::crc32(text));
+  text += buf;
+  return text;
 }
 
 /// Rebuilds a SimulationResult from checkpointed trace lines.  Only the
@@ -216,29 +242,63 @@ SimulationResult replay_result(const std::vector<RequestRecord>& trace,
   return result;
 }
 
+struct LoadedCheckpoint {
+  std::size_t restored = 0;    ///< completed cells replayed
+  int version = 2;             ///< on-disk format version
+  std::uint64_t valid_end = 0; ///< byte offset after the last valid block
+  std::uint64_t file_size = 0;
+  /// For v1 files: the valid blocks re-serialized as v2 (used to upgrade
+  /// the file in place before appending v2 blocks to it).
+  std::string upgraded;
+};
+
 /// Loads an existing checkpoint, replaying completed cells into
-/// `partials` and marking them in `done`.  Returns the number of cells
-/// restored.  Throws IoError when the file belongs to a different
-/// experiment; tolerates a truncated trailing block.
-std::size_t load_checkpoint(const std::string& path,
-                            const CheckpointFingerprint& expected,
-                            std::size_t tasks, std::uint32_t budget,
-                            std::vector<std::vector<TraceAggregator>>& partials,
-                            std::vector<bool>& done) {
-  std::ifstream is(path);
+/// `partials` and marking them in `done`.  Throws IoError when the file
+/// belongs to a different experiment; a torn, malformed, or CRC-failing
+/// tail is dropped with a warning (the affected cells simply re-run) and
+/// `valid_end` tells the caller where to truncate before appending.
+LoadedCheckpoint load_checkpoint(
+    const std::string& path, const CheckpointFingerprint& expected,
+    std::size_t tasks, std::uint32_t budget,
+    std::vector<std::vector<TraceAggregator>>& partials,
+    std::vector<bool>& done) {
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw IoError("cannot open checkpoint for reading: " + path);
+  LoadedCheckpoint loaded;
+  is.seekg(0, std::ios::end);
+  loaded.file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+
   const std::size_t nstrategies = expected.names.size();
   std::string line;
-  auto next_line = [&]() -> bool {
-    while (std::getline(is, line)) {
+  std::uint64_t offset = 0;  // bytes consumed so far
+  // getline-based reader that tracks byte offsets exactly (tellg is
+  // unusable once eofbit sets on a file whose last line lacks a newline).
+  auto read_line = [&]() -> bool {
+    if (!std::getline(is, line)) return false;
+    offset += line.size() + (is.eof() ? 0u : 1u);
+    return true;
+  };
+
+  // Header region: the version magic plus three fixed stanzas.  Comment
+  // and blank lines are tolerated here only.
+  loaded.version = 1;
+  auto next_header_line = [&]() -> bool {
+    while (read_line()) {
+      if (line.rfind("# accu-checkpoint v", 0) == 0) {
+        loaded.version = std::atoi(line.c_str() + 19);
+        continue;
+      }
       if (!line.empty() && line[0] != '#') return true;
     }
     return false;
   };
 
-  // Header.
+  // Sweep-shape line.
   {
-    if (!next_line()) throw IoError("checkpoint " + path + ": empty file");
+    if (!next_header_line()) {
+      throw IoError("checkpoint " + path + ": empty file");
+    }
     std::istringstream ls(line);
     std::string kw1, kw2, kw3, kw4, kw5, kw6;
     std::uint64_t seed = 0;
@@ -255,8 +315,9 @@ std::size_t load_checkpoint(const std::string& path,
       checkpoint_mismatch(path, "different sweep shape or seed");
     }
   }
+  // Fault/retry fingerprint line.
   {
-    if (!next_line()) {
+    if (!next_header_line()) {
       throw IoError("checkpoint " + path + ": missing faults line");
     }
     std::istringstream ls(line);
@@ -279,8 +340,9 @@ std::size_t load_checkpoint(const std::string& path,
       checkpoint_mismatch(path, "different fault or retry configuration");
     }
   }
+  // Strategy roster.
   for (std::size_t i = 0; i < nstrategies; ++i) {
-    if (!next_line()) {
+    if (!next_header_line()) {
       throw IoError("checkpoint " + path + ": missing strategy name line");
     }
     std::istringstream ls(line);
@@ -296,20 +358,27 @@ std::size_t load_checkpoint(const std::string& path,
       checkpoint_mismatch(path, "different strategy roster");
     }
   }
+  loaded.valid_end = offset;
 
-  // Cell blocks.
-  std::size_t restored = 0;
-  while (next_line()) {
+  // Cell blocks.  Any anomaly from here on — unknown tag, short block,
+  // missing `end`, CRC mismatch — marks a torn tail: everything from the
+  // last valid block re-runs (warning below, not an error).
+  std::string torn_reason;
+  while (read_line()) {
+    std::string block_text = line + '\n';  // CRC covers begin..end inclusive
     std::istringstream header(line);
     std::string kw;
     std::size_t task = 0;
     if (!(header >> kw >> task) || kw != "begin" || task >= tasks) {
-      break;  // corrupt or foreign tail: everything from here re-runs
+      torn_reason = "unexpected line where a cell block should begin";
+      break;
     }
     std::vector<std::vector<RequestRecord>> traces(nstrategies);
     std::vector<std::uint32_t> abandoned(nstrategies, 0);
     bool complete = false, malformed = false;
-    while (next_line()) {
+    while (read_line()) {
+      block_text += line;
+      block_text += '\n';
       if (line.rfind("end ", 0) == 0) {
         std::istringstream ls(line);
         std::string end_kw;
@@ -357,15 +426,53 @@ std::size_t load_checkpoint(const std::string& path,
         break;
       }
     }
-    if (!complete || malformed) break;  // truncated tail: cell re-runs
-    if (done[task]) continue;           // duplicate block: keep the first
+    if (!complete || malformed) {
+      torn_reason = "truncated or malformed cell block";
+      break;
+    }
+    if (loaded.version >= 2) {
+      // The CRC trailer must follow immediately and verify.
+      std::size_t crc_task = 0;
+      std::string crc_hex;
+      bool crc_ok = false;
+      if (read_line()) {
+        std::istringstream ls(line);
+        std::string crc_kw;
+        if ((ls >> crc_kw >> crc_task >> crc_hex) && crc_kw == "crc" &&
+            crc_task == task) {
+          char printed[16];
+          std::snprintf(printed, sizeof printed, "%08x",
+                        util::crc32(block_text));
+          crc_ok = crc_hex == printed;
+        }
+      }
+      if (!crc_ok) {
+        torn_reason = "cell block failed its CRC32 check";
+        break;
+      }
+    }
+    loaded.valid_end = offset;
+    if (done[task]) continue;  // duplicate block: keep the first
+    std::vector<SimulationResult> outcomes(nstrategies);
     for (std::size_t s = 0; s < nstrategies; ++s) {
-      partials[task][s].add(replay_result(traces[s], abandoned[s]), budget);
+      outcomes[s] = replay_result(traces[s], abandoned[s]);
+      partials[task][s].add(outcomes[s], budget);
+    }
+    if (loaded.version < 2) {
+      loaded.upgraded += serialize_cell(task, outcomes);
     }
     done[task] = true;
-    ++restored;
+    ++loaded.restored;
   }
-  return restored;
+  if (!torn_reason.empty() || loaded.valid_end < loaded.file_size) {
+    util::log_warn(
+        "checkpoint %s: %s at byte %" PRIu64 " — dropping the tail "
+        "(%" PRIu64 " bytes); the affected cells will re-run",
+        path.c_str(),
+        torn_reason.empty() ? "trailing bytes" : torn_reason.c_str(),
+        loaded.valid_end, loaded.file_size - loaded.valid_end);
+  }
+  return loaded;
 }
 
 }  // namespace
@@ -391,26 +498,43 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   std::vector<bool> done(tasks, false);
 
   // Checkpoint: restore completed cells, then append new ones as they
-  // finish.
+  // finish.  The header write is atomic (temp + fsync + rename) and every
+  // appended block is fsynced, so a crash at any instant leaves a file the
+  // loader can resume from.
   const CheckpointFingerprint fingerprint =
       fingerprint_of(config, result.strategy_names);
-  std::ofstream checkpoint_out;
+  util::DurableAppender checkpoint_out;
   std::mutex checkpoint_mutex;
   if (!config.checkpoint_path.empty()) {
+    bool existing = false;
+    {
+      std::ifstream probe(config.checkpoint_path, std::ios::binary);
+      existing = probe.good() &&
+                 probe.peek() != std::ifstream::traits_type::eof();
+    }
     std::size_t restored = 0;
-    if (std::ifstream probe(config.checkpoint_path); probe.good()) {
-      restored = load_checkpoint(config.checkpoint_path, fingerprint, tasks,
-                                 config.budget, partials, done);
+    if (existing) {
+      LoadedCheckpoint loaded =
+          load_checkpoint(config.checkpoint_path, fingerprint, tasks,
+                          config.budget, partials, done);
+      restored = loaded.restored;
+      if (loaded.version < 2) {
+        // Upgrade in place: the same cells, re-serialized with CRC
+        // trailers under a v2 header, swapped in atomically so appended
+        // v2 blocks never share a file with an uncrc'd v1 body.
+        util::write_file_atomic(config.checkpoint_path,
+                                checkpoint_header(fingerprint) +
+                                    loaded.upgraded);
+        util::log_info("checkpoint %s: upgraded v1 file to v2 (%zu cells)",
+                       config.checkpoint_path.c_str(), restored);
+      } else if (loaded.valid_end < loaded.file_size) {
+        util::truncate_file(config.checkpoint_path, loaded.valid_end);
+      }
+    } else {
+      util::write_file_atomic(config.checkpoint_path,
+                              checkpoint_header(fingerprint));
     }
-    checkpoint_out.open(config.checkpoint_path,
-                        std::ios::out | std::ios::app);
-    if (!checkpoint_out) {
-      throw IoError("cannot open checkpoint for writing: " +
-                    config.checkpoint_path);
-    }
-    if (restored == 0 && checkpoint_out.tellp() == std::streampos(0)) {
-      write_checkpoint_header(checkpoint_out, fingerprint);
-    }
+    checkpoint_out.open(config.checkpoint_path);
     if (restored > 0) {
       util::log_info("experiment: resumed %zu/%zu cells from %s", restored,
                      tasks, config.checkpoint_path.c_str());
@@ -418,12 +542,23 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   }
 
   std::mutex failure_mutex;
+  std::atomic<bool> stop{false};         // no new cells may start
+  std::atomic<bool> interrupted{false};  // external stop observed
+  auto interrupt_requested = [&config]() -> bool {
+    return config.interrupt_flag != nullptr && *config.interrupt_flag != 0;
+  };
+
   // One instance per sample network, generated up front so runs can share
   // it (the factory owns all dataset-level randomness through the seed).
   // Samples whose cells are all checkpointed skip generation; a factory
   // that throws fails that sample's cells instead of the whole sweep.
   std::vector<std::optional<AccuInstance>> instances(config.samples);
   for (std::uint32_t sample = 0; sample < config.samples; ++sample) {
+    if (interrupt_requested()) {
+      interrupted.store(true, std::memory_order_release);
+      stop.store(true, std::memory_order_release);
+      break;
+    }
     bool needed = false;
     for (std::uint32_t run = 0; run < config.runs; ++run) {
       needed |= !done[static_cast<std::size_t>(sample) * config.runs + run];
@@ -436,63 +571,12 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                      sample + 1, config.samples, timer.seconds());
     } catch (const std::exception& e) {
       result.failures.push_back(
-          {sample, CellFailure::kAllRuns,
+          {sample, CellFailure::kAllRuns, CellFailure::Kind::kError, 1, 0.0,
            std::string("instance factory failed: ") + e.what()});
       util::log_warn("experiment: sample %u instance factory failed: %s",
                      sample, e.what());
     }
   }
-
-  const bool faulty = config.faults.total_rate() > 0.0;
-  auto run_task = [&](std::size_t task) {
-    if (done[task]) return;
-    const std::uint32_t sample =
-        static_cast<std::uint32_t>(task / config.runs);
-    const std::uint32_t run = static_cast<std::uint32_t>(task % config.runs);
-    if (!instances[sample].has_value()) return;  // factory failure, reported
-    const AccuInstance& instance = *instances[sample];
-    try {
-      // One ground truth per (sample, run), shared by every policy.
-      util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
-      const Realization truth = Realization::sample(instance, truth_rng);
-      std::vector<SimulationResult> outcomes(strategies.size());
-      for (std::size_t s = 0; s < strategies.size(); ++s) {
-        util::Rng policy_rng(
-            derive_seed(config.seed, sample, run + 1, s + 1));
-        std::unique_ptr<Strategy> strategy = strategies[s].make();
-        if (config.retry.kind != util::RetryKind::kNone) {
-          strategy = std::make_unique<RetryingStrategy>(
-              std::move(strategy), config.retry,
-              derive_seed(config.seed ^ kRetryStreamSalt, sample, run + 1,
-                          s + 1));
-        }
-        if (faulty) {
-          FaultModel faults(config.faults,
-                            derive_seed(config.seed ^ kFaultStreamSalt,
-                                        sample, run + 1, s + 1));
-          outcomes[s] = simulate_with_faults(instance, truth, *strategy,
-                                             config.budget, policy_rng,
-                                             faults);
-        } else {
-          outcomes[s] =
-              simulate(instance, truth, *strategy, config.budget, policy_rng);
-        }
-        partials[task][s].add(outcomes[s], config.budget);
-      }
-      if (checkpoint_out.is_open()) {
-        const std::lock_guard<std::mutex> lock(checkpoint_mutex);
-        write_checkpoint_cell(checkpoint_out, task, outcomes);
-      }
-    } catch (const std::exception& e) {
-      // Surface the failure per cell instead of crashing the sweep; wipe
-      // any half-filled partials so surviving cells aggregate cleanly.
-      for (std::size_t s = 0; s < strategies.size(); ++s) {
-        partials[task][s] = TraceAggregator();
-      }
-      const std::lock_guard<std::mutex> lock(failure_mutex);
-      result.failures.push_back({sample, run, e.what()});
-    }
-  };
 
   std::uint32_t workers = config.threads;
   if (workers == 0) workers = std::thread::hardware_concurrency();
@@ -500,21 +584,205 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   workers = static_cast<std::uint32_t>(
       std::min<std::size_t>(workers, tasks == 0 ? 1 : tasks));
 
+  // Supervision state: one slot per worker holds the live attempt's cancel
+  // token behind a mutex, so the watchdog can never cancel a stale token
+  // that a later attempt is already reusing.
+  struct CellSlot {
+    std::mutex mu;
+    std::shared_ptr<util::CancelToken> token;  // non-null while running
+    std::chrono::steady_clock::time_point started{};
+  };
+  std::vector<CellSlot> slots(workers);
+  std::atomic<std::uint32_t> cells_retried{0};
+
+  const bool faulty = config.faults.total_rate() > 0.0;
+  auto run_task = [&](std::size_t task, CellSlot& slot) {
+    if (done[task]) return;
+    const std::uint32_t sample =
+        static_cast<std::uint32_t>(task / config.runs);
+    const std::uint32_t run = static_cast<std::uint32_t>(task % config.runs);
+    if (!instances[sample].has_value()) return;  // factory failure, reported
+    const AccuInstance& instance = *instances[sample];
+    const std::uint32_t max_attempts = config.max_cell_retries + 1;
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      auto token = std::make_shared<util::CancelToken>();
+      if (config.cell_deadline_ms > 0) {
+        token->set_deadline_after(
+            std::chrono::milliseconds(config.cell_deadline_ms));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(slot.mu);
+        slot.token = token;
+        slot.started = std::chrono::steady_clock::now();
+      }
+      util::Timer attempt_timer;
+      auto release_slot = [&slot] {
+        const std::lock_guard<std::mutex> lock(slot.mu);
+        slot.token.reset();
+      };
+      try {
+        // Retried attempts re-derive the policy/fault/retry streams from a
+        // fresh tag; the ground truth below stays on the original stream so
+        // every policy still faces the same realization (paired design).
+        const std::uint64_t stream_base =
+            attempt == 0 ? config.seed
+                         : derive_seed(config.seed ^ kCellRetrySalt, attempt);
+        // One ground truth per (sample, run), shared by every policy.
+        util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
+        const Realization truth = Realization::sample(instance, truth_rng);
+        std::vector<SimulationResult> outcomes(strategies.size());
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+          util::Rng policy_rng(
+              derive_seed(stream_base, sample, run + 1, s + 1));
+          std::unique_ptr<Strategy> strategy = strategies[s].make();
+          if (config.retry.kind != util::RetryKind::kNone) {
+            strategy = std::make_unique<RetryingStrategy>(
+                std::move(strategy), config.retry,
+                derive_seed(stream_base ^ kRetryStreamSalt, sample, run + 1,
+                            s + 1));
+          }
+          if (faulty) {
+            FaultModel faults(config.faults,
+                              derive_seed(stream_base ^ kFaultStreamSalt,
+                                          sample, run + 1, s + 1));
+            outcomes[s] = simulate_with_faults(instance, truth, *strategy,
+                                               config.budget, policy_rng,
+                                               faults, token.get());
+          } else {
+            outcomes[s] = simulate(instance, truth, *strategy, config.budget,
+                                   policy_rng, token.get());
+          }
+          partials[task][s].add(outcomes[s], config.budget);
+        }
+        release_slot();
+        if (checkpoint_out.is_open()) {
+          const std::string block = serialize_cell(task, outcomes);
+          const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+          checkpoint_out.append(block);
+          checkpoint_out.sync();
+        }
+        return;
+      } catch (const util::CancelledError& e) {
+        release_slot();
+        // A cancelled attempt never leaves a half-aggregated trace behind.
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+          partials[task][s] = TraceAggregator();
+        }
+        const double elapsed = attempt_timer.milliseconds();
+        const bool deadline =
+            e.reason() == util::CancelReason::kDeadline &&
+            !interrupted.load(std::memory_order_acquire);
+        if (deadline && attempt + 1 < max_attempts) {
+          if (attempt == 0) {
+            cells_retried.fetch_add(1, std::memory_order_relaxed);
+          }
+          util::log_warn(
+              "experiment: cell (sample %u, run %u) exceeded its %ums "
+              "deadline after %.0fms; retrying with a fresh seed stream "
+              "(attempt %u of %u)",
+              sample, run, config.cell_deadline_ms, elapsed, attempt + 2,
+              max_attempts);
+          continue;
+        }
+        CellFailure failure;
+        failure.sample = sample;
+        failure.run = run;
+        failure.kind = deadline ? CellFailure::Kind::kDeadline
+                                : CellFailure::Kind::kCancelled;
+        failure.attempts = attempt + 1;
+        failure.elapsed_ms = elapsed;
+        failure.error = e.what();
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        result.failures.push_back(std::move(failure));
+        return;
+      } catch (const std::exception& e) {
+        release_slot();
+        // Surface the failure per cell instead of crashing the sweep; wipe
+        // any half-filled partials so surviving cells aggregate cleanly.
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+          partials[task][s] = TraceAggregator();
+        }
+        CellFailure failure;
+        failure.sample = sample;
+        failure.run = run;
+        failure.attempts = attempt + 1;
+        failure.elapsed_ms = attempt_timer.milliseconds();
+        failure.error = e.what();
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        result.failures.push_back(std::move(failure));
+        return;
+      }
+    }
+  };
+
+  // Watchdog: polls the external interrupt flag and the per-slot clocks.
+  // An interrupted sweep cancels every in-flight cell and claims no new
+  // ones; a cell past its deadline is cancelled (the token's own deadline
+  // check backs this up, so supervision works even if the watchdog lags).
+  std::atomic<bool> watchdog_exit{false};
+  std::thread watchdog;
+  const bool supervised =
+      config.cell_deadline_ms > 0 || config.interrupt_flag != nullptr;
+  if (supervised) {
+    watchdog = std::thread([&] {
+      const auto deadline =
+          std::chrono::milliseconds(config.cell_deadline_ms);
+      while (!watchdog_exit.load(std::memory_order_acquire)) {
+        if (interrupt_requested()) {
+          if (!interrupted.exchange(true, std::memory_order_acq_rel)) {
+            stop.store(true, std::memory_order_release);
+            util::log_warn(
+                "experiment: interrupt received — cancelling in-flight "
+                "cells and flushing the checkpoint");
+          }
+          for (CellSlot& slot : slots) {
+            const std::lock_guard<std::mutex> lock(slot.mu);
+            if (slot.token) {
+              slot.token->cancel(util::CancelReason::kInterrupt);
+            }
+          }
+        }
+        if (config.cell_deadline_ms > 0) {
+          const auto now = std::chrono::steady_clock::now();
+          for (CellSlot& slot : slots) {
+            const std::lock_guard<std::mutex> lock(slot.mu);
+            if (slot.token && now - slot.started >= deadline) {
+              slot.token->cancel(util::CancelReason::kDeadline);
+            }
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
   if (workers <= 1) {
-    for (std::size_t task = 0; task < tasks; ++task) run_task(task);
+    for (std::size_t task = 0;
+         task < tasks && !stop.load(std::memory_order_acquire); ++task) {
+      run_task(task, slots[0]);
+    }
   } else {
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::uint32_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         for (std::size_t task = next.fetch_add(1); task < tasks;
              task = next.fetch_add(1)) {
-          run_task(task);
+          if (stop.load(std::memory_order_acquire)) break;
+          run_task(task, slots[w]);
         }
       });
     }
     for (std::thread& worker : pool) worker.join();
+  }
+  if (watchdog.joinable()) {
+    watchdog_exit.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+  if (checkpoint_out.is_open()) {
+    checkpoint_out.sync();
+    checkpoint_out.close();
   }
 
   // Deterministic merge order: task-major, strategy-minor.
@@ -522,6 +790,16 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     for (std::size_t s = 0; s < strategies.size(); ++s) {
       result.aggregates[s].merge(partials[task][s]);
     }
+  }
+  result.cells_retried = cells_retried.load(std::memory_order_relaxed);
+  result.interrupted = interrupted.load(std::memory_order_acquire);
+  if (result.interrupted) {
+    util::log_warn(
+        "experiment: sweep interrupted before completion%s",
+        config.checkpoint_path.empty()
+            ? " (no checkpoint configured: partial results are lost)"
+            : "; completed cells are checkpointed — rerun with the same "
+              "checkpoint to resume");
   }
   if (!result.failures.empty()) {
     util::log_warn("experiment: %zu of %zu cells failed (see "

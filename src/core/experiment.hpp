@@ -13,13 +13,20 @@
 //   * robustness totals under fault injection: faulted requests,
 //     retries, rounds lost to suspension, abandoned targets
 //
-// The harness is crash-safe: worker exceptions are captured per cell and
-// reported in ExperimentResult::failures (surviving cells still
-// aggregate), and an optional checkpoint file lets a killed sweep resume
-// at (sample, run) granularity with bit-identical aggregates.
+// The harness is crash-safe and supervised: worker exceptions are captured
+// per cell and reported in ExperimentResult::failures (surviving cells
+// still aggregate), a watchdog thread cancels cells that exceed their
+// wall-clock deadline (optionally re-running them with a fresh derived
+// seed stream), an external interrupt flag (SIGINT/SIGTERM from the CLI)
+// stops the sweep at cell granularity with the checkpoint flushed, and the
+// crash-consistent checkpoint file (v2: per-cell CRC32 trailers, atomic
+// header, per-cell fsync) lets a killed sweep resume at (sample, run)
+// granularity with bit-identical aggregates — even after a crash mid-append
+// tore the final block.
 
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -138,25 +145,66 @@ struct ExperimentConfig {
   /// file as they finish, and an existing file is loaded first so a killed
   /// sweep resumes where it stopped — with aggregates bit-identical to an
   /// uninterrupted run.  The file must belong to the same experiment
-  /// (config fingerprint is checked; mismatch throws IoError).
+  /// (config fingerprint is checked; mismatch throws IoError).  Files are
+  /// written in the v2 format (per-cell CRC32 trailers, fsync per cell); a
+  /// torn or CRC-failing tail is truncated with a warning on load, and v1
+  /// files are still readable (upgraded to v2 in place on resume).
   std::string checkpoint_path{};
+  /// Wall-clock budget per (sample, run) cell in milliseconds; 0 = none.
+  /// A cell that exceeds it is cancelled cooperatively (between simulation
+  /// rounds) by the watchdog and recorded in ExperimentResult::failures
+  /// with its elapsed time; no partial trace reaches the aggregates.
+  std::uint32_t cell_deadline_ms = 0;
+  /// How many times a deadline-cancelled cell is re-run before it is given
+  /// up as failed.  Each retry derives a fresh policy/fault/retry seed
+  /// stream from (seed, sample, run, strategy, attempt) — deterministic
+  /// and thread-count invariant, like the fault seeds.  The ground-truth
+  /// realization is left untouched so the paired design survives retries.
+  std::uint32_t max_cell_retries = 0;
+  /// Optional external stop flag, designed to be set from a signal handler
+  /// (`volatile std::sig_atomic_t` is the only type a handler may write).
+  /// The watchdog polls it; once non-zero, in-flight cells are cancelled,
+  /// no new cells start, the checkpoint is already flushed per cell, and
+  /// run_experiment returns with ExperimentResult::interrupted set.
+  const volatile std::sig_atomic_t* interrupt_flag = nullptr;
 };
 
-/// One (sample, run) cell whose worker threw instead of completing.  The
-/// sweep survives: failed cells contribute nothing to the aggregates and
-/// are reported here.  `run == kAllRuns` marks a sample whose instance
-/// factory failed (all its cells are skipped).
+/// One (sample, run) cell that did not complete.  The sweep survives:
+/// failed cells contribute nothing to the aggregates and are reported
+/// here.  `run == kAllRuns` marks a sample whose instance factory failed
+/// (all its cells are skipped).
 struct CellFailure {
+  enum class Kind : std::uint8_t {
+    kError = 0,     ///< the worker threw (bug, bad data, ...)
+    kDeadline = 1,  ///< exceeded cell_deadline_ms on every allowed attempt
+    kCancelled = 2, ///< stopped by the external interrupt flag
+  };
   static constexpr std::uint32_t kAllRuns = 0xffffffffu;
   std::uint32_t sample = 0;
   std::uint32_t run = 0;
+  Kind kind = Kind::kError;
+  /// How many times the cell was attempted (1 = no retries granted).
+  std::uint32_t attempts = 1;
+  /// Wall-clock spent on the final attempt, for deadline forensics.
+  double elapsed_ms = 0.0;
   std::string error;
 };
+
+[[nodiscard]] const char* cell_failure_kind_name(
+    CellFailure::Kind kind) noexcept;
 
 struct ExperimentResult {
   std::vector<std::string> strategy_names;
   std::vector<TraceAggregator> aggregates;  // parallel to strategy_names
   std::vector<CellFailure> failures;        // empty on a clean sweep
+  /// Cells that blew their deadline at least once but were re-run; a cell
+  /// counts once no matter how many retries it consumed.  Cells whose last
+  /// attempt also failed additionally appear in `failures`.
+  std::uint32_t cells_retried = 0;
+  /// True when the sweep was stopped by ExperimentConfig::interrupt_flag;
+  /// the aggregates cover only the cells that finished (plus checkpointed
+  /// ones), and a checkpointed sweep can be resumed to completion.
+  bool interrupted = false;
 
   [[nodiscard]] const TraceAggregator& by_name(const std::string& name) const;
 };

@@ -25,7 +25,8 @@ bool resolve_acceptance(const AccuInstance& instance, const Realization& truth,
 SimulationResult simulate_with_view(const AccuInstance& instance,
                                     const Realization& truth,
                                     Strategy& strategy, std::uint32_t budget,
-                                    util::Rng& rng, AttackerView& view) {
+                                    util::Rng& rng, AttackerView& view,
+                                    const util::CancelToken* cancel) {
   ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   SimulationResult result;
@@ -33,6 +34,7 @@ SimulationResult simulate_with_view(const AccuInstance& instance,
   strategy.reset(instance, rng);
 
   while (view.num_requests() < budget) {
+    if (cancel != nullptr) cancel->check();
     const NodeId target = strategy.select(view, rng);
     if (target == kInvalidNode) break;  // strategy stops early
     ACCU_ASSERT_MSG(target < instance.num_nodes(),
@@ -70,16 +72,19 @@ SimulationResult simulate_with_view(const AccuInstance& instance,
 
 SimulationResult simulate(const AccuInstance& instance,
                           const Realization& truth, Strategy& strategy,
-                          std::uint32_t budget, util::Rng& rng) {
+                          std::uint32_t budget, util::Rng& rng,
+                          const util::CancelToken* cancel) {
   AttackerView view(instance);
-  return simulate_with_view(instance, truth, strategy, budget, rng, view);
+  return simulate_with_view(instance, truth, strategy, budget, rng, view,
+                            cancel);
 }
 
 SimulationResult simulate_with_faults(const AccuInstance& instance,
                                       const Realization& truth,
                                       Strategy& strategy, std::uint32_t budget,
                                       util::Rng& rng, FaultModel& faults,
-                                      AttackerView& view) {
+                                      AttackerView& view,
+                                      const util::CancelToken* cancel) {
   ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   SimulationResult result;
@@ -91,6 +96,7 @@ SimulationResult simulate_with_faults(const AccuInstance& instance,
 
   std::uint32_t rounds = 0;  // every round consumes budget
   while (rounds < budget) {
+    if (cancel != nullptr) cancel->check();
     const NodeId target = strategy.select(view, rng);
     if (target == kInvalidNode) break;  // strategy stops early
     ACCU_ASSERT_MSG(target < instance.num_nodes(),
@@ -178,10 +184,11 @@ SimulationResult simulate_with_faults(const AccuInstance& instance,
 SimulationResult simulate_with_faults(const AccuInstance& instance,
                                       const Realization& truth,
                                       Strategy& strategy, std::uint32_t budget,
-                                      util::Rng& rng, FaultModel& faults) {
+                                      util::Rng& rng, FaultModel& faults,
+                                      const util::CancelToken* cancel) {
   AttackerView view(instance);
   return simulate_with_faults(instance, truth, strategy, budget, rng, faults,
-                              view);
+                              view, cancel);
 }
 
 }  // namespace accu

@@ -24,6 +24,7 @@
 #include "core/observation.hpp"
 #include "core/realization.hpp"
 #include "core/types.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace accu {
@@ -106,20 +107,23 @@ class Strategy {
 /// Runs `strategy` for at most `budget` requests against the given ground
 /// truth.  `rng` drives only the strategy's own randomness (tie-breaking,
 /// the Random baseline); all environment randomness lives in `truth`.
-[[nodiscard]] SimulationResult simulate(const AccuInstance& instance,
-                                        const Realization& truth,
-                                        Strategy& strategy,
-                                        std::uint32_t budget,
-                                        util::Rng& rng);
+///
+/// Cancellation: when `cancel` is non-null it is polled between rounds; a
+/// fired token unwinds with util::CancelledError *before* the next request,
+/// so no partial trace ever escapes — the caller sees either a complete
+/// result or the exception.  Polling consumes no randomness: passing a
+/// token that never fires leaves every outcome byte-identical.
+[[nodiscard]] SimulationResult simulate(
+    const AccuInstance& instance, const Realization& truth,
+    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
+    const util::CancelToken* cancel = nullptr);
 
 /// As `simulate`, but also exposes the final view (integration tests and
 /// the examples' reporting use it).
-[[nodiscard]] SimulationResult simulate_with_view(const AccuInstance& instance,
-                                                  const Realization& truth,
-                                                  Strategy& strategy,
-                                                  std::uint32_t budget,
-                                                  util::Rng& rng,
-                                                  AttackerView& view_out);
+[[nodiscard]] SimulationResult simulate_with_view(
+    const AccuInstance& instance, const Realization& truth,
+    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
+    AttackerView& view_out, const util::CancelToken* cancel = nullptr);
 
 /// As `simulate`, but runs against an unreliable platform: each request
 /// attempt may fault per `faults` (core/faults.hpp).  The budget counts
@@ -139,12 +143,13 @@ class Strategy {
 [[nodiscard]] SimulationResult simulate_with_faults(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
-    FaultModel& faults);
+    FaultModel& faults, const util::CancelToken* cancel = nullptr);
 
 /// As `simulate_with_faults`, but exposes the final view.
 [[nodiscard]] SimulationResult simulate_with_faults(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
-    FaultModel& faults, AttackerView& view_out);
+    FaultModel& faults, AttackerView& view_out,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace accu

@@ -1,0 +1,177 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ACCU_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace accu::util {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#ifdef ACCU_HAVE_POSIX_IO
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: not all filesystems allow dir opens
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("cannot write", path);
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+#endif
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+#ifdef ACCU_HAVE_POSIX_IO
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_fail("cannot create", tmp);
+  try {
+    write_all(fd, content.data(), content.size(), tmp);
+    if (::fsync(fd) != 0) io_fail("cannot fsync", tmp);
+  } catch (...) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    io_fail("cannot close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    io_fail("cannot rename into place", path);
+  }
+  fsync_directory(directory_of(path));
+#else
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) io_fail("cannot create", tmp);
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    io_fail("cannot write", tmp);
+  }
+  std::remove(path.c_str());  // non-POSIX rename may not replace
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("cannot rename into place", path);
+  }
+#endif
+}
+
+void truncate_file(const std::string& path, std::uint64_t length) {
+#ifdef ACCU_HAVE_POSIX_IO
+  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+    io_fail("cannot truncate", path);
+  }
+#else
+  // Portable fallback: read the prefix, rewrite the file.
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) io_fail("cannot open", path);
+  std::string prefix(length, '\0');
+  const std::size_t got = std::fread(prefix.data(), 1, prefix.size(), in);
+  std::fclose(in);
+  prefix.resize(got);
+  write_file_atomic(path, prefix);
+#endif
+}
+
+DurableAppender::~DurableAppender() { close(); }
+
+void DurableAppender::open(const std::string& path) {
+  close();
+  path_ = path;
+#ifdef ACCU_HAVE_POSIX_IO
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) io_fail("cannot open for append", path);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) io_fail("cannot open for append", path);
+  // Stash the FILE* through the fd slot is not portable; keep the handle
+  // in a static-free way by reopening per append instead.
+  std::fclose(f);
+  fd_ = 0;  // marks "open" for the stdio fallback
+#endif
+}
+
+bool DurableAppender::is_open() const noexcept { return fd_ >= 0; }
+
+void DurableAppender::append(std::string_view data) {
+  if (!is_open()) throw IoError("DurableAppender: append on closed file");
+#ifdef ACCU_HAVE_POSIX_IO
+  write_all(fd_, data.data(), data.size(), path_);
+#else
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) io_fail("cannot open for append", path_);
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool ok = written == data.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) io_fail("cannot append", path_);
+#endif
+}
+
+void DurableAppender::sync() {
+  if (!is_open()) return;
+#ifdef ACCU_HAVE_POSIX_IO
+  if (::fsync(fd_) != 0) io_fail("cannot fsync", path_);
+#endif
+}
+
+void DurableAppender::close() noexcept {
+#ifdef ACCU_HAVE_POSIX_IO
+  if (fd_ >= 0) (void)::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+std::uint64_t DurableAppender::size() const {
+  if (!is_open()) return 0;
+#ifdef ACCU_HAVE_POSIX_IO
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) io_fail("cannot stat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+#else
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long pos = std::ftell(f);
+  std::fclose(f);
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+#endif
+}
+
+}  // namespace accu::util

@@ -1,0 +1,63 @@
+// Durable-file primitives for crash-consistent on-disk state.
+//
+// Three operations the checkpoint layer needs and plain iostreams cannot
+// provide:
+//
+//   * write_file_atomic — all-or-nothing replacement: write to a temp file
+//     in the same directory, flush + fsync, rename() over the target, then
+//     fsync the directory so the rename itself is durable.  A crash at any
+//     point leaves either the old file or the new one, never a torn mix.
+//   * DurableAppender — an append-only handle whose sync() pushes the bytes
+//     through the OS cache (fsync).  Appending a record then syncing bounds
+//     crash loss to the in-flight record.
+//   * truncate_file — drops a torn tail in place (resume after a crash
+//     mid-append).
+//
+// On POSIX these map to open/write/fsync/rename; elsewhere they degrade to
+// stdio without the fsync guarantees (same semantics minus durability —
+// the code stays correct, crashes may just lose more).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace accu::util {
+
+/// Atomically replaces `path` with `content` (temp file + fsync + rename).
+/// Throws IoError on any failure; the target is untouched in that case.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Truncates `path` to `length` bytes.  Throws IoError on failure.
+void truncate_file(const std::string& path, std::uint64_t length);
+
+/// Append-only file handle with explicit durability control.
+class DurableAppender {
+ public:
+  DurableAppender() = default;
+  ~DurableAppender();
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+
+  /// Opens (creating if absent) `path` for appending.  Throws IoError.
+  void open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept;
+
+  /// Appends the whole buffer (short writes are retried).  Throws IoError.
+  void append(std::string_view data);
+
+  /// Flushes appended bytes to stable storage (fsync where available).
+  void sync();
+
+  void close() noexcept;
+
+  /// Current size of the file in bytes.
+  [[nodiscard]] std::uint64_t size() const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace accu::util

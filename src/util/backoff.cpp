@@ -14,13 +14,17 @@ std::uint32_t RetryPolicy::delay(std::uint32_t attempt, Rng& rng) const {
     case RetryKind::kFixed:
       return std::max(1u, base_delay);
     case RetryKind::kExponentialJitter: {
-      // base · 2^(attempt-1), saturating, capped at max_delay.
-      const std::uint32_t shift = std::min(attempt - 1, 31u);
-      const std::uint64_t raw = static_cast<std::uint64_t>(
-                                    std::max(1u, base_delay))
-                                << shift;
-      const std::uint64_t capped =
-          std::min<std::uint64_t>(raw, std::max(1u, max_delay));
+      // base · 2^(attempt-1), capped at max_delay.  The doubling stops as
+      // soon as the cap is reached, so arbitrarily large attempt counts
+      // can never overflow or shift out of range — the loop runs at most
+      // ~32 iterations before the value exceeds any 32-bit cap.
+      const std::uint64_t cap = std::max(1u, max_delay);
+      std::uint64_t value = std::max(1u, base_delay);
+      for (std::uint32_t doubled = 1; doubled < attempt && value < cap;
+           ++doubled) {
+        value <<= 1;
+      }
+      const std::uint64_t capped = std::min(value, cap);
       // Full jitter: uniform in [1, capped].
       return static_cast<std::uint32_t>(1 + rng.below(capped));
     }

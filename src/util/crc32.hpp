@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// checkpoint format uses to detect torn or corrupted cell blocks.  Chosen
+// over a hash because the failure mode it guards against is storage-level
+// corruption (partial appends, bit rot), where CRC's burst-error detection
+// guarantees apply, and because the value is small enough to print in a
+// one-line trailer.
+//
+// Incremental use: feed chunks in order, passing the previous return value
+// as `crc` (start from 0).  The convention matches zlib's crc32(): the
+// pre/post inversion happens inside, so intermediate values are already
+// final — crc32("ab") == crc32("b", crc32("a")).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace accu::util {
+
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t crc = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data,
+                                         std::uint32_t crc = 0) noexcept {
+  return crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace accu::util

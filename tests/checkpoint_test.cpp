@@ -175,6 +175,115 @@ TEST(CheckpointTest, MismatchedExperimentIsRejected) {
                IoError);
 }
 
+TEST(CheckpointTest, CheckpointFilesCarryVersionTwoCrcTrailers) {
+  ExperimentConfig config = base_config();
+  config.checkpoint_path = temp_path("accu_ckpt_v2_format.txt");
+  (void)run_experiment(tiny_factory(), two_strategies(), config);
+  const std::string full = read_file(config.checkpoint_path);
+  EXPECT_EQ(full.rfind("# accu-checkpoint v2", 0), 0u);
+  // Every cell block ends with a `crc <task> <hex>` trailer.
+  std::size_t begins = 0, crcs = 0, pos = 0;
+  while ((pos = full.find("\nbegin ", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = full.find("\ncrc ", pos)) != std::string::npos) {
+    ++crcs;
+    ++pos;
+  }
+  EXPECT_EQ(begins, static_cast<std::size_t>(config.samples) * config.runs);
+  EXPECT_EQ(crcs, begins);
+}
+
+TEST(CheckpointTest, CorruptedCrcByteDropsTheTailAndResumesExactly) {
+  const ExperimentConfig plain = base_config();
+  const ExperimentResult uninterrupted =
+      run_experiment(tiny_factory(), two_strategies(), plain);
+
+  // Flip one hex digit in the *last* block's CRC trailer: the block no
+  // longer verifies, so the loader must drop it (and only it) and the
+  // resumed sweep re-runs that cell to the same bits.
+  ExperimentConfig with_checkpoint = plain;
+  with_checkpoint.checkpoint_path = temp_path("accu_ckpt_crcflip.txt");
+  (void)run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  std::string full = read_file(with_checkpoint.checkpoint_path);
+  const std::size_t last_crc = full.rfind("\ncrc ");
+  ASSERT_NE(last_crc, std::string::npos);
+  const std::size_t digit = full.find_last_not_of("\n");
+  ASSERT_GT(digit, last_crc);
+  full[digit] = full[digit] == '0' ? '1' : '0';
+  {
+    std::ofstream os(with_checkpoint.checkpoint_path, std::ios::trunc);
+    os << full;
+  }
+  const ExperimentResult resumed =
+      run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  expect_identical_results(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, CorruptedTraceByteFailsTheCrcAndResumesExactly) {
+  const ExperimentConfig plain = base_config();
+  const ExperimentResult uninterrupted =
+      run_experiment(tiny_factory(), two_strategies(), plain);
+
+  // Corrupt a data byte inside the last block while keeping the line
+  // parseable: without the CRC trailer this silent bit-rot would poison
+  // the resumed aggregates.
+  ExperimentConfig with_checkpoint = plain;
+  with_checkpoint.checkpoint_path = temp_path("accu_ckpt_bitrot.txt");
+  (void)run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  std::string full = read_file(with_checkpoint.checkpoint_path);
+  const std::size_t last_begin = full.rfind("\nbegin ");
+  ASSERT_NE(last_begin, std::string::npos);
+  const std::size_t t_line = full.find("\nt ", last_begin);
+  ASSERT_NE(t_line, std::string::npos);
+  char& target_digit = full[t_line + 5];  // first digit of the target id
+  ASSERT_TRUE(target_digit >= '0' && target_digit <= '9');
+  target_digit = target_digit == '0' ? '1' : '0';
+  {
+    std::ofstream os(with_checkpoint.checkpoint_path, std::ios::trunc);
+    os << full;
+  }
+  const ExperimentResult resumed =
+      run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  expect_identical_results(uninterrupted, resumed);
+}
+
+TEST(CheckpointTest, VersionOneFilesAreReadAndUpgraded) {
+  const ExperimentConfig plain = base_config();
+  const ExperimentResult uninterrupted =
+      run_experiment(tiny_factory(), two_strategies(), plain);
+
+  // Fabricate a v1 file from a v2 one: v1 is exactly the same format minus
+  // the CRC trailers.  The loader must accept it, and resuming must
+  // rewrite the file as v2 before appending (mixed v1/v2 bodies would be
+  // unreadable).
+  ExperimentConfig with_checkpoint = plain;
+  with_checkpoint.checkpoint_path = temp_path("accu_ckpt_v1.txt");
+  (void)run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  const std::string full = read_file(with_checkpoint.checkpoint_path);
+  std::string v1 = "# accu-checkpoint v1\n";
+  std::istringstream lines(full);
+  std::string line;
+  std::getline(lines, line);  // drop the v2 magic
+  while (std::getline(lines, line)) {
+    if (line.rfind("crc ", 0) == 0) continue;
+    v1 += line;
+    v1 += '\n';
+  }
+  {
+    std::ofstream os(with_checkpoint.checkpoint_path, std::ios::trunc);
+    os << v1;
+  }
+  const ExperimentResult resumed =
+      run_experiment(tiny_factory(), two_strategies(), with_checkpoint);
+  expect_identical_results(uninterrupted, resumed);
+  const std::string upgraded = read_file(with_checkpoint.checkpoint_path);
+  EXPECT_EQ(upgraded.rfind("# accu-checkpoint v2", 0), 0u);
+  EXPECT_NE(upgraded.find("\ncrc "), std::string::npos);
+}
+
 TEST(CheckpointTest, ReliablePlatformSweepAlsoCheckpoints) {
   // The checkpoint path is orthogonal to fault injection.
   ExperimentConfig plain;

@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/backoff.hpp"
+#include "util/cancel.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -460,6 +466,133 @@ TEST(BackoffTest, ParseAcceptsKnownSpecs) {
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("'sometimes'"), std::string::npos);
   }
+}
+
+TEST(BackoffTest, AstronomicalAttemptCountsSaturateAtCap) {
+  // Regression: the delay computation must cap the doubling *before*
+  // computing base·2^(attempt-1); a naive shift would overflow long before
+  // attempt counts like these.
+  const RetryPolicy policy =
+      RetryPolicy::exponential_jitter(/*retries=*/3, /*base=*/3, /*cap=*/500);
+  Rng rng(11);
+  for (const std::uint32_t attempt :
+       {31u, 32u, 33u, 64u, 100000u, 0xffffffffu}) {
+    const std::uint32_t d = policy.delay(attempt, rng);
+    EXPECT_GE(d, 1u) << "attempt " << attempt;
+    EXPECT_LE(d, 500u) << "attempt " << attempt;
+  }
+  // Once saturated, every attempt draws from the identical [1, cap] window:
+  // equal rng states must produce equal delays regardless of the attempt.
+  Rng a(99), b(99);
+  EXPECT_EQ(policy.delay(50, a), policy.delay(0xffffffffu, b));
+}
+
+// ---------------------------------------------------------------- CRC32 ----
+
+TEST(Crc32Test, MatchesKnownAnswerVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+  EXPECT_EQ(crc32(std::string_view("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalChainingEqualsOneShot) {
+  const std::string data = "begin 3\nt 0 17 1 0 0 0 42.5\nend 3\n";
+  const std::uint32_t whole = crc32(std::string_view(data));
+  std::uint32_t chained = 0;
+  for (const char c : data) chained = crc32(&c, 1, chained);
+  EXPECT_EQ(chained, whole);
+  // Any single-bit flip must change the checksum.
+  std::string flipped = data;
+  flipped[10] = static_cast<char>(flipped[10] ^ 0x01);
+  EXPECT_NE(crc32(std::string_view(flipped)), whole);
+}
+
+// ----------------------------------------------------------- atomic file ----
+
+std::string util_temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream out;
+  out << is.rdbuf();
+  return out.str();
+}
+
+TEST(AtomicFileTest, WriteFileAtomicCreatesAndReplaces) {
+  const std::string path = util_temp_path("accu_atomic.txt");
+  write_file_atomic(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  write_file_atomic(path, "second, longer content\n");
+  EXPECT_EQ(slurp(path), "second, longer content\n");
+}
+
+TEST(AtomicFileTest, TruncateFileDropsTheTail) {
+  const std::string path = util_temp_path("accu_truncate.txt");
+  write_file_atomic(path, "keep this|drop this");
+  truncate_file(path, 9);
+  EXPECT_EQ(slurp(path), "keep this");
+}
+
+TEST(DurableAppenderTest, AppendsSyncsAndReportsSize) {
+  const std::string path = util_temp_path("accu_append.txt");
+  DurableAppender out;
+  EXPECT_FALSE(out.is_open());
+  out.open(path);
+  ASSERT_TRUE(out.is_open());
+  out.append("one\n");
+  out.sync();
+  out.append("two\n");
+  EXPECT_EQ(out.size(), 8u);
+  out.close();
+  EXPECT_FALSE(out.is_open());
+  EXPECT_EQ(slurp(path), "one\ntwo\n");
+  // Re-opening appends after the existing content.
+  DurableAppender again;
+  again.open(path);
+  again.append("three\n");
+  again.close();
+  EXPECT_EQ(slurp(path), "one\ntwo\nthree\n");
+}
+
+// ---------------------------------------------------------- cancellation ----
+
+TEST(CancelTest, CheckPassesUntilCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+  token.cancel(CancelReason::kInterrupt);
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kInterrupt);
+  }
+}
+
+TEST(CancelTest, FirstReasonWins) {
+  CancelToken token;
+  token.cancel(CancelReason::kDeadline);
+  token.cancel(CancelReason::kInterrupt);  // too late: no effect
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelTest, DeadlineSelfExpiresAndClearRearms) {
+  CancelToken token;
+  token.set_deadline_after(std::chrono::milliseconds(0));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  token.clear();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  // A generous deadline does not fire.
+  token.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(token.cancelled());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 // core/instance_io.hpp, so a `generate`d file reproduces exactly the same
 // experiment anywhere.
 
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -33,12 +34,25 @@
 #include "datasets/datasets.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/dot.hpp"
+#include "util/cancel.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+
+// Set by the SIGINT/SIGTERM handler and polled by the experiment watchdog:
+// a first Ctrl-C stops the sweep at cell granularity (checkpoint flushed);
+// sig_atomic_t is the only type a handler may portably write.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void accu_cli_signal_handler(int) { g_interrupted = 1; }
 
 namespace {
 
 using namespace accu;
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, accu_cli_signal_handler);
+  std::signal(SIGTERM, accu_cli_signal_handler);
+}
 
 constexpr const char* kUsage =
     "usage: accu <command> [options]\n"
@@ -50,9 +64,12 @@ constexpr const char* kUsage =
     "  stats      statistics of an instance (--in=FILE)\n"
     "  attack     run one policy (--in=FILE, --policy=abm|greedy|maxdegree|\n"
     "             pagerank|random|batched, --k, --wd, --wi, --batch, --seed,\n"
-    "             --trace, --fault-rate, --retry)\n"
+    "             --trace, --fault-rate, --retry, --deadline-ms,\n"
+    "             --max-cell-retries)\n"
     "  compare    compare the paper's policy roster (--in=FILE, --k, --runs,\n"
-    "             --seed, --fault-rate, --retry, --resume=CHECKPOINT)\n"
+    "             --seed, --fault-rate, --retry, --resume=CHECKPOINT,\n"
+    "             --deadline-ms, --max-cell-retries; Ctrl-C stops at cell\n"
+    "             granularity and a checkpointed sweep resumes)\n"
     "  assess     defender vulnerability report (--in=FILE, --k, --trials,\n"
     "             --seed, --top)\n"
     "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
@@ -165,15 +182,52 @@ int cmd_attack(const util::Options& opts) {
   if (retry.kind != util::RetryKind::kNone) {
     policy = std::make_unique<RetryingStrategy>(std::move(policy), retry);
   }
-  util::Rng policy_rng = rng.split(1);
+  // Optional wall-clock budget: the simulation polls the token between
+  // rounds and a blown deadline either retries with a fresh policy seed
+  // stream or fails the command.  Attempt 0 draws the exact same seeds as
+  // an unsupervised run, so adding --deadline-ms alone never changes the
+  // outcome of a run that finishes in time.
+  const auto deadline_ms =
+      static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
+  const auto max_retries =
+      static_cast<std::uint32_t>(opts.get_int("max-cell-retries", 0));
   AttackerView view(instance);
   SimulationResult result;
-  if (faults_config.total_rate() > 0.0) {
-    FaultModel faults(faults_config, rng.split(2)());
-    result = simulate_with_faults(instance, truth, *policy, k, policy_rng,
-                                  faults, view);
-  } else {
-    result = simulate_with_view(instance, truth, *policy, k, policy_rng, view);
+  bool finished = false;
+  for (std::uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    util::CancelToken token;
+    if (deadline_ms > 0) {
+      token.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+    }
+    util::Rng attempt_rng = attempt == 0 ? rng : rng.split(1000 + attempt);
+    util::Rng policy_rng = attempt_rng.split(1);
+    view = AttackerView(instance);
+    try {
+      if (faults_config.total_rate() > 0.0) {
+        FaultModel faults(faults_config, attempt_rng.split(2)());
+        result = simulate_with_faults(instance, truth, *policy, k, policy_rng,
+                                      faults, view, &token);
+      } else {
+        result = simulate_with_view(instance, truth, *policy, k, policy_rng,
+                                    view, &token);
+      }
+      finished = true;
+      break;
+    } catch (const util::CancelledError&) {
+      if (attempt < max_retries) {
+        std::fprintf(stderr,
+                     "attack: exceeded --deadline-ms=%u; retrying with a "
+                     "fresh seed stream (attempt %u of %u)\n",
+                     deadline_ms, attempt + 2, max_retries + 1);
+      }
+    }
+  }
+  if (!finished) {
+    std::fprintf(stderr,
+                 "attack: every attempt exceeded --deadline-ms=%u "
+                 "(%u attempts); raise the deadline or --max-cell-retries\n",
+                 deadline_ms, max_retries + 1);
+    return 1;
   }
   std::printf("%s, budget %u: benefit %.1f, friends %u (cautious %u)\n",
               policy->name().c_str(), k, result.total_benefit,
@@ -237,6 +291,14 @@ int cmd_compare(const util::Options& opts) {
   config.faults = fault_config(opts);
   config.retry = retry_policy(opts);
   config.checkpoint_path = opts.get("resume", "");
+  config.cell_deadline_ms =
+      static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
+  config.max_cell_retries =
+      static_cast<std::uint32_t>(opts.get_int("max-cell-retries", 0));
+  // Ctrl-C (or SIGTERM) stops the sweep at cell granularity instead of
+  // killing the process: completed cells stay checkpointed and resumable.
+  config.interrupt_flag = &g_interrupted;
+  install_interrupt_handlers();
   const InstanceFactory factory = [&instance](std::uint32_t, std::uint64_t) {
     return instance;
   };
@@ -272,9 +334,39 @@ int cmd_compare(const util::Options& opts) {
     }
   }
   table.print(std::cout);
+  std::size_t errors = 0, deadlines = 0, cancelled = 0;
   for (const CellFailure& failure : result.failures) {
-    std::fprintf(stderr, "warning: cell (sample %u, run %u) failed: %s\n",
-                 failure.sample, failure.run, failure.error.c_str());
+    switch (failure.kind) {
+      case CellFailure::Kind::kError: ++errors; break;
+      case CellFailure::Kind::kDeadline: ++deadlines; break;
+      case CellFailure::Kind::kCancelled: ++cancelled; break;
+    }
+    std::fprintf(stderr,
+                 "warning: cell (sample %u, run %u) %s after %u attempt%s "
+                 "(%.0f ms): %s\n",
+                 failure.sample, failure.run,
+                 cell_failure_kind_name(failure.kind), failure.attempts,
+                 failure.attempts == 1 ? "" : "s", failure.elapsed_ms,
+                 failure.error.c_str());
+  }
+  if (!result.failures.empty() || result.cells_retried > 0) {
+    std::fprintf(stderr,
+                 "cells: %zu error, %zu deadline-exceeded, %zu cancelled; "
+                 "%u retried after a blown deadline\n",
+                 errors, deadlines, cancelled, result.cells_retried);
+  }
+  if (result.interrupted) {
+    if (config.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "interrupted: partial results above; use "
+                   "--resume=FILE to make an interrupted sweep resumable\n");
+    } else {
+      std::fprintf(stderr,
+                   "interrupted: completed cells are saved; resume with "
+                   "--resume=%s\n",
+                   config.checkpoint_path.c_str());
+    }
+    return 130;  // conventional exit code for SIGINT
   }
   if (opts.has("report")) {
     std::ofstream os(opts.get("report", ""));
@@ -437,7 +529,12 @@ int dispatch(int argc, char** argv) {
       .declare("retry", "retry policy: none|fixed|exp (attack, compare)")
       .declare("resume",
                "checkpoint file: load completed cells and append new ones "
-               "(compare)");
+               "(compare)")
+      .declare("deadline-ms",
+               "wall-clock budget per cell in ms; 0 = none (attack, compare)")
+      .declare("max-cell-retries",
+               "re-run a deadline-cancelled cell up to this many times with "
+               "a fresh seed stream (attack, compare)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: build + test twice.
+# CI entry point: build + test three times.
 #
-#   1. plain RelWithDebInfo         — the configuration users run
-#   2. Debug with ACCU_SANITIZE=ON  — AddressSanitizer + UBSan
+#   1. plain RelWithDebInfo             — the configuration users run
+#   2. Debug with ACCU_SANITIZE=ON      — AddressSanitizer + UBSan
+#   3. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
+#      concurrency-heavy suites (experiment pool, watchdog, checkpoint
+#      appends, cancellation)
+#
+# Every ctest run carries --timeout 300 so a hung test (deadlocked pool,
+# stuck watchdog) fails the stage instead of wedging CI.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 
@@ -14,11 +20,17 @@ JOBS="${1:-$(nproc)}"
 echo "=== plain build (RelWithDebInfo) ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j "${JOBS}"
-ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+ctest --test-dir build-ci --output-on-failure -j "${JOBS}" --timeout 300
 
 echo "=== sanitized build (Debug, address+undefined) ==="
-cmake -B build-ci-san -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=ON
+cmake -B build-ci-san -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=address
 cmake --build build-ci-san -j "${JOBS}"
-ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}"
+ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300
+
+echo "=== sanitized build (Debug, thread) ==="
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
+cmake --build build-ci-tsan -j "${JOBS}"
+ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" --timeout 300 \
+  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender'
 
 echo "=== CI OK ==="
