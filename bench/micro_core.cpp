@@ -2,14 +2,118 @@
 // observation updates, realization sampling, PageRank, generators, and a
 // full ABM attack.  These are engineering benchmarks (not paper figures);
 // they guard the complexity claims in DESIGN.md §7.
+//
+// Besides the google-benchmark suite, the binary has a second mode:
+//
+//   micro_core --json [path]
+//
+// runs the sweep-cell workload twice — once allocating everything fresh per
+// cell (the pre-engine behaviour) and once through a reused SimWorkspace +
+// persistent strategy (what run_experiment does per worker since PR 3) —
+// counting every operator-new call via the replaced global allocator, and
+// writes the numbers as JSON (default BENCH_micro_core.json).  tools/ci.sh
+// gates pooled allocs/cell against bench/micro_core_allocs.baseline so the
+// O(1)-allocations-per-cell property cannot silently regress.
+
+// GCC cannot see that the replaced operator new below is malloc-backed and
+// flags every inlined new/delete pair as mismatched; the pairing is correct
+// by construction (new -> malloc, delete -> free), so silence the false
+// positive for this TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "core/engine.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "datasets/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/pagerank.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replace the global allocator with a malloc-backed one
+// that counts every allocation.  The relaxed atomic adds ~1ns per call, far
+// below the noise floor of anything measured here.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -80,6 +184,27 @@ void BM_SimulateAbm(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateAbm)->Arg(50)->Arg(200);
 
+void BM_SimulateAbmPooled(benchmark::State& state) {
+  // The workspace path run_experiment uses per worker: persistent strategy,
+  // pooled view/truth/trace, zero steady-state allocations.
+  const AccuInstance& instance = twitter_instance();
+  util::Rng rng(3);
+  const Realization truth = Realization::sample(instance, rng);
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  SimWorkspace ws;
+  AbmStrategy abm(0.5, 0.5);
+  SimulationResult out;
+  for (auto _ : state) {
+    util::Rng srng(4);
+    AttackerView& view = ws.reset_view(instance);
+    simulate_into(instance, truth, abm, budget, srng, view, ws, out);
+    benchmark::DoNotOptimize(out.total_benefit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          budget);
+}
+BENCHMARK(BM_SimulateAbmPooled)->Arg(50)->Arg(200);
+
 void BM_SimulateAbmReference(benchmark::State& state) {
   const AccuInstance& instance = twitter_instance();
   util::Rng rng(3);
@@ -146,6 +271,131 @@ void BM_CsrBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrBuild);
 
+// ---------------------------------------------------------------------------
+// --json mode: the sweep-cell workload, fresh vs pooled, with alloc counts.
+// ---------------------------------------------------------------------------
+
+struct CellWorkloadResult {
+  double cells_per_sec = 0.0;
+  double allocs_per_cell = 0.0;
+};
+
+/// One sweep cell, old-style: every object constructed from scratch —
+/// exactly what run_experiment did per (sample, run, strategy) before the
+/// workspace refactor.
+double run_cell_fresh(const AccuInstance& instance, std::uint64_t cell,
+                      std::uint32_t budget) {
+  util::Rng truth_rng(cell + 1);
+  const Realization truth = Realization::sample(instance, truth_rng);
+  AbmStrategy abm(0.5, 0.5);
+  util::Rng srng(cell + 101);
+  return simulate(instance, truth, abm, budget, srng).total_benefit;
+}
+
+CellWorkloadResult measure_fresh(const AccuInstance& instance,
+                                 std::uint64_t cells, std::uint32_t budget) {
+  double sink = 0.0;
+  for (std::uint64_t c = 0; c < 8; ++c) {  // warmup (cache parity)
+    sink += run_cell_fresh(instance, c, budget);
+  }
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    sink += run_cell_fresh(instance, c, budget);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  return {static_cast<double>(cells) / elapsed.count(),
+          static_cast<double>(allocs) / static_cast<double>(cells)};
+}
+
+CellWorkloadResult measure_pooled(const AccuInstance& instance,
+                                  std::uint64_t cells, std::uint32_t budget) {
+  SimWorkspace ws;
+  AbmStrategy abm(0.5, 0.5);
+  SimulationResult out;
+  double sink = 0.0;
+  auto run_cell = [&](std::uint64_t cell) {
+    util::Rng truth_rng(cell + 1);
+    const Realization& truth = ws.sample_truth(instance, truth_rng);
+    util::Rng srng(cell + 101);
+    AttackerView& view = ws.reset_view(instance);
+    simulate_into(instance, truth, abm, budget, srng, view, ws, out);
+    return out.total_benefit;
+  };
+  for (std::uint64_t c = 0; c < 8; ++c) {  // warmup: grow the pools
+    sink += run_cell(c);
+  }
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    sink += run_cell(c);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  return {static_cast<double>(cells) / elapsed.count(),
+          static_cast<double>(allocs) / static_cast<double>(cells)};
+}
+
+int run_json_mode(const char* path) {
+  const AccuInstance& instance = twitter_instance();
+  const std::uint64_t cells = 64;
+  const std::uint32_t budget = 50;
+  const CellWorkloadResult fresh = measure_fresh(instance, cells, budget);
+  const CellWorkloadResult pooled = measure_pooled(instance, cells, budget);
+  const double reduction =
+      fresh.allocs_per_cell /
+      (pooled.allocs_per_cell > 0.0 ? pooled.allocs_per_cell : 1.0);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\n"
+      "  \"workload\": \"twitter-0.03 ABM sweep cell\",\n"
+      "  \"cells\": %llu,\n"
+      "  \"budget\": %u,\n"
+      "  \"fresh_cells_per_sec\": %.1f,\n"
+      "  \"fresh_allocs_per_cell\": %.2f,\n"
+      "  \"pooled_cells_per_sec\": %.1f,\n"
+      "  \"pooled_allocs_per_cell\": %.2f,\n"
+      "  \"alloc_reduction_factor\": %.1f\n"
+      "}\n",
+      static_cast<unsigned long long>(cells), budget, fresh.cells_per_sec,
+      fresh.allocs_per_cell, pooled.cells_per_sec, pooled.allocs_per_cell,
+      reduction);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_core: cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json, out);
+  std::fclose(out);
+  std::fputs(json, stdout);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const char* path =
+          i + 1 < argc ? argv[i + 1] : "BENCH_micro_core.json";
+      return run_json_mode(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

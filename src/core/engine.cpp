@@ -1,0 +1,54 @@
+#include "core/engine.hpp"
+
+namespace accu {
+
+AttackerView& SimWorkspace::reset_view(const AccuInstance& instance) {
+  if (!view_.has_value()) {
+    view_.emplace(instance);
+  } else {
+    view_->reset(instance);
+  }
+  return *view_;
+}
+
+const Realization& SimWorkspace::sample_truth(const AccuInstance& instance,
+                                              util::Rng& rng) {
+  if (!truth_.has_value()) {
+    truth_ = Realization::sample(instance, rng);
+  } else {
+    truth_->resample(instance, rng);
+  }
+  return *truth_;
+}
+
+void simulate_into(const AccuInstance& instance, const Realization& truth,
+                   Strategy& strategy, std::uint32_t budget, util::Rng& rng,
+                   AttackerView& view, SimWorkspace& ws, SimulationResult& out,
+                   const util::CancelToken* cancel) {
+  ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
+  ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
+  out.clear();
+  out.trace.reserve(budget);
+  strategy.reset(instance, rng);
+  engine::ReliableEnv env(instance, truth, strategy, budget, rng, view, ws,
+                          out, cancel);
+  engine::run_rounds(env);
+}
+
+void simulate_with_faults_into(const AccuInstance& instance,
+                               const Realization& truth, Strategy& strategy,
+                               std::uint32_t budget, util::Rng& rng,
+                               FaultModel& faults, AttackerView& view,
+                               SimWorkspace& ws, SimulationResult& out,
+                               const util::CancelToken* cancel) {
+  ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
+  ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
+  out.clear();
+  out.trace.reserve(budget);
+  strategy.reset(instance, rng);
+  engine::FaultyEnv env(instance, truth, strategy, budget, rng, faults, view,
+                        ws, out, cancel);
+  engine::run_rounds(env);
+}
+
+}  // namespace accu

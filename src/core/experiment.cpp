@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/engine.hpp"
 #include "core/strategies/retrying.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cancel.hpp"
@@ -595,9 +596,38 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   std::vector<CellSlot> slots(workers);
   std::atomic<std::uint32_t> cells_retried{0};
 
+  // Per-worker reusable state: one SimWorkspace plus one long-lived strategy
+  // set per thread, so a cell costs O(1) allocations instead of O(V+E).
+  // Strategy::reset restores a fresh-construction state (tested), and the
+  // retry decorator is re-keyed per cell, so reuse is byte-identical to the
+  // old make-per-cell path.
+  struct WorkerState {
+    SimWorkspace ws;
+    std::vector<std::unique_ptr<Strategy>> strategies;
+    std::vector<RetryingStrategy*> retrying;  // non-null when wrapped
+    std::vector<SimulationResult> outcomes;
+  };
+  std::vector<WorkerState> worker_states(workers);
+
   const bool faulty = config.faults.total_rate() > 0.0;
-  auto run_task = [&](std::size_t task, CellSlot& slot) {
+  auto run_task = [&](std::size_t task, CellSlot& slot, WorkerState& worker) {
     if (done[task]) return;
+    if (worker.strategies.size() != strategies.size()) {
+      worker.strategies.clear();
+      worker.strategies.reserve(strategies.size());
+      worker.retrying.assign(strategies.size(), nullptr);
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        std::unique_ptr<Strategy> strategy = strategies[s].make();
+        if (config.retry.kind != util::RetryKind::kNone) {
+          auto wrapped = std::make_unique<RetryingStrategy>(
+              std::move(strategy), config.retry);
+          worker.retrying[s] = wrapped.get();
+          strategy = std::move(wrapped);
+        }
+        worker.strategies.push_back(std::move(strategy));
+      }
+      worker.outcomes.resize(strategies.size());
+    }
     const std::uint32_t sample =
         static_cast<std::uint32_t>(task / config.runs);
     const std::uint32_t run = static_cast<std::uint32_t>(task % config.runs);
@@ -627,36 +657,39 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
         const std::uint64_t stream_base =
             attempt == 0 ? config.seed
                          : derive_seed(config.seed ^ kCellRetrySalt, attempt);
-        // One ground truth per (sample, run), shared by every policy.
+        // One ground truth per (sample, run), shared by every policy.  The
+        // workspace re-draws it into pooled storage, draw-for-draw identical
+        // to Realization::sample.
         util::Rng truth_rng(derive_seed(config.seed, sample, run + 1));
-        const Realization truth = Realization::sample(instance, truth_rng);
-        std::vector<SimulationResult> outcomes(strategies.size());
+        const Realization& truth =
+            worker.ws.sample_truth(instance, truth_rng);
         for (std::size_t s = 0; s < strategies.size(); ++s) {
           util::Rng policy_rng(
               derive_seed(stream_base, sample, run + 1, s + 1));
-          std::unique_ptr<Strategy> strategy = strategies[s].make();
-          if (config.retry.kind != util::RetryKind::kNone) {
-            strategy = std::make_unique<RetryingStrategy>(
-                std::move(strategy), config.retry,
-                derive_seed(stream_base ^ kRetryStreamSalt, sample, run + 1,
-                            s + 1));
+          Strategy& strategy = *worker.strategies[s];
+          if (worker.retrying[s] != nullptr) {
+            worker.retrying[s]->reseed(derive_seed(
+                stream_base ^ kRetryStreamSalt, sample, run + 1, s + 1));
           }
+          AttackerView& view = worker.ws.reset_view(instance);
           if (faulty) {
             FaultModel faults(config.faults,
                               derive_seed(stream_base ^ kFaultStreamSalt,
                                           sample, run + 1, s + 1));
-            outcomes[s] = simulate_with_faults(instance, truth, *strategy,
-                                               config.budget, policy_rng,
-                                               faults, token.get());
+            simulate_with_faults_into(instance, truth, strategy,
+                                      config.budget, policy_rng, faults, view,
+                                      worker.ws, worker.outcomes[s],
+                                      token.get());
           } else {
-            outcomes[s] = simulate(instance, truth, *strategy, config.budget,
-                                   policy_rng, token.get());
+            simulate_into(instance, truth, strategy, config.budget,
+                          policy_rng, view, worker.ws, worker.outcomes[s],
+                          token.get());
           }
-          partials[task][s].add(outcomes[s], config.budget);
+          partials[task][s].add(worker.outcomes[s], config.budget);
         }
         release_slot();
         if (checkpoint_out.is_open()) {
-          const std::string block = serialize_cell(task, outcomes);
+          const std::string block = serialize_cell(task, worker.outcomes);
           const std::lock_guard<std::mutex> lock(checkpoint_mutex);
           checkpoint_out.append(block);
           checkpoint_out.sync();
@@ -759,7 +792,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   if (workers <= 1) {
     for (std::size_t task = 0;
          task < tasks && !stop.load(std::memory_order_acquire); ++task) {
-      run_task(task, slots[0]);
+      run_task(task, slots[0], worker_states[0]);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -770,7 +803,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
         for (std::size_t task = next.fetch_add(1); task < tasks;
              task = next.fetch_add(1)) {
           if (stop.load(std::memory_order_acquire)) break;
-          run_task(task, slots[w]);
+          run_task(task, slots[w], worker_states[w]);
         }
       });
     }

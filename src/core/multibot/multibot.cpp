@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/engine.hpp"
+
 namespace accu {
 
 MultiBotRealization MultiBotRealization::sample(const AccuInstance& instance,
@@ -145,44 +147,9 @@ MultiBotResult simulate_multibot(const AccuInstance& instance,
   MultiBotView view(instance, num_bots);
   MultiBotResult result;
   strategy.reset(instance, num_bots, rng);
-
-  while (view.num_requests() < budget) {
-    bool any_sent = false;
-    for (BotId bot = 0; bot < num_bots && view.num_requests() < budget;
-         ++bot) {
-      const NodeId target = strategy.select(bot, view, rng);
-      if (target == kInvalidNode) continue;  // this bot passes the round
-      ACCU_ASSERT_MSG(target < instance.num_nodes(),
-                      "strategy selected an out-of-range node");
-      ACCU_ASSERT_MSG(!view.is_requested_by(bot, target),
-                      "strategy re-selected a node already requested by this "
-                      "bot");
-      any_sent = true;
-      MultiBotRequestRecord record;
-      record.bot = bot;
-      record.target = target;
-      record.cautious_target = instance.is_cautious(target);
-      record.benefit_before = view.current_benefit();
-      const bool accepted =
-          instance.is_cautious(target)
-              ? view.cautious_would_accept(bot, target)
-              : truth.reckless_accepts(bot, target);
-      record.accepted = accepted;
-      if (accepted) {
-        view.record_acceptance(bot, target, truth.edges());
-      } else {
-        view.record_rejection(bot, target);
-      }
-      record.benefit_after = view.current_benefit();
-      result.trace.push_back(record);
-    }
-    if (!any_sent) break;  // every bot passed: nothing useful remains
-    ++result.rounds;
-  }
-
-  result.total_benefit = view.current_benefit();
-  result.num_cautious_friends = view.num_cautious_friends();
-  result.coalition_friends = view.coalition_friends();
+  engine::MultiBotEnv env(instance, truth, strategy, budget, num_bots, rng,
+                          view, result);
+  engine::run_rounds(env);
   return result;
 }
 

@@ -8,6 +8,17 @@ AttackerView::AttackerView(const AccuInstance& instance)
       edge_state_(instance.graph().num_edges(), EdgeState::kUnknown),
       mutual_(instance.num_nodes(), 0) {}
 
+void AttackerView::reset(const AccuInstance& instance) {
+  instance_ = &instance;
+  request_state_.assign(instance.num_nodes(), RequestState::kUnknown);
+  edge_state_.assign(instance.graph().num_edges(), EdgeState::kUnknown);
+  mutual_.assign(instance.num_nodes(), 0);
+  friends_.clear();
+  num_requests_ = 0;
+  num_cautious_friends_ = 0;
+  benefit_ = 0.0;
+}
+
 void AttackerView::record_rejection(NodeId v) {
   ACCU_ASSERT_MSG(request_state(v) == RequestState::kUnknown,
                   "each user receives at most one request");
@@ -17,10 +28,17 @@ void AttackerView::record_rejection(NodeId v) {
 
 AttackerView::AcceptanceEffects AttackerView::record_acceptance(
     NodeId v, const Realization& truth) {
+  AcceptanceEffects effects;
+  record_acceptance(v, truth, effects);
+  return effects;
+}
+
+void AttackerView::record_acceptance(NodeId v, const Realization& truth,
+                                     AcceptanceEffects& effects) {
   ACCU_ASSERT_MSG(request_state(v) == RequestState::kUnknown,
                   "each user receives at most one request");
   const Graph& g = instance_->graph();
-  AcceptanceEffects effects;
+  effects.clear();
   effects.was_fof = is_fof(v);
 
   request_state_[v] = RequestState::kAccepted;
@@ -51,7 +69,6 @@ AttackerView::AcceptanceEffects AttackerView::record_acceptance(
       effects.new_fof.push_back(w);
     }
   }
-  return effects;
 }
 
 double AttackerView::edge_belief(EdgeId e) const {

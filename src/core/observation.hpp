@@ -35,6 +35,11 @@ class AttackerView {
   /// Keeps a reference to `instance`; the instance must outlive the view.
   explicit AttackerView(const AccuInstance& instance);
 
+  /// Re-arms the view for a new simulation over `instance`: every node and
+  /// edge back to '?', reusing the flat arrays instead of reconstructing —
+  /// allocation-free once the arrays have grown to the instance's shape.
+  void reset(const AccuInstance& instance);
+
   /// What changed when a request was accepted; lets callers (the ABM
   /// policy's incremental potential maintenance, the simulator's trace)
   /// react without re-deriving the deltas.
@@ -47,6 +52,13 @@ class AttackerView {
     /// node's realized neighbors, excluding nodes that were already
     /// friends).  Superset of `new_fof`.
     std::vector<NodeId> mutual_increased;
+
+    /// Back to the empty state, keeping vector capacity (pooled reuse).
+    void clear() noexcept {
+      was_fof = false;
+      new_fof.clear();
+      mutual_increased.clear();
+    }
   };
 
   /// Records a rejected request; reveals nothing else (paper §II-B).
@@ -55,6 +67,11 @@ class AttackerView {
   /// Records an accepted request and reveals v's incident edges from the
   /// ground-truth realization.
   AcceptanceEffects record_acceptance(NodeId v, const Realization& truth);
+
+  /// Pooled variant: writes the effects into `out` (cleared first), so a
+  /// reused scratch object makes the reveal path allocation-free.
+  void record_acceptance(NodeId v, const Realization& truth,
+                         AcceptanceEffects& out);
 
   // --- request / friendship state ---------------------------------------
 

@@ -23,26 +23,40 @@ Realization::Realization(std::vector<bool> edge_present,
 
 Realization Realization::sample(const AccuInstance& instance,
                                 util::Rng& rng) {
+  Realization r;
+  r.resample(instance, rng);
+  return r;
+}
+
+void Realization::resample(const AccuInstance& instance, util::Rng& rng) {
   const Graph& g = instance.graph();
-  std::vector<bool> edges(g.num_edges());
+  edge_present_.resize(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    edges[e] = rng.bernoulli(g.edge_prob(e));
+    edge_present_[e] = rng.bernoulli(g.edge_prob(e));
   }
-  std::vector<bool> accepts(g.num_nodes());
-  std::vector<bool> below(g.num_nodes(), false);
-  std::vector<bool> above(g.num_nodes(), true);
+  accepts_.resize(g.num_nodes());
+  cautious_below_.assign(g.num_nodes(), false);
+  cautious_above_.assign(g.num_nodes(), true);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     // Coins are drawn for every node to keep the realization's shape
     // independent of the partition; coins outside a user's model are never
     // read by the simulator.
-    accepts[u] = rng.bernoulli(instance.accept_prob(u));
+    accepts_[u] = rng.bernoulli(instance.accept_prob(u));
     if (instance.is_cautious(u)) {
-      below[u] = rng.bernoulli(instance.cautious_accept_prob(u, false));
-      above[u] = rng.bernoulli(instance.cautious_accept_prob(u, true));
+      cautious_below_[u] =
+          rng.bernoulli(instance.cautious_accept_prob(u, false));
+      cautious_above_[u] =
+          rng.bernoulli(instance.cautious_accept_prob(u, true));
     }
   }
-  return Realization(std::move(edges), std::move(accepts), std::move(below),
-                     std::move(above));
+}
+
+void Realization::assign(const std::vector<bool>& edge_present,
+                         const std::vector<bool>& accepts) {
+  edge_present_ = edge_present;  // copy-assign reuses capacity
+  accepts_ = accepts;
+  cautious_below_.assign(accepts.size(), false);
+  cautious_above_.assign(accepts.size(), true);
 }
 
 Realization Realization::certain(const AccuInstance& instance) {

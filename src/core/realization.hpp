@@ -34,6 +34,16 @@ class Realization {
   /// Samples a realization from the instance's probabilities.
   static Realization sample(const AccuInstance& instance, util::Rng& rng);
 
+  /// Re-samples in place, reusing the coin/edge storage (the workspace
+  /// path) — draw-for-draw identical to `sample`.
+  void resample(const AccuInstance& instance, util::Rng& rng);
+
+  /// Rebuilds in place from explicit edge/coin vectors under the
+  /// deterministic cautious model (cf. the two-argument constructor),
+  /// reusing storage.
+  void assign(const std::vector<bool>& edge_present,
+              const std::vector<bool>& accepts);
+
   /// A realization in which every potential edge exists and every reckless
   /// user accepts — the deterministic "certain" world; handy for tests and
   /// for instances whose probabilities are all 1.  Cautious regime coins
@@ -95,6 +105,9 @@ class Realization {
   [[nodiscard]] double probability(const AccuInstance& instance) const;
 
  private:
+  /// Shape-less; only `sample` uses it (resample fills every vector).
+  Realization() = default;
+
   std::vector<bool> edge_present_;    // per EdgeId
   std::vector<bool> accepts_;         // per NodeId (reckless coins)
   std::vector<bool> cautious_below_;  // per NodeId (generalized q1 coins)

@@ -1,72 +1,25 @@
+// Thin compatibility wrappers over the round engine (core/engine.hpp):
+// the select/resolve/reveal/observe loop itself lives there, once, shared
+// with the multi-bot and temporal simulators.  These entry points keep the
+// original signatures and allocate a transient workspace per call; hot
+// callers (the experiment harness, benches) use the `*_into` variants with
+// a persistent SimWorkspace instead.
+
 #include "core/simulator.hpp"
 
+#include "core/engine.hpp"
+
 namespace accu {
-
-namespace {
-
-/// Resolves whether `target` accepts the request under the hidden ground
-/// truth (shared by the pristine and faulted simulation loops).
-bool resolve_acceptance(const AccuInstance& instance, const Realization& truth,
-                        const AttackerView& view, NodeId target) {
-  if (instance.is_cautious(target)) {
-    // Deterministic threshold model: accept iff θ reached.  Generalized
-    // model (§III-B): consult the pre-drawn coin of the active regime
-    // (q1 below threshold, q2 at/above) — identical to the deterministic
-    // model when q1 = 0, q2 = 1.
-    const bool reached = view.cautious_would_accept(target);
-    return reached ? truth.cautious_above_accepts(target)
-                   : truth.cautious_below_accepts(target);
-  }
-  return truth.reckless_accepts(target);
-}
-
-}  // namespace
 
 SimulationResult simulate_with_view(const AccuInstance& instance,
                                     const Realization& truth,
                                     Strategy& strategy, std::uint32_t budget,
                                     util::Rng& rng, AttackerView& view,
                                     const util::CancelToken* cancel) {
-  ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
-  ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
+  SimWorkspace ws;
   SimulationResult result;
-  result.trace.reserve(budget);
-  strategy.reset(instance, rng);
-
-  while (view.num_requests() < budget) {
-    if (cancel != nullptr) cancel->check();
-    const NodeId target = strategy.select(view, rng);
-    if (target == kInvalidNode) break;  // strategy stops early
-    ACCU_ASSERT_MSG(target < instance.num_nodes(),
-                    "strategy selected an out-of-range node");
-    ACCU_ASSERT_MSG(!view.is_requested(target),
-                    "strategy re-selected an already-requested node");
-
-    RequestRecord record;
-    record.target = target;
-    record.cautious_target = instance.is_cautious(target);
-    record.benefit_before = view.current_benefit();
-
-    const bool accepted = resolve_acceptance(instance, truth, view, target);
-    record.accepted = accepted;
-
-    if (accepted) {
-      const AttackerView::AcceptanceEffects effects =
-          view.record_acceptance(target, truth);
-      record.benefit_after = view.current_benefit();
-      strategy.observe(target, true, view, &effects);
-    } else {
-      view.record_rejection(target);
-      record.benefit_after = view.current_benefit();
-      strategy.observe(target, false, view, nullptr);
-    }
-    result.trace.push_back(record);
-  }
-
-  result.total_benefit = view.current_benefit();
-  result.num_accepted = static_cast<std::uint32_t>(view.friends().size());
-  result.num_cautious_friends = view.num_cautious_friends();
-  result.friends = view.friends();
+  simulate_into(instance, truth, strategy, budget, rng, view, ws, result,
+                cancel);
   return result;
 }
 
@@ -85,99 +38,10 @@ SimulationResult simulate_with_faults(const AccuInstance& instance,
                                       util::Rng& rng, FaultModel& faults,
                                       AttackerView& view,
                                       const util::CancelToken* cancel) {
-  ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
-  ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
+  SimWorkspace ws;
   SimulationResult result;
-  result.trace.reserve(budget);
-  strategy.reset(instance, rng);
-  FaultObserver* fault_observer = dynamic_cast<FaultObserver*>(&strategy);
-  // Prior faulted attempts per target, for the trace's retry accounting.
-  std::vector<std::uint32_t> attempts(instance.num_nodes(), 0);
-
-  std::uint32_t rounds = 0;  // every round consumes budget
-  while (rounds < budget) {
-    if (cancel != nullptr) cancel->check();
-    const NodeId target = strategy.select(view, rng);
-    if (target == kInvalidNode) break;  // strategy stops early
-    ACCU_ASSERT_MSG(target < instance.num_nodes(),
-                    "strategy selected an out-of-range node");
-    ACCU_ASSERT_MSG(!view.is_requested(target),
-                    "strategy re-selected an already-requested node");
-
-    RequestRecord record;
-    record.target = target;
-    record.cautious_target = instance.is_cautious(target);
-    record.benefit_before = view.current_benefit();
-    record.attempt = attempts[target];
-    if (record.attempt > 0) ++result.num_retries;
-    ++rounds;
-
-    const FaultKind fault = faults.next();
-    if (fault == FaultKind::kNone) {
-      const bool accepted = resolve_acceptance(instance, truth, view, target);
-      record.accepted = accepted;
-      if (accepted) {
-        const AttackerView::AcceptanceEffects effects =
-            view.record_acceptance(target, truth);
-        record.benefit_after = view.current_benefit();
-        strategy.observe(target, true, view, &effects);
-      } else {
-        view.record_rejection(target);
-        record.benefit_after = view.current_benefit();
-        strategy.observe(target, false, view, nullptr);
-      }
-      result.trace.push_back(record);
-      continue;
-    }
-
-    // Faulted: the platform never processed the request.  The attacker
-    // learns nothing about the target; only the fault-aware feedback and
-    // the spent round remain.
-    ++result.num_faulted;
-    ++attempts[target];
-    record.fault = fault;
-    record.benefit_after = record.benefit_before;
-
-    FaultFeedback feedback = FaultFeedback::kNoResponse;
-    if (fault == FaultKind::kTransient) {
-      feedback = FaultFeedback::kTransientError;
-    } else if (fault == FaultKind::kRateLimit) {
-      feedback = FaultFeedback::kRateLimited;
-    }
-    const FaultResponse response =
-        fault_observer != nullptr
-            ? fault_observer->observe_fault(target, feedback, view)
-            : FaultResponse::kAbandon;
-    if (response == FaultResponse::kAbandon) {
-      // Write-off: for the attacker's knowledge this is exactly a
-      // rejection (no reveal, target never pursued again).
-      view.record_rejection(target);
-      strategy.observe(target, false, view, nullptr);
-      ++result.num_abandoned;
-    }
-    result.trace.push_back(record);
-
-    if (fault == FaultKind::kRateLimit) {
-      // Suspension: the next `w` rounds are lost, budget keeps ticking.
-      // Stall rounds stay in the trace (explicit zero marginals) so
-      // per-round curve indices remain aligned across runs.
-      const std::uint32_t w = faults.config().suspension_rounds;
-      for (std::uint32_t i = 0; i < w && rounds < budget; ++i) {
-        RequestRecord stall;
-        stall.fault = FaultKind::kSuspensionStall;
-        stall.benefit_before = view.current_benefit();
-        stall.benefit_after = stall.benefit_before;
-        result.trace.push_back(stall);
-        ++rounds;
-        ++result.rounds_suspended;
-      }
-    }
-  }
-
-  result.total_benefit = view.current_benefit();
-  result.num_accepted = static_cast<std::uint32_t>(view.friends().size());
-  result.num_cautious_friends = view.num_cautious_friends();
-  result.friends = view.friends();
+  simulate_with_faults_into(instance, truth, strategy, budget, rng, faults,
+                            view, ws, result, cancel);
   return result;
 }
 

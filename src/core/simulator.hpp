@@ -70,6 +70,20 @@ struct SimulationResult {
   /// Faulted targets written off as rejected (retries exhausted, or the
   /// strategy is not fault-aware).
   std::uint32_t num_abandoned = 0;
+
+  /// Back to the default-constructed state, keeping vector capacity so a
+  /// result object can be reused across simulations allocation-free.
+  void clear() noexcept {
+    trace.clear();
+    total_benefit = 0.0;
+    num_accepted = 0;
+    num_cautious_friends = 0;
+    friends.clear();
+    num_faulted = 0;
+    num_retries = 0;
+    rounds_suspended = 0;
+    num_abandoned = 0;
+  }
 };
 
 /// An adaptive befriending policy (the paper's π).
@@ -100,6 +114,12 @@ class Strategy {
     (void)view;
     (void)effects;
   }
+
+  /// Fault-feedback hook: a strategy that implements FaultObserver (e.g.
+  /// the RetryingStrategy decorator) overrides this to return itself, so
+  /// the faulted environment can consult it without RTTI.  The default is
+  /// "not fault-aware": every faulted request is abandoned.
+  [[nodiscard]] virtual FaultObserver* as_fault_observer() { return nullptr; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -1,5 +1,6 @@
 #include "core/strategies/abm.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace accu {
@@ -90,23 +91,35 @@ void AbmStrategy::reset(const AccuInstance& instance, util::Rng& rng) {
   version_.assign(instance.num_nodes(), 0);
   stamp_.assign(instance.num_nodes(), 0);
   round_ = 0;
-  heap_ = {};
-  const AttackerView fresh(instance);
-  for (NodeId u = 0; u < instance.num_nodes(); ++u) {
-    heap_.push(HeapEntry{potential(fresh, u), u, 0});
+  heap_.clear();  // keeps capacity for the next seed_heap
+  heap_seeded_ = false;
+}
+
+void AbmStrategy::seed_heap(const AttackerView& view) {
+  heap_seeded_ = true;
+  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+    heap_push(HeapEntry{potential(view, u), u, 0});
   }
+}
+
+void AbmStrategy::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end());
 }
 
 void AbmStrategy::refresh(const AttackerView& view, NodeId u) {
   ++version_[u];
-  heap_.push(HeapEntry{potential(view, u), u, version_[u]});
+  heap_push(HeapEntry{potential(view, u), u, version_[u]});
 }
 
 NodeId AbmStrategy::select_incremental(const AttackerView& view) {
+  if (!heap_seeded_) seed_heap(view);
   while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
+    const HeapEntry top = heap_.front();
     if (top.version != version_[top.node] || view.is_requested(top.node)) {
-      heap_.pop();  // stale entry (superseded or already requested)
+      // Stale entry (superseded or already requested).
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
       continue;
     }
     return top.node;

@@ -42,7 +42,6 @@
 
 #pragma once
 
-#include <queue>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -104,13 +103,23 @@ class AbmStrategy final : public Strategy {
   /// Recomputes u's potential, bumps its version and pushes a fresh entry.
   void refresh(const AttackerView& view, NodeId u);
 
+  /// Scores every node against `view` and heapifies — deferred from
+  /// reset() to the first select() so the initial potentials come from the
+  /// simulation's own (blank) view instead of a temporary one.
+  void seed_heap(const AttackerView& view);
+
+  void heap_push(HeapEntry entry);
+
   NodeId select_incremental(const AttackerView& view);
   NodeId select_reference(const AttackerView& view) const;
 
   Config config_;
   const AccuInstance* instance_ = nullptr;
   std::vector<std::uint32_t> version_;
-  std::priority_queue<HeapEntry> heap_;
+  // Explicit max-heap (std::push_heap/pop_heap over a vector, ordering
+  // identical to std::priority_queue) so reset() can keep its capacity.
+  std::vector<HeapEntry> heap_;
+  bool heap_seeded_ = false;
   // Per-round dedup stamp for dirty marking.
   std::vector<std::uint32_t> stamp_;
   std::uint32_t round_ = 0;

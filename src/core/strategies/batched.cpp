@@ -34,24 +34,24 @@ void BatchedAbmStrategy::reset(const AccuInstance& instance, util::Rng&) {
 void BatchedAbmStrategy::fill_batch(const AttackerView& view) {
   batch_.clear();
   cursor_ = 0;
-  std::vector<std::pair<double, NodeId>> scored;
+  scored_.clear();
   AbmStrategy::Config config;
   config.weights = weights_;
   const AbmStrategy scorer(config);
   for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
     if (view.is_requested(u)) continue;
-    scored.emplace_back(scorer.potential(view, u), u);
+    scored_.emplace_back(scorer.potential(view, u), u);
   }
   const std::size_t take =
-      std::min<std::size_t>(batch_size_, scored.size());
+      std::min<std::size_t>(batch_size_, scored_.size());
   // Best potential first; ties to the smaller id, matching ABM.
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(take),
-                    scored.end(), [](const auto& a, const auto& b) {
+  std::partial_sort(scored_.begin(),
+                    scored_.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored_.end(), [](const auto& a, const auto& b) {
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;
                     });
-  for (std::size_t i = 0; i < take; ++i) batch_.push_back(scored[i].second);
+  for (std::size_t i = 0; i < take; ++i) batch_.push_back(scored_[i].second);
   if (!batch_.empty()) ++rounds_;
 }
 

@@ -48,6 +48,8 @@ class BatchedAbmStrategy final : public Strategy {
   std::vector<NodeId> batch_;  // pending targets, best first
   std::size_t cursor_ = 0;
   std::uint32_t rounds_ = 0;
+  // Scoring scratch, pooled across fill_batch calls and resets.
+  std::vector<std::pair<double, NodeId>> scored_;
 };
 
 }  // namespace accu

@@ -56,32 +56,43 @@ NodeId LookaheadStrategy::select(const AttackerView& view, util::Rng& rng) {
   const Graph& g = instance_->graph();
 
   // Stage 1: rank candidates by the myopic score.
-  std::vector<std::pair<double, NodeId>> ranked;
+  ranked_.clear();
   for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
     if (view.is_requested(u)) continue;
-    ranked.emplace_back(step_score(view, u), u);
+    ranked_.emplace_back(step_score(view, u), u);
   }
-  if (ranked.empty()) return kInvalidNode;
-  const std::size_t beam = std::min<std::size_t>(config_.beam, ranked.size());
-  std::partial_sort(ranked.begin(),
-                    ranked.begin() + static_cast<std::ptrdiff_t>(beam),
-                    ranked.end(), [](const auto& a, const auto& b) {
+  if (ranked_.empty()) return kInvalidNode;
+  const std::size_t beam =
+      std::min<std::size_t>(config_.beam, ranked_.size());
+  std::partial_sort(ranked_.begin(),
+                    ranked_.begin() + static_cast<std::ptrdiff_t>(beam),
+                    ranked_.end(), [](const auto& a, const auto& b) {
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;
                     });
 
+  // Pooled branch scratch: copy-assignment reuses the vectors' capacity.
+  auto branch_copy = [this](const AttackerView& source) -> AttackerView& {
+    if (!branch_view_.has_value()) {
+      branch_view_.emplace(source);
+    } else {
+      *branch_view_ = source;
+    }
+    return *branch_view_;
+  };
+
   // Stage 2: approximate V(u) = Δ(u) + E[ best next Δ ] over the beam.
-  NodeId best = ranked.front().second;
+  NodeId best = ranked_.front().second;
   double best_value = -1.0;
-  std::vector<bool> scenario_edges(g.num_edges(), false);
-  const std::vector<bool> scenario_coins(instance_->num_nodes(), true);
+  scenario_edges_.assign(g.num_edges(), false);
+  scenario_coins_.assign(instance_->num_nodes(), true);
   for (std::size_t c = 0; c < beam; ++c) {
-    const NodeId u = ranked[c].second;
+    const NodeId u = ranked_[c].second;
     const double q = AbmStrategy::effective_accept_prob(view, u);
-    double value = ranked[c].first;
+    double value = ranked_[c].first;
     // Rejection branch: one deterministic continuation.
     if (q < 1.0) {
-      AttackerView rejected = view;
+      AttackerView& rejected = branch_copy(view);
       rejected.record_rejection(u);
       value += (1.0 - q) * best_step_score(rejected);
     }
@@ -92,20 +103,24 @@ NodeId LookaheadStrategy::select(const AttackerView& view, util::Rng& rng) {
         for (const graph::Neighbor& nb : g.neighbors(u)) {
           switch (view.edge_state(nb.edge)) {
             case EdgeState::kPresent:
-              scenario_edges[nb.edge] = true;
+              scenario_edges_[nb.edge] = true;
               break;
             case EdgeState::kAbsent:
-              scenario_edges[nb.edge] = false;
+              scenario_edges_[nb.edge] = false;
               break;
             case EdgeState::kUnknown:
-              scenario_edges[nb.edge] =
+              scenario_edges_[nb.edge] =
                   rng.bernoulli(g.edge_prob(nb.edge));
               break;
           }
         }
-        AttackerView accepted = view;
-        accepted.record_acceptance(
-            u, Realization(scenario_edges, scenario_coins));
+        if (!scenario_.has_value()) {
+          scenario_.emplace(scenario_edges_, scenario_coins_);
+        } else {
+          scenario_->assign(scenario_edges_, scenario_coins_);
+        }
+        AttackerView& accepted = branch_copy(view);
+        accepted.record_acceptance(u, *scenario_);
         continuation += best_step_score(accepted);
       }
       value += q * continuation /

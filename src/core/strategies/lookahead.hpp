@@ -19,6 +19,10 @@
 
 #pragma once
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "core/simulator.hpp"
 
 namespace accu {
@@ -50,6 +54,13 @@ class LookaheadStrategy final : public Strategy {
 
   Config config_;
   const AccuInstance* instance_ = nullptr;
+  // Per-select scratch, pooled across calls and resets (copy-assignment
+  // into these reuses their vectors' capacity).
+  std::vector<std::pair<double, NodeId>> ranked_;
+  std::vector<bool> scenario_edges_;
+  std::vector<bool> scenario_coins_;
+  std::optional<Realization> scenario_;
+  std::optional<AttackerView> branch_view_;
 };
 
 }  // namespace accu

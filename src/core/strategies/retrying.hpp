@@ -37,7 +37,13 @@ class RetryingStrategy final : public Strategy, public FaultObserver {
                const AttackerView::AcceptanceEffects* effects) override;
   FaultResponse observe_fault(NodeId target, FaultFeedback feedback,
                               const AttackerView& view) override;
+  [[nodiscard]] FaultObserver* as_fault_observer() override { return this; }
   [[nodiscard]] std::string name() const override;
+
+  /// Re-keys the backoff-jitter stream; takes effect at the next reset().
+  /// Worker pools reuse one decorator across sweep cells and re-key it per
+  /// (sample, run, strategy) so reuse stays byte-identical to a fresh wrap.
+  void reseed(std::uint64_t seed) noexcept { seed_ = seed; }
 
   [[nodiscard]] const util::RetryPolicy& policy() const noexcept {
     return policy_;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "core/engine.hpp"
+
 namespace accu {
 
 ArrivalSchedule::ArrivalSchedule(std::vector<std::uint32_t> arrival_round)
@@ -224,41 +226,9 @@ TemporalResult simulate_temporal(const AccuInstance& instance,
   TemporalView view(instance, schedule, truth);
   TemporalResult result;
   strategy.reset(instance, rng);
-  for (std::uint32_t round = 0; round < rounds; ++round) {
-    view.advance_to(round);
-    if (view.num_requests() >= budget) break;
-    TemporalRequestRecord record;
-    record.round = round;
-    const NodeId target = strategy.select(view, rng);
-    if (target == kInvalidNode) {
-      record.benefit_after = view.current_benefit();
-      result.trace.push_back(record);  // waited this round
-      continue;
-    }
-    ACCU_ASSERT_MSG(view.is_active(target) && !view.is_requested(target),
-                    "temporal strategy selected an illegal target");
-    record.target = target;
-    record.cautious_target = instance.is_cautious(target);
-    bool accepted;
-    if (instance.is_cautious(target)) {
-      const bool reached = view.cautious_would_accept(target);
-      accepted = reached ? truth.cautious_above_accepts(target)
-                         : truth.cautious_below_accepts(target);
-    } else {
-      accepted = truth.reckless_accepts(target);
-    }
-    record.accepted = accepted;
-    if (accepted) {
-      view.record_acceptance(target);
-    } else {
-      view.record_rejection(target);
-    }
-    record.benefit_after = view.current_benefit();
-    result.trace.push_back(record);
-  }
-  result.total_benefit = view.current_benefit();
-  result.num_cautious_friends = view.num_cautious_friends();
-  result.requests_sent = view.num_requests();
+  engine::TemporalEnv env(instance, truth, strategy, rounds, budget, rng,
+                          view, result);
+  engine::run_rounds(env);
   return result;
 }
 

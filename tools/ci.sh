@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: build + test three times.
+# CI entry point: build + test three configurations, plus an engine gate.
 #
 #   1. plain RelWithDebInfo             — the configuration users run
 #   2. Debug with ACCU_SANITIZE=ON      — AddressSanitizer + UBSan
-#   3. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
+#   3. engine gate                      — the engine-equivalence suite under
+#      ASan + the micro_core allocations-per-cell ceiling
+#   4. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
 #      appends, cancellation)
 #
@@ -26,6 +28,24 @@ echo "=== sanitized build (Debug, address+undefined) ==="
 cmake -B build-ci-san -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=address
 cmake --build build-ci-san -j "${JOBS}"
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300
+
+echo "=== engine equivalence under ASan + allocation budget ==="
+# The round-engine refactor is pinned two ways: the byte-identical-trace
+# property suite re-runs under AddressSanitizer (workspace pooling must not
+# trade correctness or memory safety for speed), and `micro_core --json`
+# must keep pooled sweep cells under the recorded allocations-per-cell
+# ceiling (the O(1)-allocations property of SimWorkspace).
+ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
+  -R 'Engine'
+./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
+ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
+  build-ci/BENCH_micro_core.json)"
+BASELINE="$(grep -v '^#' bench/micro_core_allocs.baseline | head -1)"
+echo "pooled allocs/cell: ${ALLOCS} (ceiling ${BASELINE})"
+awk -v a="${ALLOCS}" -v b="${BASELINE}" 'BEGIN { exit !(a <= b) }' || {
+  echo "FAIL: pooled allocs/cell ${ALLOCS} exceeds baseline ${BASELINE}" >&2
+  exit 1
+}
 
 echo "=== sanitized build (Debug, thread) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
