@@ -10,10 +10,14 @@
 // runs the sweep-cell workload twice — once allocating everything fresh per
 // cell (the pre-engine behaviour) and once through a reused SimWorkspace +
 // persistent strategy (what run_experiment does per worker since PR 3) —
-// counting every operator-new call via the replaced global allocator, and
-// writes the numbers as JSON (default BENCH_micro_core.json).  tools/ci.sh
-// gates pooled allocs/cell against bench/micro_core_allocs.baseline so the
-// O(1)-allocations-per-cell property cannot silently regress.
+// counting every operator-new call via the replaced global allocator — then
+// times every hot kernel of the simulation stack (realization sampling,
+// observation update, scalar potential, batched rescore, full ABM round),
+// and writes the numbers as JSON (default BENCH_micro_core.json).  The
+// repo-root BENCH_micro_core.json is the committed per-PR snapshot of these
+// numbers; tools/ci.sh gates pooled allocs/cell against
+// bench/micro_core_allocs.baseline so the O(1)-allocations-per-cell
+// property cannot silently regress.
 
 // GCC cannot see that the replaced operator new below is malloc-backed and
 // flags every inlined new/delete pair as mismatched; the pairing is correct
@@ -32,6 +36,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/strategies/abm.hpp"
@@ -167,6 +172,25 @@ void BM_ObservationUpdate(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_ObservationUpdate);
+
+void BM_BatchedRescore(benchmark::State& state) {
+  // The flat full-population rescore (core/score.hpp) that BatchedABM and
+  // lookahead ranking run per round; items = candidates scored.
+  const AccuInstance& instance = twitter_instance();
+  const AttackerView view(instance);
+  ScorePack pack;
+  pack.build(instance);
+  const PotentialWeights weights{0.5, 0.5};
+  std::vector<double> scores(instance.num_nodes());
+  for (auto _ : state) {
+    score_batch(pack, view, weights, 0, instance.num_nodes(), scores.data());
+    benchmark::DoNotOptimize(scores.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          instance.num_nodes());
+}
+BENCHMARK(BM_BatchedRescore);
 
 void BM_SimulateAbm(benchmark::State& state) {
   const AccuInstance& instance = twitter_instance();
@@ -345,6 +369,100 @@ CellWorkloadResult measure_pooled(const AccuInstance& instance,
           static_cast<double>(allocs) / static_cast<double>(cells)};
 }
 
+/// Wall-clock of `iters` calls to `body`, after `warmup` unmeasured calls.
+template <typename F>
+double measure_seconds(std::uint64_t warmup, std::uint64_t iters, F&& body) {
+  for (std::uint64_t i = 0; i < warmup; ++i) body(i);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) body(i);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Per-op nanoseconds for every hot kernel of the simulation stack, on the
+/// same twitter-0.03 instance as the cell workload.  These are the numbers
+/// the per-PR BENCH_micro_core.json snapshots track over time.
+struct KernelTimings {
+  double realization_sample_ns = 0.0;   // per edge+node resample
+  double observation_update_ns = 0.0;   // per accepted request folded in
+  double potential_scalar_ns = 0.0;     // per scalar potential() call
+  double batched_rescore_ns = 0.0;      // per candidate in score_batch
+  double abm_round_ns = 0.0;            // per round of a pooled ABM attack
+};
+
+KernelTimings measure_kernels(const AccuInstance& instance) {
+  KernelTimings t;
+  const NodeId n = instance.num_nodes();
+
+  {  // Realization sampling (pooled resample — the sweep path).
+    util::Rng rng(11);
+    Realization truth = Realization::sample(instance, rng);
+    const std::uint64_t iters = 200;
+    const double s = measure_seconds(
+        8, iters, [&](std::uint64_t) { truth.resample(instance, rng); });
+    t.realization_sample_ns = s * 1e9 / static_cast<double>(iters);
+  }
+  {  // Observation update: 64 acceptances folded into a reused view.
+    util::Rng rng(12);
+    const Realization truth = Realization::sample(instance, rng);
+    AttackerView view(instance);
+    const std::uint64_t iters = 100;
+    double sink = 0.0;
+    const double s = measure_seconds(4, iters, [&](std::uint64_t) {
+      view.reset(instance);
+      for (NodeId v = 0; v < 64; ++v) view.record_acceptance(v, truth);
+      sink += view.current_benefit();
+    });
+    benchmark::DoNotOptimize(sink);
+    t.observation_update_ns = s * 1e9 / static_cast<double>(iters * 64);
+  }
+  {  // Scalar potential (the reference kernel) on a fresh view.
+    const AttackerView view(instance);
+    const AbmStrategy abm(0.5, 0.5);
+    const std::uint64_t iters = 400000;
+    double sink = 0.0;
+    const double s = measure_seconds(1000, iters, [&](std::uint64_t i) {
+      sink += abm.potential(view, static_cast<NodeId>(i % n));
+    });
+    benchmark::DoNotOptimize(sink);
+    t.potential_scalar_ns = s * 1e9 / static_cast<double>(iters);
+  }
+  {  // Batched rescore over the whole population.
+    const AttackerView view(instance);
+    ScorePack pack;
+    pack.build(instance);
+    const PotentialWeights weights{0.5, 0.5};
+    std::vector<double> scores(n);
+    const std::uint64_t iters = 400;
+    const double s = measure_seconds(8, iters, [&](std::uint64_t) {
+      score_batch(pack, view, weights, 0, n, scores.data());
+      benchmark::DoNotOptimize(scores.data());
+      benchmark::ClobberMemory();
+    });
+    t.batched_rescore_ns = s * 1e9 / static_cast<double>(iters * n);
+  }
+  {  // Full ABM round through the pooled engine path.
+    util::Rng rng(13);
+    const Realization truth = Realization::sample(instance, rng);
+    const std::uint32_t budget = 50;
+    SimWorkspace ws;
+    AbmStrategy abm(0.5, 0.5);
+    SimulationResult out;
+    const std::uint64_t iters = 50;
+    double sink = 0.0;
+    const double s = measure_seconds(4, iters, [&](std::uint64_t) {
+      util::Rng srng(14);
+      AttackerView& view = ws.reset_view(instance);
+      simulate_into(instance, truth, abm, budget, srng, view, ws, out);
+      sink += out.total_benefit;
+    });
+    benchmark::DoNotOptimize(sink);
+    t.abm_round_ns = s * 1e9 / static_cast<double>(iters * budget);
+  }
+  return t;
+}
+
 int run_json_mode(const char* path) {
   const AccuInstance& instance = twitter_instance();
   const std::uint64_t cells = 64;
@@ -354,8 +472,9 @@ int run_json_mode(const char* path) {
   const double reduction =
       fresh.allocs_per_cell /
       (pooled.allocs_per_cell > 0.0 ? pooled.allocs_per_cell : 1.0);
+  const KernelTimings kernels = measure_kernels(instance);
 
-  char json[1024];
+  char json[2048];
   std::snprintf(
       json, sizeof json,
       "{\n"
@@ -366,11 +485,20 @@ int run_json_mode(const char* path) {
       "  \"fresh_allocs_per_cell\": %.2f,\n"
       "  \"pooled_cells_per_sec\": %.1f,\n"
       "  \"pooled_allocs_per_cell\": %.2f,\n"
-      "  \"alloc_reduction_factor\": %.1f\n"
+      "  \"alloc_reduction_factor\": %.1f,\n"
+      "  \"kernels\": {\n"
+      "    \"realization_sample_ns\": %.1f,\n"
+      "    \"observation_update_ns\": %.1f,\n"
+      "    \"potential_scalar_ns\": %.1f,\n"
+      "    \"batched_rescore_ns_per_candidate\": %.2f,\n"
+      "    \"abm_round_ns\": %.1f\n"
+      "  }\n"
       "}\n",
       static_cast<unsigned long long>(cells), budget, fresh.cells_per_sec,
       fresh.allocs_per_cell, pooled.cells_per_sec, pooled.allocs_per_cell,
-      reduction);
+      reduction, kernels.realization_sample_ns, kernels.observation_update_ns,
+      kernels.potential_scalar_ns, kernels.batched_rescore_ns,
+      kernels.abm_round_ns);
 
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {

@@ -21,6 +21,24 @@ const Realization& SimWorkspace::sample_truth(const AccuInstance& instance,
   return *truth_;
 }
 
+const ScorePack& SimWorkspace::score_pack(const AccuInstance& instance) {
+  if (!score_pack_.built_for(instance)) score_pack_.build(instance);
+  return score_pack_;
+}
+
+namespace {
+
+/// Hands the workspace-pooled score pack to strategies that score through
+/// the flat kernels; runs immediately before Strategy::reset.
+void offer_score_pack(const AccuInstance& instance, Strategy& strategy,
+                      SimWorkspace& ws) {
+  if (strategy.wants_score_pack()) {
+    strategy.adopt_score_pack(ws.score_pack(instance));
+  }
+}
+
+}  // namespace
+
 void simulate_into(const AccuInstance& instance, const Realization& truth,
                    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
                    AttackerView& view, SimWorkspace& ws, SimulationResult& out,
@@ -29,6 +47,7 @@ void simulate_into(const AccuInstance& instance, const Realization& truth,
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   out.clear();
   out.trace.reserve(budget);
+  offer_score_pack(instance, strategy, ws);
   strategy.reset(instance, rng);
   engine::ReliableEnv env(instance, truth, strategy, budget, rng, view, ws,
                           out, cancel);
@@ -45,6 +64,7 @@ void simulate_with_faults_into(const AccuInstance& instance,
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   out.clear();
   out.trace.reserve(budget);
+  offer_score_pack(instance, strategy, ws);
   strategy.reset(instance, rng);
   engine::FaultyEnv env(instance, truth, strategy, budget, rng, faults, view,
                         ws, out, cancel);

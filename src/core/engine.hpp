@@ -45,6 +45,7 @@
 #include "core/multibot/multibot.hpp"
 #include "core/observation.hpp"
 #include "core/realization.hpp"
+#include "core/score.hpp"
 #include "core/simulator.hpp"
 #include "core/temporal/temporal.hpp"
 #include "core/types.hpp"
@@ -70,6 +71,13 @@ class SimWorkspace {
   [[nodiscard]] const Realization& sample_truth(const AccuInstance& instance,
                                                 util::Rng& rng);
 
+  /// The flat SoA score pack for `instance`, built on first use and cached
+  /// by instance identity (AccuInstance::uid), so a sweep that re-runs the
+  /// same instance across cells shares one pack allocation-free.  The
+  /// engine entry points offer it to strategies via
+  /// Strategy::adopt_score_pack.
+  [[nodiscard]] const ScorePack& score_pack(const AccuInstance& instance);
+
   /// Acceptance-effects scratch shared by the engine's reveal path.
   AttackerView::AcceptanceEffects effects;
   /// Per-target prior faulted attempts (FaultyEnv's retry accounting).
@@ -78,6 +86,7 @@ class SimWorkspace {
  private:
   std::optional<AttackerView> view_;
   std::optional<Realization> truth_;
+  ScorePack score_pack_;
 };
 
 /// As `simulate_with_view` (simulator.hpp), but writes into a caller-owned

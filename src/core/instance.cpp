@@ -1,8 +1,14 @@
 #include "core/instance.hpp"
 
+#include <atomic>
 #include <string>
 
 namespace accu {
+
+std::uint64_t AccuInstance::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 AccuInstance::AccuInstance(Graph graph, std::vector<UserClass> classes,
                            std::vector<double> accept_prob,

@@ -108,8 +108,16 @@ class AccuInstance {
     return threshold_reached ? cautious_above_[v] : cautious_below_[v];
   }
 
+  /// Process-unique identity of this instance's *contents*: assigned from a
+  /// global counter at construction and carried along by copies/moves (which
+  /// preserve the contents).  Lets caches keyed on an instance (the score
+  /// pack in SimWorkspace) detect address reuse without hashing the data.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
  private:
   void validate();
+
+  [[nodiscard]] static std::uint64_t next_uid() noexcept;
 
   Graph graph_;
   std::vector<UserClass> classes_;
@@ -122,6 +130,7 @@ class AccuInstance {
   std::vector<double> cautious_below_;
   std::vector<double> cautious_above_;
   bool generalized_ = false;
+  std::uint64_t uid_ = next_uid();
 };
 
 }  // namespace accu

@@ -71,23 +71,6 @@ void AttackerView::record_acceptance(NodeId v, const Realization& truth,
   }
 }
 
-double AttackerView::edge_belief(EdgeId e) const {
-  switch (edge_state(e)) {
-    case EdgeState::kPresent:
-      return 1.0;
-    case EdgeState::kAbsent:
-      return 0.0;
-    case EdgeState::kUnknown:
-      return instance_->graph().edge_prob(e);
-  }
-  return 0.0;  // unreachable
-}
-
-bool AttackerView::cautious_would_accept(NodeId v) const {
-  ACCU_ASSERT(instance_->is_cautious(v));
-  return mutual_friends(v) >= instance_->threshold(v);
-}
-
 std::size_t AttackerView::num_observed_edges() const noexcept {
   std::size_t observed = 0;
   for (const EdgeState state : edge_state_) {

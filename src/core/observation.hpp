@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -114,12 +115,35 @@ class AttackerView {
   }
 
   /// The attacker's current belief that edge e exists: the prior p_e when
-  /// unobserved, else 0/1.
-  [[nodiscard]] double edge_belief(EdgeId e) const;
+  /// unobserved, else 0/1.  Header-inline: this sits inside the potential
+  /// function's innermost loop.
+  [[nodiscard]] ACCU_ALWAYS_INLINE double edge_belief(EdgeId e) const {
+    const EdgeState state = edge_state(e);
+    if (state == EdgeState::kUnknown) return instance_->graph().edge_prob(e);
+    return state == EdgeState::kPresent ? 1.0 : 0.0;
+  }
 
   /// Deterministic acceptance test for a cautious user under the current
   /// observations (θ_v reached).
-  [[nodiscard]] bool cautious_would_accept(NodeId v) const;
+  [[nodiscard]] ACCU_ALWAYS_INLINE bool cautious_would_accept(NodeId v) const {
+    ACCU_ASSERT(instance_->is_cautious(v));
+    return mutual_friends(v) >= instance_->threshold(v);
+  }
+
+  // --- flat spans (the score engine's batched kernels read these) ---------
+
+  /// Per-node request states, indexed by NodeId.
+  [[nodiscard]] std::span<const RequestState> request_states() const noexcept {
+    return request_state_;
+  }
+  /// Per-node realized mutual-friend counts, indexed by NodeId.
+  [[nodiscard]] std::span<const std::uint32_t> mutual_counts() const noexcept {
+    return mutual_;
+  }
+  /// Per-edge observation states, indexed by EdgeId.
+  [[nodiscard]] std::span<const EdgeState> edge_states() const noexcept {
+    return edge_state_;
+  }
 
   // --- benefit ------------------------------------------------------------
 

@@ -1,0 +1,310 @@
+#include "core/score.hpp"
+
+#include <limits>
+
+namespace accu {
+
+namespace {
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+void ScorePack::build(const AccuInstance& instance) {
+  const Graph& g = instance.graph();
+  const NodeId n = g.num_nodes();
+  const std::size_t slots = 2ull * g.num_edges();
+  if (slots >= kNoSlot) {
+    throw InvalidArgument("ScorePack: instance too large for 32-bit slots");
+  }
+  instance_ = &instance;
+  uid_ = instance.uid();
+  num_nodes_ = n;
+
+  row_begin_.resize(n + 1);
+  cautious_bits_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  friend_b_.resize(n);
+  fof_b_.resize(n);
+  q_reckless_.resize(n);
+  q_below_.resize(n);
+  q_above_.resize(n);
+  theta_.resize(n);
+  adj_node_.resize(slots);
+  mirror_.resize(slots);
+  d_init_.resize(slots);
+  i_gain_.resize(slots);
+  slot_theta_.resize(slots);
+
+  const BenefitModel& benefits = instance.benefits();
+  for (NodeId u = 0; u < n; ++u) {
+    friend_b_[u] = benefits.friend_benefit(u);
+    fof_b_[u] = benefits.fof_benefit(u);
+    q_reckless_[u] = instance.accept_prob(u);
+    if (instance.is_cautious(u)) {
+      cautious_bits_[u >> 6] |= 1ull << (u & 63);
+      theta_[u] = instance.threshold(u);
+      q_below_[u] = instance.cautious_accept_prob(u, false);
+      q_above_[u] = instance.cautious_accept_prob(u, true);
+    } else {
+      theta_[u] = 0;
+      q_below_[u] = 0.0;
+      q_above_[u] = 1.0;
+    }
+  }
+
+  std::uint32_t s = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    row_begin_[u] = s;
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      const NodeId v = nb.node;
+      const double prior = g.edge_prob(nb.edge);
+      adj_node_[s] = v;
+      // The live term values (header invariant: active terms always carry
+      // the prior), with the scalar code's exact operation order.
+      d_init_[s] = prior * benefits.fof_benefit(v);
+      if (instance.is_cautious(v)) {
+        i_gain_[s] = prior * benefits.upgrade_gain(v);
+        slot_theta_[s] = instance.threshold(v);
+      } else {
+        i_gain_[s] = 0.0;
+        slot_theta_[s] = 1;
+      }
+      ++s;
+    }
+  }
+  row_begin_[n] = s;
+
+  // Link the two slots of each undirected edge.
+  edge_slot_.assign(g.num_edges(), kNoSlot);
+  s = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      const std::uint32_t other = edge_slot_[nb.edge];
+      if (other == kNoSlot) {
+        edge_slot_[nb.edge] = s;
+      } else {
+        mirror_[s] = other;
+        mirror_[other] = s;
+      }
+      ++s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched rescore
+// ---------------------------------------------------------------------------
+
+void score_batch(const ScorePack& pack, const AttackerView& view,
+                 const PotentialWeights& weights, NodeId begin, NodeId end,
+                 double* out) {
+  ACCU_ASSERT_MSG(pack.built_for(view.instance()),
+                  "score_batch: pack does not match the view's instance");
+  ACCU_ASSERT(begin <= end && end <= pack.num_nodes());
+  const RequestState* rs = view.request_states().data();
+  const std::uint32_t* mutual = view.mutual_counts().data();
+  const double* d_init = pack.d_init_all().data();
+  const double* i_gain = pack.i_gain_all().data();
+  const std::uint32_t* slot_theta = pack.slot_theta_all().data();
+  const bool want_indirect = weights.indirect > 0.0;
+
+  for (NodeId u = begin; u < end; ++u) {
+    double& result = out[u - begin];
+    if (rs[u] != RequestState::kUnknown) {
+      result = 0.0;
+      continue;
+    }
+    const bool cautious = pack.is_cautious(u);
+    const double q = cautious ? (mutual[u] >= pack.theta(u) ? pack.q_above(u)
+                                                            : pack.q_below(u))
+                              : pack.q_reckless(u);
+    if (q <= 0.0) {
+      result = 0.0;
+      continue;
+    }
+    const std::uint32_t s0 = pack.row_begin(u);
+    const std::uint32_t s1 = pack.row_begin(u + 1);
+    // P_D: branchless mask-multiply — a deactivated term (friend or FOF
+    // neighbor) contributes an exact 0.0, which leaves the CSR-order sum
+    // bit-identical to the scalar loop that skips it.
+    double direct = pack.friend_benefit(u);
+    if (mutual[u] > 0) direct -= pack.fof_benefit(u);  // u un-requested ⇒ FOF
+    for (std::uint32_t s = s0; s < s1; ++s) {
+      const NodeId v = pack.slot_node(s);
+      const double active = static_cast<double>(
+          (rs[v] != RequestState::kAccepted) & (mutual[v] == 0));
+      direct += d_init[s] * active;
+    }
+    double value = weights.direct * direct;
+    if (want_indirect) {
+      double indirect = 0.0;
+      if (!cautious) {
+        for (std::uint32_t s = s0; s < s1; ++s) {
+          const double numerator = i_gain[s];
+          if (numerator == 0.0) continue;  // reckless neighbor (or p_e = 0)
+          const NodeId v = pack.slot_node(s);
+          const std::uint32_t m = mutual[v];
+          const std::uint32_t th = slot_theta[s];
+          if (rs[v] == RequestState::kUnknown && m < th) {
+            indirect += numerator / static_cast<double>(th - m);
+          }
+        }
+      }
+      value += weights.indirect * indirect;
+    }
+    result = q * value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine
+// ---------------------------------------------------------------------------
+
+void ScoreEngine::reset(const ScorePack& pack,
+                        const PotentialWeights& weights) {
+  pack_ = &pack;
+  weights_ = weights;
+  maintain_indirect_ = weights.indirect > 0.0;
+
+  const std::span<const double> d_init = pack.d_init_all();
+  contrib_d_.assign(d_init.begin(), d_init.end());
+  if (maintain_indirect_) {
+    const std::span<const double> i_gain = pack.i_gain_all();
+    const std::span<const std::uint32_t> theta = pack.slot_theta_all();
+    contrib_i_.resize(i_gain.size());
+    for (std::size_t s = 0; s < i_gain.size(); ++s) {
+      // Blank state: mutual = 0, denominator = θ_v.
+      contrib_i_[s] =
+          i_gain[s] == 0.0 ? 0.0 : i_gain[s] / static_cast<double>(theta[s]);
+    }
+  } else {
+    contrib_i_.clear();
+  }
+
+  const NodeId n = pack.num_nodes();
+  mutual_.assign(n, 0);
+  fof_.assign(n, 0);
+  requested_.assign(n, 0);
+  dirty_.assign(n, 0);
+  eager_.clear();
+  eager_stamp_.assign(n, 0);
+  eager_round_ = 0;
+}
+
+double ScoreEngine::score(NodeId u) const {
+  const ScorePack& pack = *pack_;
+  ACCU_ASSERT_MSG(requested_[u] == 0,
+                  "score() is defined for un-requested candidates only");
+  const bool cautious = pack.is_cautious(u);
+  const double q = cautious ? (mutual_[u] >= pack.theta(u) ? pack.q_above(u)
+                                                           : pack.q_below(u))
+                            : pack.q_reckless(u);
+  if (q <= 0.0) return 0.0;
+  const std::uint32_t s0 = pack.row_begin(u);
+  const std::uint32_t s1 = pack.row_begin(u + 1);
+  double direct = pack.friend_benefit(u);
+  if (fof_[u] != 0) direct -= pack.fof_benefit(u);
+  for (std::uint32_t s = s0; s < s1; ++s) direct += contrib_d_[s];
+  double value = weights_.direct * direct;
+  if (weights_.indirect > 0.0) {
+    double indirect = 0.0;
+    if (!cautious) {
+      for (std::uint32_t s = s0; s < s1; ++s) indirect += contrib_i_[s];
+    }
+    value += weights_.indirect * indirect;
+  }
+  return q * value;
+}
+
+void ScoreEngine::add_eager(NodeId u) {
+  if (requested_[u] != 0 || eager_stamp_[u] == eager_round_) return;
+  eager_stamp_[u] = eager_round_;
+  eager_.push_back(u);
+}
+
+void ScoreEngine::apply_acceptance(
+    NodeId target, const AttackerView::AcceptanceEffects& effects) {
+  const ScorePack& pack = *pack_;
+  ++eager_round_;
+  eager_.clear();
+  requested_[target] = 1;
+
+  // (1) The new friend leaves every neighbor's P_D sum (friend skip) and
+  //     P_I sum (requested skip): zero the mirror slots of target's row.
+  {
+    const std::uint32_t s0 = pack.row_begin(target);
+    const std::uint32_t s1 = pack.row_begin(target + 1);
+    for (std::uint32_t s = s0; s < s1; ++s) {
+      const std::uint32_t m = pack.mirror(s);
+      contrib_d_[m] = 0.0;
+      if (maintain_indirect_) contrib_i_[m] = 0.0;
+      mark_dirty(pack.slot_node(s));
+    }
+  }
+
+  // (2) Nodes entering FOF: their (1 − 1_FOF) factor vanishes from every
+  //     neighbor's P_D sum, and their own head gains the −B_fof term.
+  for (const NodeId w : effects.new_fof) {
+    fof_[w] = 1;
+    mark_dirty(w);
+    const std::uint32_t s0 = pack.row_begin(w);
+    const std::uint32_t s1 = pack.row_begin(w + 1);
+    for (std::uint32_t s = s0; s < s1; ++s) {
+      contrib_d_[pack.mirror(s)] = 0.0;
+      mark_dirty(pack.slot_node(s));
+    }
+  }
+
+  // (3) Mutual-count advances.  Only cautious users carry θ-dependent
+  //     state; the FOF consequences of a first mutual friend are case (2).
+  for (const NodeId v : effects.mutual_increased) {
+    ++mutual_[v];
+    if (requested_[v] != 0 || !pack.is_cautious(v)) continue;
+    const std::uint32_t theta = pack.theta(v);
+    const std::uint32_t m = mutual_[v];
+    if (m == theta) {
+      // Crossed the threshold: q(v) jumps q1 → q2 (never down, q1 <= q2) —
+      // re-score v eagerly; v's indirect value is spent, so it leaves its
+      // neighbors' P_I sums.
+      add_eager(v);
+      if (maintain_indirect_) {
+        const std::uint32_t s0 = pack.row_begin(v);
+        const std::uint32_t s1 = pack.row_begin(v + 1);
+        for (std::uint32_t s = s0; s < s1; ++s) {
+          contrib_i_[pack.mirror(s)] = 0.0;
+          mark_dirty(pack.slot_node(s));
+        }
+      }
+    } else if (m < theta && maintain_indirect_) {
+      // Denominator θ_v − m shrank: every neighbor's P_I term for v grows —
+      // recompute those terms and re-score the owners eagerly.
+      const double denom = static_cast<double>(theta - m);
+      const std::uint32_t s0 = pack.row_begin(v);
+      const std::uint32_t s1 = pack.row_begin(v + 1);
+      for (std::uint32_t s = s0; s < s1; ++s) {
+        const std::uint32_t ms = pack.mirror(s);
+        contrib_i_[ms] = pack.i_gain(ms) / denom;
+        add_eager(pack.slot_node(s));
+      }
+    }
+    // m > θ: crossed earlier — terms already zero, q already q2.
+  }
+}
+
+void ScoreEngine::apply_rejection(NodeId target) {
+  const ScorePack& pack = *pack_;
+  ++eager_round_;
+  eager_.clear();
+  requested_[target] = 1;
+  // A rejection reveals nothing, but a rejected *cautious* target can never
+  // be befriended anymore, so it leaves its neighbors' P_I sums.  (Its P_D
+  // terms stay: a rejected node can still become a believed FOF.)
+  if (maintain_indirect_ && pack.is_cautious(target)) {
+    const std::uint32_t s0 = pack.row_begin(target);
+    const std::uint32_t s1 = pack.row_begin(target + 1);
+    for (std::uint32_t s = s0; s < s1; ++s) {
+      contrib_i_[pack.mirror(s)] = 0.0;
+      mark_dirty(pack.slot_node(s));
+    }
+  }
+}
+
+}  // namespace accu

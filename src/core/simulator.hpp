@@ -29,6 +29,8 @@
 
 namespace accu {
 
+class ScorePack;  // core/score.hpp
+
 /// One simulated round: a friend request, or (under the fault layer) a
 /// round lost to a rate-limit suspension (`fault == kSuspensionStall`,
 /// `target == kInvalidNode`).  Stall rounds stay in the trace so request
@@ -120,6 +122,15 @@ class Strategy {
   /// the faulted environment can consult it without RTTI.  The default is
   /// "not fault-aware": every faulted request is abandoned.
   [[nodiscard]] virtual FaultObserver* as_fault_observer() { return nullptr; }
+
+  /// Score-pack pooling (core/score.hpp).  A strategy that scores through
+  /// the flat SoA kernels returns true here; the engine entry points then
+  /// offer the workspace-pooled pack for the upcoming instance via
+  /// adopt_score_pack immediately before reset(), saving a per-simulation
+  /// rebuild.  An adopted pack is valid only for the simulation whose
+  /// reset() follows; strategies without an offer build their own.
+  [[nodiscard]] virtual bool wants_score_pack() const { return false; }
+  virtual void adopt_score_pack(const ScorePack& pack) { (void)pack; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -84,22 +84,45 @@ double AbmStrategy::potential(const AttackerView& view, NodeId u) const {
   return q * value;
 }
 
+void AbmStrategy::adopt_score_pack(const ScorePack& pack) {
+  adopted_pack_ = &pack;
+  adopt_fresh_ = true;
+}
+
 void AbmStrategy::reset(const AccuInstance& instance, util::Rng& rng) {
   (void)rng;
   instance_ = &instance;
   if (!config_.incremental) return;
+  // Use the workspace's pooled pack only when it was handed over for *this*
+  // simulation (a stale pointer from an earlier workspace may dangle).
+  const ScorePack* pack = nullptr;
+  if (adopt_fresh_ && adopted_pack_ != nullptr &&
+      adopted_pack_->built_for(instance)) {
+    pack = adopted_pack_;
+  }
+  adopt_fresh_ = false;
+  adopted_pack_ = pack;
+  if (pack == nullptr) {
+    if (!own_pack_.built_for(instance)) own_pack_.build(instance);
+    pack = &own_pack_;
+  }
+  engine_.reset(*pack, config_.weights);
   version_.assign(instance.num_nodes(), 0);
-  stamp_.assign(instance.num_nodes(), 0);
-  round_ = 0;
   heap_.clear();  // keeps capacity for the next seed_heap
   heap_seeded_ = false;
 }
 
-void AbmStrategy::seed_heap(const AttackerView& view) {
+void AbmStrategy::seed_heap() {
   heap_seeded_ = true;
+  heap_.clear();
   for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
-    heap_push(HeapEntry{potential(view, u), u, 0});
+    if (engine_.is_requested(u)) continue;  // pre-seed abandons (fault layer)
+    engine_.consume_dirty(u);
+    heap_.push_back(HeapEntry{engine_.score(u), u, version_[u]});
   }
+  // make_heap instead of n push_heaps: pop order is unaffected (the
+  // comparator is a strict total order — (value, node) pairs are unique).
+  std::make_heap(heap_.begin(), heap_.end());
 }
 
 void AbmStrategy::heap_push(HeapEntry entry) {
@@ -107,19 +130,43 @@ void AbmStrategy::heap_push(HeapEntry entry) {
   std::push_heap(heap_.begin(), heap_.end());
 }
 
-void AbmStrategy::refresh(const AttackerView& view, NodeId u) {
+void AbmStrategy::refresh(NodeId u) {
+  engine_.consume_dirty(u);
   ++version_[u];
-  heap_push(HeapEntry{potential(view, u), u, version_[u]});
+  heap_push(HeapEntry{engine_.score(u), u, version_[u]});
+}
+
+void AbmStrategy::maybe_compact(const AttackerView& view) {
+  constexpr std::size_t kSlack = 16;  // don't thrash tiny/near-exhausted heaps
+  const std::size_t live =
+      instance_->num_nodes() - view.num_requests();
+  if (heap_.size() <= 4 * live + kSlack) return;
+  std::erase_if(heap_, [&](const HeapEntry& e) {
+    return e.version != version_[e.node] || view.is_requested(e.node);
+  });
+  std::make_heap(heap_.begin(), heap_.end());
 }
 
 NodeId AbmStrategy::select_incremental(const AttackerView& view) {
-  if (!heap_seeded_) seed_heap(view);
+  if (!heap_seeded_) seed_heap();
+  maybe_compact(view);
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     if (top.version != version_[top.node] || view.is_requested(top.node)) {
       // Stale entry (superseded or already requested).
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.pop_back();
+      continue;
+    }
+    if (engine_.consume_dirty(top.node)) {
+      // The cached value is an upper bound (only potential-lowering events
+      // defer); recompute and re-enter the heap.  Selection stays exactly
+      // the eager policy's: see DESIGN.md §11.
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      ++version_[top.node];
+      heap_push(HeapEntry{engine_.score(top.node), top.node,
+                          version_[top.node]});
       continue;
     }
     return top.node;
@@ -151,42 +198,23 @@ NodeId AbmStrategy::select(const AttackerView& view, util::Rng& rng) {
 void AbmStrategy::observe(NodeId target, bool accepted,
                           const AttackerView& view,
                           const AttackerView::AcceptanceEffects* effects) {
+  (void)view;
   if (!config_.incremental) return;
   // The target's entries are stale either way: it can never be selected
   // again (select_incremental also checks is_requested as a belt).
   ++version_[target];
-  const Graph& g = instance_->graph();
-  ++round_;
-  auto mark = [&](NodeId u) {
-    if (stamp_[u] == round_) return;
-    stamp_[u] = round_;
-    if (!view.is_requested(u)) refresh(view, u);
-  };
-  if (!accepted) {
-    // A rejection reveals nothing (§II-B) — but a rejected *cautious*
-    // target can never be befriended anymore, so it leaves its neighbors'
-    // P_I sums.  (Reachable only under the generalized q1 > 0 model, where
-    // ABM may gamble on below-threshold cautious users.)
-    if (instance_->is_cautious(target)) {
-      for (const graph::Neighbor& nb : g.neighbors(target)) mark(nb.node);
-    }
-    return;
+  if (accepted) {
+    ACCU_ASSERT(effects != nullptr);
+    engine_.apply_acceptance(target, *effects);
+  } else {
+    engine_.apply_rejection(target);
   }
-
-  ACCU_ASSERT(effects != nullptr);
-  // (1) Neighbors of the new friend: edge beliefs resolved; the friend left
-  //     their P_D sums; FOF flags and mutual counts among them moved.
-  for (const graph::Neighbor& nb : g.neighbors(target)) mark(nb.node);
-  // (2) Neighbors of nodes that newly entered FOF: their (1−1_FOF) factor
-  //     for that node vanished.
-  for (const NodeId w : effects->new_fof) {
-    for (const graph::Neighbor& nb : g.neighbors(w)) mark(nb.node);
-  }
-  // (3) Neighbors of cautious users whose mutual count grew: their P_I
-  //     denominators (and possibly the q(u) indicator) changed.
-  for (const NodeId v : effects->mutual_increased) {
-    if (!instance_->is_cautious(v)) continue;
-    for (const graph::Neighbor& nb : g.neighbors(v)) mark(nb.node);
+  // Nodes whose potential may have *increased* must re-enter the heap now
+  // (a stale entry would under-represent them); everything else waits for
+  // its dirty bit to surface at the heap top.  Before the first select the
+  // heap is empty and seed_heap scores from live engine state anyway.
+  if (heap_seeded_) {
+    for (const NodeId u : engine_.pending_eager()) refresh(u);
   }
 }
 

@@ -26,24 +26,24 @@
 // tests verify by brute-force expectation.
 //
 // Complexity.  A naive implementation recomputes all n potentials (O(Σdeg))
-// every round.  ABM instead maintains a versioned max-heap of cached
-// potentials and, after each accepted request, re-evaluates only the nodes
-// whose potential can actually have changed:
+// every round.  ABM instead keeps a versioned max-heap of cached potentials
+// over the incremental ScoreEngine (core/score.hpp): acceptance effects
+// apply O(1) deltas per affected CSR slot, nodes whose potential may have
+// *increased* are re-scored eagerly, and everything else carries a dirty
+// bit and is re-summed lazily only if it surfaces at the heap top.  Stale
+// heap entries are upper bounds, so the lazy pop loop returns exactly the
+// argmax the eager policy would — see DESIGN.md §11 for the argument.
+// The heap itself is compacted in place whenever stale entries outnumber
+// live candidates 4:1, bounding its size over arbitrarily long runs.
 //
-//   * graph neighbors of the new friend (edge beliefs resolved, the friend
-//     left their P_D sums, their own FOF flag / mutual counts moved),
-//   * graph neighbors of nodes that just entered FOF (the (1−1_FOF(v))
-//     factor vanished), and
-//   * graph neighbors of cautious users whose mutual count grew (their
-//     P_I denominators shrank).
-//
-// A property test pins the incremental policy to the O(n·Σdeg) reference
-// (`Config::incremental = false`) choice-for-choice.
+// A property test pins the incremental policy to the O(n·Σdeg) scalar
+// reference (`Config::incremental = false`) trace-for-trace, bit-exactly.
 
 #pragma once
 
 #include <vector>
 
+#include "core/score.hpp"
 #include "core/simulator.hpp"
 
 namespace accu {
@@ -67,7 +67,15 @@ class AbmStrategy final : public Strategy {
   NodeId select(const AttackerView& view, util::Rng& rng) override;
   void observe(NodeId target, bool accepted, const AttackerView& view,
                const AttackerView::AcceptanceEffects* effects) override;
+  [[nodiscard]] bool wants_score_pack() const override {
+    return config_.incremental;
+  }
+  void adopt_score_pack(const ScorePack& pack) override;
   [[nodiscard]] std::string name() const override;
+
+  /// Current size of the selection heap, stale entries included (exposed
+  /// for the heap-compaction regression test).
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
 
   // --- potential function (exposed for tests / ablations) ----------------
 
@@ -100,15 +108,20 @@ class AbmStrategy final : public Strategy {
     }
   };
 
-  /// Recomputes u's potential, bumps its version and pushes a fresh entry.
-  void refresh(const AttackerView& view, NodeId u);
+  /// Recomputes u's engine score, bumps its version and pushes an entry.
+  void refresh(NodeId u);
 
-  /// Scores every node against `view` and heapifies — deferred from
-  /// reset() to the first select() so the initial potentials come from the
-  /// simulation's own (blank) view instead of a temporary one.
-  void seed_heap(const AttackerView& view);
+  /// Scores every un-requested node from the engine state and heapifies —
+  /// deferred from reset() to the first select() so a strategy that is
+  /// reset but never run pays nothing.
+  void seed_heap();
 
   void heap_push(HeapEntry entry);
+
+  /// Drops stale/requested entries in place once they outnumber live
+  /// candidates 4:1 (the heap stays O(live) over arbitrarily long runs;
+  /// re-heapifying never changes pop order — the comparator is total).
+  void maybe_compact(const AttackerView& view);
 
   NodeId select_incremental(const AttackerView& view);
   NodeId select_reference(const AttackerView& view) const;
@@ -120,9 +133,14 @@ class AbmStrategy final : public Strategy {
   // identical to std::priority_queue) so reset() can keep its capacity.
   std::vector<HeapEntry> heap_;
   bool heap_seeded_ = false;
-  // Per-round dedup stamp for dirty marking.
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t round_ = 0;
+  // Incremental scoring state (config_.incremental only).  `own_pack_` is
+  // the fallback when no workspace pack was adopted for this simulation;
+  // `adopted_pack_` is only dereferenced when `adopt_fresh_` says the
+  // pointer was handed over for the simulation being reset right now.
+  ScoreEngine engine_;
+  ScorePack own_pack_;
+  const ScorePack* adopted_pack_ = nullptr;
+  bool adopt_fresh_ = false;
 };
 
 /// The classic adaptive greedy of earlier adaptive-crawling papers

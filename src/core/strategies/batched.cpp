@@ -8,8 +8,9 @@
 namespace accu {
 
 BatchedAbmStrategy::BatchedAbmStrategy(PotentialWeights weights,
-                                       std::uint32_t batch_size)
-    : weights_(weights), batch_size_(batch_size) {
+                                       std::uint32_t batch_size,
+                                       bool flat_scoring)
+    : weights_(weights), batch_size_(batch_size), flat_scoring_(flat_scoring) {
   if (batch_size == 0) {
     throw InvalidArgument("BatchedAbmStrategy: batch size must be >= 1");
   }
@@ -24,23 +25,52 @@ std::string BatchedAbmStrategy::name() const {
   return buf;
 }
 
+void BatchedAbmStrategy::adopt_score_pack(const ScorePack& pack) {
+  adopted_pack_ = &pack;
+  adopt_fresh_ = true;
+}
+
 void BatchedAbmStrategy::reset(const AccuInstance& instance, util::Rng&) {
   instance_ = &instance;
   batch_.clear();
   cursor_ = 0;
   rounds_ = 0;
+  if (!adopt_fresh_ || adopted_pack_ == nullptr ||
+      !adopted_pack_->built_for(instance)) {
+    adopted_pack_ = nullptr;  // stale handover — never dereference it
+  }
+  adopt_fresh_ = false;
+}
+
+const ScorePack* BatchedAbmStrategy::current_pack() {
+  if (!flat_scoring_) return nullptr;
+  if (adopted_pack_ != nullptr) return adopted_pack_;
+  if (!own_pack_.built_for(*instance_)) own_pack_.build(*instance_);
+  return &own_pack_;
 }
 
 void BatchedAbmStrategy::fill_batch(const AttackerView& view) {
   batch_.clear();
   cursor_ = 0;
   scored_.clear();
-  AbmStrategy::Config config;
-  config.weights = weights_;
-  const AbmStrategy scorer(config);
-  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
-    if (view.is_requested(u)) continue;
-    scored_.emplace_back(scorer.potential(view, u), u);
+  if (const ScorePack* pack = current_pack()) {
+    // Batched rescore over the flat arrays; bit-identical values to the
+    // scalar scorer below, so the resulting batch is the same.
+    const NodeId n = instance_->num_nodes();
+    scores_.resize(n);
+    score_batch(*pack, view, weights_, 0, n, scores_.data());
+    for (NodeId u = 0; u < n; ++u) {
+      if (view.is_requested(u)) continue;
+      scored_.emplace_back(scores_[u], u);
+    }
+  } else {
+    AbmStrategy::Config config;
+    config.weights = weights_;
+    const AbmStrategy scorer(config);
+    for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+      if (view.is_requested(u)) continue;
+      scored_.emplace_back(scorer.potential(view, u), u);
+    }
   }
   const std::size_t take =
       std::min<std::size_t>(batch_size_, scored_.size());

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "core/score.hpp"
 #include "core/simulator.hpp"
 #include "core/types.hpp"
 
@@ -25,10 +26,19 @@ namespace accu {
 
 class BatchedAbmStrategy final : public Strategy {
  public:
-  BatchedAbmStrategy(PotentialWeights weights, std::uint32_t batch_size);
+  /// `flat_scoring` selects the SoA batched-rescore kernel (score_batch);
+  /// false keeps the scalar AbmStrategy scorer — bit-identical decisions
+  /// either way (pinned by tests), the flag exists for the oracle tests and
+  /// A/B benchmarks.
+  BatchedAbmStrategy(PotentialWeights weights, std::uint32_t batch_size,
+                     bool flat_scoring = true);
 
   void reset(const AccuInstance& instance, util::Rng& rng) override;
   NodeId select(const AttackerView& view, util::Rng& rng) override;
+  [[nodiscard]] bool wants_score_pack() const override {
+    return flat_scoring_;
+  }
+  void adopt_score_pack(const ScorePack& pack) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::uint32_t batch_size() const noexcept {
@@ -42,14 +52,23 @@ class BatchedAbmStrategy final : public Strategy {
   /// the top `batch_size_` of them.
   void fill_batch(const AttackerView& view);
 
+  /// The SoA pack for the current instance (adopted from the workspace or
+  /// built locally); nullptr when flat scoring is off.
+  [[nodiscard]] const ScorePack* current_pack();
+
   PotentialWeights weights_;
   std::uint32_t batch_size_;
+  bool flat_scoring_;
   const AccuInstance* instance_ = nullptr;
   std::vector<NodeId> batch_;  // pending targets, best first
   std::size_t cursor_ = 0;
   std::uint32_t rounds_ = 0;
   // Scoring scratch, pooled across fill_batch calls and resets.
   std::vector<std::pair<double, NodeId>> scored_;
+  std::vector<double> scores_;
+  ScorePack own_pack_;
+  const ScorePack* adopted_pack_ = nullptr;
+  bool adopt_fresh_ = false;
 };
 
 }  // namespace accu

@@ -27,8 +27,25 @@ std::string LookaheadStrategy::name() const {
   return buf;
 }
 
+void LookaheadStrategy::adopt_score_pack(const ScorePack& pack) {
+  adopted_pack_ = &pack;
+  adopt_fresh_ = true;
+}
+
 void LookaheadStrategy::reset(const AccuInstance& instance, util::Rng&) {
   instance_ = &instance;
+  if (!adopt_fresh_ || adopted_pack_ == nullptr ||
+      !adopted_pack_->built_for(instance)) {
+    adopted_pack_ = nullptr;  // stale handover — never dereference it
+  }
+  adopt_fresh_ = false;
+}
+
+const ScorePack* LookaheadStrategy::current_pack() {
+  if (!config_.flat_scoring) return nullptr;
+  if (adopted_pack_ != nullptr) return adopted_pack_;
+  if (!own_pack_.built_for(*instance_)) own_pack_.build(*instance_);
+  return &own_pack_;
 }
 
 double LookaheadStrategy::step_score(const AttackerView& view,
@@ -42,9 +59,19 @@ double LookaheadStrategy::step_score(const AttackerView& view,
   return q * value;
 }
 
-double LookaheadStrategy::best_step_score(const AttackerView& view) const {
+double LookaheadStrategy::best_step_score(const AttackerView& view) {
+  const NodeId n = instance_->num_nodes();
   double best = 0.0;
-  for (NodeId v = 0; v < instance_->num_nodes(); ++v) {
+  if (const ScorePack* pack = current_pack()) {
+    scores_.resize(n);
+    score_batch(*pack, view, config_.weights, 0, n, scores_.data());
+    for (NodeId v = 0; v < n; ++v) {
+      if (view.is_requested(v)) continue;
+      best = std::max(best, scores_[v]);
+    }
+    return best;
+  }
+  for (NodeId v = 0; v < n; ++v) {
     if (view.is_requested(v)) continue;
     best = std::max(best, step_score(view, v));
   }
@@ -57,9 +84,19 @@ NodeId LookaheadStrategy::select(const AttackerView& view, util::Rng& rng) {
 
   // Stage 1: rank candidates by the myopic score.
   ranked_.clear();
-  for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
-    if (view.is_requested(u)) continue;
-    ranked_.emplace_back(step_score(view, u), u);
+  if (const ScorePack* pack = current_pack()) {
+    const NodeId n = instance_->num_nodes();
+    scores_.resize(n);
+    score_batch(*pack, view, config_.weights, 0, n, scores_.data());
+    for (NodeId u = 0; u < n; ++u) {
+      if (view.is_requested(u)) continue;
+      ranked_.emplace_back(scores_[u], u);
+    }
+  } else {
+    for (NodeId u = 0; u < instance_->num_nodes(); ++u) {
+      if (view.is_requested(u)) continue;
+      ranked_.emplace_back(step_score(view, u), u);
+    }
   }
   if (ranked_.empty()) return kInvalidNode;
   const std::size_t beam =

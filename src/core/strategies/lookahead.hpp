@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/score.hpp"
 #include "core/simulator.hpp"
 
 namespace accu {
@@ -37,6 +38,11 @@ class LookaheadStrategy final : public Strategy {
     /// Weights for the step scores; the paper-faithful marginal is
     /// (direct = 1, indirect = 0), but ABM's threshold credit composes.
     PotentialWeights weights{1.0, 0.0};
+    /// Score through the SoA batched kernel (score_batch) instead of the
+    /// scalar AbmStrategy statics.  Bit-identical decisions either way
+    /// (pinned by tests); the flag exists for the oracle tests and A/B
+    /// benchmarks.
+    bool flat_scoring = true;
   };
 
   LookaheadStrategy();
@@ -44,13 +50,23 @@ class LookaheadStrategy final : public Strategy {
 
   void reset(const AccuInstance& instance, util::Rng& rng) override;
   NodeId select(const AttackerView& view, util::Rng& rng) override;
+  [[nodiscard]] bool wants_score_pack() const override {
+    return config_.flat_scoring;
+  }
+  void adopt_score_pack(const ScorePack& pack) override;
   [[nodiscard]] std::string name() const override;
 
  private:
   /// One-step score q(u)·(w_D·P_D + w_I·P_I).
   [[nodiscard]] double step_score(const AttackerView& view, NodeId u) const;
-  /// Best one-step score over all un-requested users of `view`.
-  [[nodiscard]] double best_step_score(const AttackerView& view) const;
+  /// Best one-step score over all un-requested users of `view` (including
+  /// the hypothetical branch views, where the SoA pack stays valid — the
+  /// scoring invariant survives record_acceptance on a copy).
+  [[nodiscard]] double best_step_score(const AttackerView& view);
+
+  /// The SoA pack for the current instance (adopted from the workspace or
+  /// built locally); nullptr when flat scoring is off.
+  [[nodiscard]] const ScorePack* current_pack();
 
   Config config_;
   const AccuInstance* instance_ = nullptr;
@@ -61,6 +77,10 @@ class LookaheadStrategy final : public Strategy {
   std::vector<bool> scenario_coins_;
   std::optional<Realization> scenario_;
   std::optional<AttackerView> branch_view_;
+  std::vector<double> scores_;
+  ScorePack own_pack_;
+  const ScorePack* adopted_pack_ = nullptr;
+  bool adopt_fresh_ = false;
 };
 
 }  // namespace accu

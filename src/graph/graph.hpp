@@ -62,19 +62,20 @@ class Graph {
     return static_cast<EdgeId>(endpoints_.size());
   }
 
-  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+  [[nodiscard]] ACCU_ALWAYS_INLINE std::uint32_t degree(NodeId v) const {
     ACCU_ASSERT(v < num_nodes());
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
   /// Adjacency of `v`, sorted by neighbor id.
-  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId v) const {
+  [[nodiscard]] ACCU_ALWAYS_INLINE std::span<const Neighbor> neighbors(
+      NodeId v) const {
     ACCU_ASSERT(v < num_nodes());
     return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
   /// Existence probability of edge `e` (the paper's p_uv).
-  [[nodiscard]] double edge_prob(EdgeId e) const {
+  [[nodiscard]] ACCU_ALWAYS_INLINE double edge_prob(EdgeId e) const {
     ACCU_ASSERT(e < num_edges());
     return probs_[e];
   }

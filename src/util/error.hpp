@@ -57,6 +57,15 @@ namespace detail {
   ((expr) ? static_cast<void>(0)                                       \
           : ::accu::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
 
+/// Forces inlining of tiny accessors that sit on simulation hot paths (CSR
+/// slices, edge beliefs); the definitions they annotate must be visible at
+/// every call site (header-inline), which is what makes the attribute safe.
+#if defined(__GNUC__) || defined(__clang__)
+#define ACCU_ALWAYS_INLINE [[gnu::always_inline]] inline
+#else
+#define ACCU_ALWAYS_INLINE inline
+#endif
+
 /// Always-on invariant check with an explanatory message.
 #define ACCU_ASSERT_MSG(expr, msg)                                      \
   ((expr) ? static_cast<void>(0)                                        \

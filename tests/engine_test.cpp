@@ -367,10 +367,21 @@ std::vector<NamedFactory> all_strategies() {
                    return std::make_unique<BatchedAbmStrategy>(
                        PotentialWeights{0.5, 0.5}, 5);
                  }});
+  out.push_back({"BatchedABM-scalar", [] {
+                   return std::make_unique<BatchedAbmStrategy>(
+                       PotentialWeights{0.5, 0.5}, 5, /*flat_scoring=*/false);
+                 }});
   out.push_back({"Lookahead", [] {
                    LookaheadStrategy::Config config;
                    config.beam = 4;
                    config.scenario_samples = 2;
+                   return std::make_unique<LookaheadStrategy>(config);
+                 }});
+  out.push_back({"Lookahead-scalar", [] {
+                   LookaheadStrategy::Config config;
+                   config.beam = 4;
+                   config.scenario_samples = 2;
+                   config.flat_scoring = false;
                    return std::make_unique<LookaheadStrategy>(config);
                  }});
   out.push_back({"ABM+retry", [] {
@@ -495,6 +506,63 @@ TEST(EngineEquivalenceTest, TemporalTracesMatchLegacyLoop) {
     const TemporalResult b =
         simulate_temporal(instance, schedule, truth, engine, 40, 25, rng_b);
     expect_same(a, b);
+  }
+}
+
+TEST(EngineEquivalenceTest, ScoreEngineBackedStrategiesMatchScalarScoring) {
+  // PR 4: the SoA/batched score paths must be invisible in the traces —
+  // every strategy that scores through core/score.hpp is pinned
+  // byte-identically against its scalar-scoring twin.
+  struct Pair {
+    std::string name;
+    std::function<std::unique_ptr<Strategy>()> flat;
+    std::function<std::unique_ptr<Strategy>()> scalar;
+  };
+  const std::vector<Pair> pairs = {
+      {"ABM",
+       [] { return std::make_unique<AbmStrategy>(0.5, 0.5); },
+       [] {
+         AbmStrategy::Config config;
+         config.incremental = false;
+         return std::make_unique<AbmStrategy>(config);
+       }},
+      {"BatchedABM",
+       [] {
+         return std::make_unique<BatchedAbmStrategy>(
+             PotentialWeights{0.5, 0.5}, 5, /*flat_scoring=*/true);
+       },
+       [] {
+         return std::make_unique<BatchedAbmStrategy>(
+             PotentialWeights{0.5, 0.5}, 5, /*flat_scoring=*/false);
+       }},
+      {"Lookahead",
+       [] {
+         LookaheadStrategy::Config config;
+         config.beam = 4;
+         config.scenario_samples = 2;
+         return std::make_unique<LookaheadStrategy>(config);
+       },
+       [] {
+         LookaheadStrategy::Config config;
+         config.beam = 4;
+         config.scenario_samples = 2;
+         config.flat_scoring = false;
+         return std::make_unique<LookaheadStrategy>(config);
+       }},
+  };
+  const AccuInstance instance = facebook_instance();
+  for (std::uint64_t world = 0; world < 3; ++world) {
+    util::Rng truth_rng(900 + world);
+    const Realization truth = Realization::sample(instance, truth_rng);
+    for (const Pair& pair : pairs) {
+      auto flat = pair.flat();
+      auto scalar = pair.scalar();
+      util::Rng rng_a(world * 13 + 2);
+      util::Rng rng_b(world * 13 + 2);
+      const SimulationResult a = simulate(instance, truth, *flat, 45, rng_a);
+      const SimulationResult b = simulate(instance, truth, *scalar, 45, rng_b);
+      expect_same(a, b, pair.name + " world " + std::to_string(world));
+    }
   }
 }
 

@@ -29,14 +29,16 @@ cmake -B build-ci-san -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=address
 cmake --build build-ci-san -j "${JOBS}"
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300
 
-echo "=== engine equivalence under ASan + allocation budget ==="
-# The round-engine refactor is pinned two ways: the byte-identical-trace
-# property suite re-runs under AddressSanitizer (workspace pooling must not
-# trade correctness or memory safety for speed), and `micro_core --json`
-# must keep pooled sweep cells under the recorded allocations-per-cell
-# ceiling (the O(1)-allocations property of SimWorkspace).
+echo "=== engine + score-engine equivalence under ASan + allocation budget ==="
+# The round-engine refactor and the SoA score engine are pinned two ways:
+# the byte-identical-trace property suites (Engine*) and the bit-exact
+# score-kernel suites (Score*) re-run under AddressSanitizer (pooling and
+# incremental caches must not trade correctness or memory safety for
+# speed), and `micro_core --json` must keep pooled sweep cells under the
+# recorded allocations-per-cell ceiling (the O(1)-allocations property of
+# SimWorkspace).
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Engine'
+  -R 'Engine|Score'
 ./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
 ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
   build-ci/BENCH_micro_core.json)"
