@@ -5,6 +5,13 @@
 // potential maintenance).  Backs the complexity claims of DESIGN.md §7:
 // the incremental maintenance turns ABM's per-request cost from O(Σdeg)
 // into (amortized) the size of the 2-hop dirty neighbourhood.
+//
+// `--sweep` switches to the sweep-throughput mode (DESIGN.md §12): the
+// full samples × runs × policies grid runs through run_experiment, with
+// `--shard=i/n` restricting this invocation to one shard of the task grid
+// and `--checkpoint` making each shard resumable.  Per-shard wall time and
+// cells/s quantify the scale-out; the shard checkpoints recombine
+// bit-identically with accu_merge.
 
 #include <cstdio>
 #include <exception>
@@ -16,14 +23,74 @@
 
 namespace {
 
+/// Sweep-throughput mode: one (possibly sharded) run_experiment grid.
+int run_sweep_mode(const accu::util::Options& opts,
+                   accu::bench::CommonConfig& config,
+                   const std::string& dataset) {
+  using namespace accu;
+  ExperimentConfig exp = bench::experiment_config(config);
+  if (opts.has("shard")) {
+    const auto shard = parse_shard_spec(opts.get("shard", ""));
+    exp.shard_index = shard.first;
+    exp.shard_count = shard.second;
+  }
+  util::Timer timer;
+  const ExperimentResult result =
+      run_experiment(bench::make_instance_factory(config, dataset),
+                     bench::paper_strategies(config), exp);
+  const double seconds = timer.seconds();
+
+  util::Table table({"policy", "benefit", "±95%", "cells"});
+  for (std::size_t s = 0; s < result.strategy_names.size(); ++s) {
+    const TraceAggregator& agg = result.aggregates[s];
+    table.row()
+        .cell(result.strategy_names[s])
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(agg.total_benefit().ci95_halfwidth(), 1)
+        .cell_int(static_cast<long long>(agg.total_benefit().count()));
+  }
+  const std::size_t tasks =
+      static_cast<std::size_t>(exp.samples) * exp.runs;
+  std::size_t owned = 0;
+  for (std::size_t task = 0; task < tasks; ++task) {
+    owned += task % exp.shard_count == exp.shard_index;
+  }
+  bench::emit(table,
+              "Study — sweep throughput (" + dataset + ", shard " +
+                  std::to_string(exp.shard_index) + "/" +
+                  std::to_string(exp.shard_count) + ")",
+              config.csv_path);
+  std::printf("shard %u/%u: %zu of %zu cells in %.2fs (%.1f cells/s)\n",
+              exp.shard_index, exp.shard_count, owned, tasks, seconds,
+              seconds > 0 ? static_cast<double>(owned) / seconds : 0.0);
+  if (!result.failures.empty()) {
+    std::fprintf(stderr, "warning: %zu cells failed\n",
+                 result.failures.size());
+    return 1;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   using namespace accu;
   util::Options opts(argc, argv);
   bench::declare_common_options(opts);
   opts.declare("dataset", "dataset to scale (default twitter)");
   opts.declare("max-scale", "largest scale in the sweep (default 0.32)");
+  opts.declare("sweep",
+               "sweep-throughput mode: run the samples × runs × policies "
+               "grid through run_experiment (honours --samples/--runs/"
+               "--threads/--checkpoint)");
+  opts.declare("shard",
+               "run one shard i/n of the sweep grid (with --sweep); merge "
+               "the per-shard checkpoints with accu_merge");
   opts.check_unknown();
   bench::CommonConfig config = bench::read_common_config(opts);
+  if (opts.get_bool("sweep", false)) {
+    if (!opts.has("k")) config.budget = 50;
+    return run_sweep_mode(opts, config,
+                          opts.get("dataset", "twitter"));
+  }
   if (!opts.has("k")) config.budget = 300;
   const std::string dataset = opts.get("dataset", "twitter");
   const double max_scale = opts.get_double("max-scale", 0.32);

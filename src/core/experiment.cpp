@@ -91,6 +91,33 @@ const TraceAggregator& ExperimentResult::by_name(
   throw InvalidArgument("no strategy named '" + name + "' in this result");
 }
 
+std::pair<std::uint32_t, std::uint32_t> parse_shard_spec(
+    const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  std::uint32_t index = 0, count = 0;
+  bool ok = slash != std::string::npos && slash > 0 &&
+            slash + 1 < spec.size();
+  if (ok) {
+    try {
+      std::size_t pos = 0;
+      index = static_cast<std::uint32_t>(
+          std::stoul(spec.substr(0, slash), &pos));
+      ok = pos == slash;
+      std::size_t pos2 = 0;
+      const std::string tail = spec.substr(slash + 1);
+      count = static_cast<std::uint32_t>(std::stoul(tail, &pos2));
+      ok = ok && pos2 == tail.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || count == 0 || index >= count) {
+    throw InvalidArgument("bad shard spec '" + spec +
+                          "' (expected i/n with 0 <= i < n, e.g. 0/4)");
+  }
+  return {index, count};
+}
+
 namespace {
 
 /// Stateless seed derivation so any (sample, run, strategy) cell can be
@@ -122,6 +149,7 @@ constexpr std::uint64_t kCellRetrySalt = 0xdead11e0dead11e0ULL;
 //   sweep seed <u64> samples <S> runs <R> budget <k> strategies <n>
 //   faults <drop> <timeout> <transient> <ratelimit> <w> retry <kind> <max>
 //       <base> <cap>                                       (one line)
+//   shard <i> <n>                              (optional; absent = 0 1)
 //   name <i> <strategy name>                               (n lines)
 //   begin <task>
 //   t <s> <target> <accepted> <cautious> <fault> <attempt> <benefit_after>
@@ -139,6 +167,14 @@ constexpr std::uint64_t kCellRetrySalt = 0xdead11e0dead11e0ULL;
 // TraceAggregator::add in fixed task order, so a resumed sweep's
 // aggregates are bit-identical to an uninterrupted one.  v1 files (no CRC
 // trailers) are still readable; resuming one rewrites it as v2.
+//
+// Task indices in `begin`/`end`/`crc` lines are *global* grid indices
+// (sample * runs + run) even in a shard's file, so shard files from
+// independent machines line up for the merge tool without translation.
+// The `shard` line pins the file to one ExperimentConfig shard identity:
+// resume rejects a mismatch, while merge accepts any mix of identities
+// (it deduplicates by task).  Files written before sharding existed lack
+// the line and read as the unsharded 0/1.
 // ---------------------------------------------------------------------------
 
 struct CheckpointFingerprint {
@@ -146,6 +182,8 @@ struct CheckpointFingerprint {
   std::uint32_t samples = 0;
   std::uint32_t runs = 0;
   std::uint32_t budget = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
   std::vector<std::string> names;
   FaultConfig faults{};
   util::RetryPolicy retry{};
@@ -158,6 +196,8 @@ CheckpointFingerprint fingerprint_of(const ExperimentConfig& config,
   fp.samples = config.samples;
   fp.runs = config.runs;
   fp.budget = config.budget;
+  fp.shard_index = config.shard_index;
+  fp.shard_count = config.shard_count;
   fp.names = names;
   fp.faults = config.faults;
   fp.retry = config.retry;
@@ -181,6 +221,7 @@ std::string checkpoint_header(const CheckpointFingerprint& fp) {
                 static_cast<unsigned>(fp.retry.kind), fp.retry.max_retries,
                 fp.retry.base_delay, fp.retry.max_delay);
   os << buf;
+  os << "shard " << fp.shard_index << ' ' << fp.shard_count << '\n';
   for (std::size_t i = 0; i < fp.names.size(); ++i) {
     os << "name " << i << ' ' << fp.names[i] << '\n';
   }
@@ -192,6 +233,41 @@ std::string checkpoint_header(const CheckpointFingerprint& fp) {
   throw IoError("checkpoint " + path +
                 " does not match this experiment (" + what +
                 "); delete it or pick another path to start fresh");
+}
+
+/// Throws checkpoint_mismatch unless `parsed` names the same experiment as
+/// `expected`.  Shard identity participates only when `check_shard` — a
+/// resume must continue the exact shard, while the merge tool accepts any
+/// mix of shard identities over the same sweep.
+void check_fingerprint(const std::string& path,
+                       const CheckpointFingerprint& parsed,
+                       const CheckpointFingerprint& expected,
+                       bool check_shard) {
+  if (parsed.seed != expected.seed || parsed.samples != expected.samples ||
+      parsed.runs != expected.runs || parsed.budget != expected.budget ||
+      parsed.names.size() != expected.names.size()) {
+    checkpoint_mismatch(path, "different sweep shape or seed");
+  }
+  const FaultConfig& f = expected.faults;
+  const util::RetryPolicy& r = expected.retry;
+  if (parsed.faults.drop_rate != f.drop_rate ||
+      parsed.faults.timeout_rate != f.timeout_rate ||
+      parsed.faults.transient_rate != f.transient_rate ||
+      parsed.faults.rate_limit_rate != f.rate_limit_rate ||
+      parsed.faults.suspension_rounds != f.suspension_rounds ||
+      parsed.retry.kind != r.kind ||
+      parsed.retry.max_retries != r.max_retries ||
+      parsed.retry.base_delay != r.base_delay ||
+      parsed.retry.max_delay != r.max_delay) {
+    checkpoint_mismatch(path, "different fault or retry configuration");
+  }
+  if (parsed.names != expected.names) {
+    checkpoint_mismatch(path, "different strategy roster");
+  }
+  if (check_shard && (parsed.shard_index != expected.shard_index ||
+                      parsed.shard_count != expected.shard_count)) {
+    checkpoint_mismatch(path, "different shard identity");
+  }
 }
 
 /// Serializes one completed cell as a v2 block, CRC trailer included.
@@ -244,7 +320,7 @@ SimulationResult replay_result(const std::vector<RequestRecord>& trace,
 }
 
 struct LoadedCheckpoint {
-  std::size_t restored = 0;    ///< completed cells replayed
+  std::size_t restored = 0;    ///< unique completed cells in the file
   int version = 2;             ///< on-disk format version
   std::uint64_t valid_end = 0; ///< byte offset after the last valid block
   std::uint64_t file_size = 0;
@@ -253,16 +329,22 @@ struct LoadedCheckpoint {
   std::string upgraded;
 };
 
-/// Loads an existing checkpoint, replaying completed cells into
-/// `partials` and marking them in `done`.  Throws IoError when the file
-/// belongs to a different experiment; a torn, malformed, or CRC-failing
-/// tail is dropped with a warning (the affected cells simply re-run) and
+/// Receives each unique completed cell of a checkpoint file, in file
+/// order.  `outcomes` holds one replayed SimulationResult per strategy.
+using CellSink =
+    std::function<void(std::size_t task,
+                       std::vector<SimulationResult>&& outcomes)>;
+
+/// Streams an existing checkpoint: parses the header into `parsed`, calls
+/// `check_header` (which may throw to reject the file — at that point
+/// `parsed` is complete), then hands every unique valid cell block to
+/// `on_cell`.  A torn, malformed, or CRC-failing tail is dropped with a
+/// warning (the affected cells simply re-run or count as missing) and
 /// `valid_end` tells the caller where to truncate before appending.
-LoadedCheckpoint load_checkpoint(
-    const std::string& path, const CheckpointFingerprint& expected,
-    std::size_t tasks, std::uint32_t budget,
-    std::vector<std::vector<TraceAggregator>>& partials,
-    std::vector<bool>& done) {
+LoadedCheckpoint load_checkpoint(const std::string& path,
+                                 CheckpointFingerprint& parsed,
+                                 const std::function<void()>& check_header,
+                                 const CellSink& on_cell) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw IoError("cannot open checkpoint for reading: " + path);
   LoadedCheckpoint loaded;
@@ -270,7 +352,6 @@ LoadedCheckpoint load_checkpoint(
   loaded.file_size = static_cast<std::uint64_t>(is.tellg());
   is.seekg(0, std::ios::beg);
 
-  const std::size_t nstrategies = expected.names.size();
   std::string line;
   std::uint64_t offset = 0;  // bytes consumed so far
   // getline-based reader that tracks byte offsets exactly (tellg is
@@ -281,7 +362,7 @@ LoadedCheckpoint load_checkpoint(
     return true;
   };
 
-  // Header region: the version magic plus three fixed stanzas.  Comment
+  // Header region: the version magic plus the fixed stanzas.  Comment
   // and blank lines are tolerated here only.
   loaded.version = 1;
   auto next_header_line = [&]() -> bool {
@@ -296,24 +377,17 @@ LoadedCheckpoint load_checkpoint(
   };
 
   // Sweep-shape line.
+  std::size_t nstrategies = 0;
   {
     if (!next_header_line()) {
       throw IoError("checkpoint " + path + ": empty file");
     }
     std::istringstream ls(line);
     std::string kw1, kw2, kw3, kw4, kw5, kw6;
-    std::uint64_t seed = 0;
-    std::uint32_t samples = 0, runs = 0, budget_in = 0;
-    std::size_t n = 0;
-    if (!(ls >> kw1 >> kw2 >> seed >> kw3 >> samples >> kw4 >> runs >> kw5 >>
-          budget_in >> kw6 >> n) ||
+    if (!(ls >> kw1 >> kw2 >> parsed.seed >> kw3 >> parsed.samples >> kw4 >>
+          parsed.runs >> kw5 >> parsed.budget >> kw6 >> nstrategies) ||
         kw1 != "sweep" || kw2 != "seed") {
       throw IoError("checkpoint " + path + ": malformed sweep header");
-    }
-    if (seed != expected.seed || samples != expected.samples ||
-        runs != expected.runs || budget_in != expected.budget ||
-        n != nstrategies) {
-      checkpoint_mismatch(path, "different sweep shape or seed");
     }
   }
   // Fault/retry fingerprint line.
@@ -323,29 +397,45 @@ LoadedCheckpoint load_checkpoint(
     }
     std::istringstream ls(line);
     std::string kw1, kw2;
-    double dr = 0, to = 0, tr = 0, rl = 0;
-    std::uint32_t w = 0;
     unsigned kind = 0;
-    std::uint32_t maxr = 0, base = 0, cap = 0;
-    if (!(ls >> kw1 >> dr >> to >> tr >> rl >> w >> kw2 >> kind >> maxr >>
-          base >> cap) ||
-        kw1 != "faults" || kw2 != "retry") {
+    if (!(ls >> kw1 >> parsed.faults.drop_rate >>
+          parsed.faults.timeout_rate >> parsed.faults.transient_rate >>
+          parsed.faults.rate_limit_rate >> parsed.faults.suspension_rounds >>
+          kw2 >> kind >> parsed.retry.max_retries >>
+          parsed.retry.base_delay >> parsed.retry.max_delay) ||
+        kw1 != "faults" || kw2 != "retry" ||
+        kind > static_cast<unsigned>(util::RetryKind::kExponentialJitter)) {
       throw IoError("checkpoint " + path + ": malformed faults line");
     }
-    const FaultConfig& f = expected.faults;
-    const util::RetryPolicy& r = expected.retry;
-    if (dr != f.drop_rate || to != f.timeout_rate || tr != f.transient_rate ||
-        rl != f.rate_limit_rate || w != f.suspension_rounds ||
-        kind != static_cast<unsigned>(r.kind) || maxr != r.max_retries ||
-        base != r.base_delay || cap != r.max_delay) {
-      checkpoint_mismatch(path, "different fault or retry configuration");
-    }
+    parsed.retry.kind = static_cast<util::RetryKind>(kind);
   }
-  // Strategy roster.
-  for (std::size_t i = 0; i < nstrategies; ++i) {
+  // Optional shard-identity line (absent in pre-shard files: 0/1), then
+  // the strategy roster.
+  bool pending_line = false;  // `line` already holds the next header line
+  {
     if (!next_header_line()) {
       throw IoError("checkpoint " + path + ": missing strategy name line");
     }
+    if (line.rfind("shard ", 0) == 0) {
+      std::istringstream ls(line);
+      std::string kw;
+      if (!(ls >> kw >> parsed.shard_index >> parsed.shard_count) ||
+          parsed.shard_count == 0 ||
+          parsed.shard_index >= parsed.shard_count) {
+        throw IoError("checkpoint " + path + ": malformed shard line");
+      }
+    } else {
+      parsed.shard_index = 0;
+      parsed.shard_count = 1;
+      pending_line = true;
+    }
+  }
+  parsed.names.resize(nstrategies);
+  for (std::size_t i = 0; i < nstrategies; ++i) {
+    if (!pending_line && !next_header_line()) {
+      throw IoError("checkpoint " + path + ": missing strategy name line");
+    }
+    pending_line = false;
     std::istringstream ls(line);
     std::string kw;
     std::size_t index = 0;
@@ -355,10 +445,12 @@ LoadedCheckpoint load_checkpoint(
     std::string name;
     std::getline(ls, name);
     if (!name.empty() && name.front() == ' ') name.erase(0, 1);
-    if (name != expected.names[i]) {
-      checkpoint_mismatch(path, "different strategy roster");
-    }
+    parsed.names[i] = name;
   }
+  check_header();
+  const std::size_t tasks =
+      static_cast<std::size_t>(parsed.samples) * parsed.runs;
+  std::vector<bool> seen(tasks, false);
   loaded.valid_end = offset;
 
   // Cell blocks.  Any anomaly from here on — unknown tag, short block,
@@ -453,17 +545,17 @@ LoadedCheckpoint load_checkpoint(
       }
     }
     loaded.valid_end = offset;
-    if (done[task]) continue;  // duplicate block: keep the first
+    if (seen[task]) continue;  // duplicate block: keep the first
     std::vector<SimulationResult> outcomes(nstrategies);
     for (std::size_t s = 0; s < nstrategies; ++s) {
       outcomes[s] = replay_result(traces[s], abandoned[s]);
-      partials[task][s].add(outcomes[s], budget);
     }
     if (loaded.version < 2) {
       loaded.upgraded += serialize_cell(task, outcomes);
     }
-    done[task] = true;
+    seen[task] = true;
     ++loaded.restored;
+    on_cell(task, std::move(outcomes));
   }
   if (!torn_reason.empty() || loaded.valid_end < loaded.file_size) {
     util::log_warn(
@@ -482,6 +574,13 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                                 const std::vector<StrategyFactory>& strategies,
                                 const ExperimentConfig& config) {
   config.faults.validate();
+  if (config.shard_count == 0 ||
+      config.shard_index >= config.shard_count) {
+    throw InvalidArgument(
+        "ExperimentConfig: shard_index " +
+        std::to_string(config.shard_index) + " out of range for shard_count " +
+        std::to_string(config.shard_count));
+  }
   ExperimentResult result;
   result.strategy_names.reserve(strategies.size());
   for (const StrategyFactory& factory : strategies) {
@@ -492,11 +591,31 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   util::Timer timer;
   // Task grid: one (sample, run) cell produces one partial aggregate per
   // strategy; cells are independent and merged in fixed task order below.
+  // Task indices are global even under sharding, so shard checkpoints from
+  // independent machines align for merge_shard_checkpoints.
   const std::size_t tasks =
       static_cast<std::size_t>(config.samples) * config.runs;
   std::vector<std::vector<TraceAggregator>> partials(
       tasks, std::vector<TraceAggregator>(strategies.size()));
   std::vector<bool> done(tasks, false);
+  // A shard owns every shard_count-th task (strided, so every shard sees
+  // every sample whenever shard_count <= runs).  Foreign tasks are marked
+  // done up front: they never run, never aggregate, and checkpoint blocks
+  // for them (e.g. in a hand-merged file) are ignored.
+  std::size_t owned_tasks = tasks;
+  if (config.shard_count > 1) {
+    owned_tasks = 0;
+    for (std::size_t task = 0; task < tasks; ++task) {
+      if (task % config.shard_count == config.shard_index) {
+        ++owned_tasks;
+      } else {
+        done[task] = true;
+      }
+    }
+    util::log_info("experiment: shard %u/%u owns %zu of %zu cells",
+                   config.shard_index, config.shard_count, owned_tasks,
+                   tasks);
+  }
 
   // Checkpoint: restore completed cells, then append new ones as they
   // finish.  The header write is atomic (temp + fsync + rename) and every
@@ -515,10 +634,21 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     }
     std::size_t restored = 0;
     if (existing) {
-      LoadedCheckpoint loaded =
-          load_checkpoint(config.checkpoint_path, fingerprint, tasks,
-                          config.budget, partials, done);
-      restored = loaded.restored;
+      CheckpointFingerprint parsed;
+      LoadedCheckpoint loaded = load_checkpoint(
+          config.checkpoint_path, parsed,
+          [&] {
+            check_fingerprint(config.checkpoint_path, parsed, fingerprint,
+                              /*check_shard=*/true);
+          },
+          [&](std::size_t task, std::vector<SimulationResult>&& outcomes) {
+            if (done[task]) return;  // shard-foreign task: ignore
+            for (std::size_t s = 0; s < outcomes.size(); ++s) {
+              partials[task][s].add(outcomes[s], config.budget);
+            }
+            done[task] = true;
+            ++restored;
+          });
       if (loaded.version < 2) {
         // Upgrade in place: the same cells, re-serialized with CRC
         // trailers under a v2 header, swapped in atomically so appended
@@ -538,7 +668,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     checkpoint_out.open(config.checkpoint_path);
     if (restored > 0) {
       util::log_info("experiment: resumed %zu/%zu cells from %s", restored,
-                     tasks, config.checkpoint_path.c_str());
+                     owned_tasks, config.checkpoint_path.c_str());
     }
   }
 
@@ -583,7 +713,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   if (workers == 0) workers = std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
   workers = static_cast<std::uint32_t>(
-      std::min<std::size_t>(workers, tasks == 0 ? 1 : tasks));
+      std::min<std::size_t>(workers, owned_tasks == 0 ? 1 : owned_tasks));
 
   // Supervision state: one slot per worker holds the live attempt's cancel
   // token behind a mutex, so the watchdog can never cancel a stale token
@@ -840,8 +970,102 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                    result.failures.size(), tasks);
   }
   util::log_info("experiment: %zu cells × %zu strategies done in %.1fs",
-                 tasks, strategies.size(), timer.seconds());
+                 owned_tasks, strategies.size(), timer.seconds());
   return result;
+}
+
+ShardMergeOutcome merge_shard_checkpoints(
+    const std::vector<std::string>& paths,
+    const std::string& merged_output_path) {
+  if (paths.empty()) {
+    throw InvalidArgument("merge_shard_checkpoints: no checkpoint files");
+  }
+  ShardMergeOutcome out;
+  out.shard_cells.reserve(paths.size());
+  CheckpointFingerprint base;
+  bool have_base = false;
+  std::size_t tasks = 0;
+  // Per-task state, filled first-wins across the inputs: the re-serialized
+  // v2 block (for the merged output file) and the per-strategy partial
+  // aggregates — the same per-cell partials run_experiment builds, so the
+  // final task-major/strategy-minor merge below replays the exact
+  // TraceAggregator operation sequence of an unsharded sequential sweep.
+  std::vector<std::string> blocks;
+  std::vector<std::vector<TraceAggregator>> partials;
+  std::vector<bool> have;
+  for (const std::string& path : paths) {
+    CheckpointFingerprint parsed;
+    std::size_t cells_here = 0;
+    (void)load_checkpoint(
+        path, parsed,
+        [&] {
+          if (!have_base) {
+            base = parsed;
+            have_base = true;
+            tasks = static_cast<std::size_t>(base.samples) * base.runs;
+            blocks.assign(tasks, std::string());
+            partials.assign(
+                tasks, std::vector<TraceAggregator>(base.names.size()));
+            have.assign(tasks, false);
+          } else {
+            // Same experiment required; shard identities may differ and
+            // may overlap (duplicates are deterministic, first copy wins).
+            check_fingerprint(path, parsed, base, /*check_shard=*/false);
+          }
+        },
+        [&](std::size_t task, std::vector<SimulationResult>&& outcomes) {
+          ++cells_here;
+          if (have[task]) {
+            ++out.duplicate_cells;
+            return;
+          }
+          have[task] = true;
+          for (std::size_t s = 0; s < outcomes.size(); ++s) {
+            partials[task][s].add(outcomes[s], base.budget);
+          }
+          blocks[task] = serialize_cell(task, outcomes);
+          ++out.cells_merged;
+        });
+    out.shard_cells.push_back(cells_here);
+  }
+
+  out.config.budget = base.budget;
+  out.config.samples = base.samples;
+  out.config.runs = base.runs;
+  out.config.seed = base.seed;
+  out.config.faults = base.faults;
+  out.config.retry = base.retry;
+  out.result.strategy_names = base.names;
+  out.result.aggregates.resize(base.names.size());
+  // Deterministic merge order: task-major, strategy-minor — identical to
+  // run_experiment, hence bit-identical aggregates when no cell is missing.
+  for (std::size_t task = 0; task < tasks; ++task) {
+    if (!have[task]) {
+      ++out.cells_missing;
+      continue;
+    }
+    for (std::size_t s = 0; s < base.names.size(); ++s) {
+      out.result.aggregates[s].merge(partials[task][s]);
+    }
+  }
+  if (out.cells_missing > 0) {
+    util::log_warn(
+        "merge: %zu of %zu grid cells missing from the inputs — run the "
+        "absent shards (or resume the torn ones) and re-merge",
+        out.cells_missing, tasks);
+  }
+  if (!merged_output_path.empty()) {
+    // The merged file is an ordinary unsharded checkpoint: blocks in task
+    // order under a shard 0/1 header, resumable by run_experiment (missing
+    // cells simply re-run there).
+    CheckpointFingerprint merged_fp = base;
+    merged_fp.shard_index = 0;
+    merged_fp.shard_count = 1;
+    std::string text = checkpoint_header(merged_fp);
+    for (std::size_t task = 0; task < tasks; ++task) text += blocks[task];
+    util::write_file_atomic(merged_output_path, text);
+  }
+  return out;
 }
 
 }  // namespace accu

@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/faults.hpp"
@@ -167,7 +168,23 @@ struct ExperimentConfig {
   /// no new cells start, the checkpoint is already flushed per cell, and
   /// run_experiment returns with ExperimentResult::interrupted set.
   const volatile std::sig_atomic_t* interrupt_flag = nullptr;
+  /// Sharded execution: this invocation runs only the (sample, run) cells
+  /// whose flat task index `sample * runs + run` satisfies
+  /// `task % shard_count == shard_index`.  The stride interleaves runs, so
+  /// every shard touches every sample (whenever shard_count <= runs) and
+  /// load balances across heterogeneous samples.  Task indices, seeds, and
+  /// per-cell outcomes are global — independent machines can each take one
+  /// shard (with their own checkpoint files) and merge_shard_checkpoints
+  /// recombines them into aggregates bit-identical to an unsharded
+  /// sequential sweep.  The default 0/1 is the unsharded grid.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
 };
+
+/// Parses a `--shard=i/n` spec ("0/4") into {shard_index, shard_count}.
+/// Throws InvalidArgument unless 0 <= i < n.
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> parse_shard_spec(
+    const std::string& spec);
 
 /// One (sample, run) cell that did not complete.  The sweep survives:
 /// failed cells contribute nothing to the aggregates and are reported
@@ -214,5 +231,36 @@ struct ExperimentResult {
     const InstanceFactory& make_instance,
     const std::vector<StrategyFactory>& strategies,
     const ExperimentConfig& config);
+
+/// What merging N shard checkpoint files produced (tools/accu_merge and
+/// the `accu merge` subcommand; callable directly for tests).
+struct ShardMergeOutcome {
+  /// Aggregates replayed through TraceAggregator::add in fixed task order
+  /// — bit-identical to an unsharded sequential sweep when every cell of
+  /// the grid is present.
+  ExperimentResult result;
+  /// The sweep shape reconstructed from the (matching) headers, with
+  /// shard identity reset to the unsharded 0/1.  write_markdown_report
+  /// accepts it directly.
+  ExperimentConfig config;
+  std::size_t cells_merged = 0;     ///< distinct (sample, run) cells found
+  std::size_t cells_missing = 0;    ///< grid cells absent from every input
+  std::size_t duplicate_cells = 0;  ///< cells present in > 1 input (deduped)
+  std::vector<std::size_t> shard_cells;  ///< valid cells per input file
+};
+
+/// Combines shard checkpoint files into one result.  Every file must carry
+/// the same experiment fingerprint (seed, grid shape, budget, strategy
+/// roster, fault/retry config) — shard identities may differ, and files
+/// may overlap (duplicated cells are deterministic, so the first copy
+/// wins).  Torn or CRC-failing tails are dropped per shard exactly as on
+/// resume; the affected cells count as missing, not as errors.  When
+/// `merged_output_path` is non-empty, the surviving cells are also written
+/// there as one unsharded v2 checkpoint (atomic replace) that
+/// run_experiment can resume from.  Throws IoError on unreadable or
+/// fingerprint-mismatched inputs, InvalidArgument when `paths` is empty.
+[[nodiscard]] ShardMergeOutcome merge_shard_checkpoints(
+    const std::vector<std::string>& paths,
+    const std::string& merged_output_path = {});
 
 }  // namespace accu

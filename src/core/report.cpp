@@ -38,15 +38,27 @@ void write_markdown_report(const ExperimentResult& result,
   os << "\n";
   const std::size_t checkpoints =
       options.checkpoints == 0 ? 1 : options.checkpoints;
+  std::size_t previous_k = 0;
   for (std::size_t c = 1; c <= checkpoints; ++c) {
     const std::size_t k = static_cast<std::size_t>(config.budget) * c /
                           checkpoints;
-    if (k == 0) continue;
+    // More checkpoints than budget steps produces repeated k values; one
+    // row per distinct k.
+    if (k == 0 || k == previous_k) continue;
+    previous_k = k;
     os << "| " << k << " |";
     for (const TraceAggregator& agg : result.aggregates) {
-      os << ' '
-         << util::Table::format(agg.cumulative_benefit().at(k - 1).mean(), 1)
-         << " |";
+      // A series can be shorter than the budget (interrupted sweep whose
+      // cells all failed, an empty merge, or aggregates built under a
+      // smaller budget): such checkpoints have no samples — say so
+      // instead of asserting on an out-of-range index.
+      const util::SeriesAccumulator& series = agg.cumulative_benefit();
+      if (k <= series.length() && series.at(k - 1).count() > 0) {
+        os << ' ' << util::Table::format(series.at(k - 1).mean(), 1)
+           << " |";
+      } else {
+        os << " n/a |";
+      }
     }
     os << "\n";
   }

@@ -80,6 +80,11 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  if (std::isnan(x)) {
+    // Casting floor(NaN) to an integer is UB; count it separately.
+    ++nan_count_;
+    return;
+  }
   auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
   if (bin < 0) bin = 0;
   const auto last = static_cast<std::ptrdiff_t>(counts_.size()) - 1;

@@ -80,7 +80,10 @@ class SeriesAccumulator {
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples are clamped to
-/// the first/last bin so mass is never silently dropped.
+/// the first/last bin so mass is never silently dropped.  NaN samples are
+/// not binnable (flooring NaN to an integer bin index is undefined
+/// behavior): they are tallied in `nan_count()` instead and excluded from
+/// `total()` and the bin fractions.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -90,6 +93,8 @@ class Histogram {
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const;
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// NaN samples seen by add(); never binned.
+  [[nodiscard]] std::size_t nan_count() const noexcept { return nan_count_; }
   /// Inclusive lower edge of a bin.
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   /// Exclusive upper edge of a bin.
@@ -102,6 +107,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 /// Exact mean of a vector (0 for empty input) — convenience for tests.

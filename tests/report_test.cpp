@@ -53,6 +53,61 @@ TEST(MarkdownReportTest, ContainsAllSections) {
   EXPECT_NE(text.find("| 3 |"), std::string::npos);
 }
 
+TEST(MarkdownReportTest, EmptyResultWritesNotAvailableInsteadOfAsserting) {
+  // An interrupted sweep whose cells all failed — or an empty merge —
+  // produces aggregates with no samples and zero-length series.  The
+  // report must degrade to "n/a" rows, not assert on series.at(k-1).
+  ExperimentConfig config;
+  config.budget = 12;
+  config.samples = 1;
+  config.runs = 2;
+  ExperimentResult result;
+  result.strategy_names = {"ABM", "Random"};
+  result.aggregates.resize(2);
+  std::ostringstream os;
+  ReportOptions options;
+  options.checkpoints = 4;
+  write_markdown_report(result, config, os, options);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("## Benefit vs requests"), std::string::npos);
+  EXPECT_NE(text.find("| 12 | n/a | n/a |"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, MoreCheckpointsThanBudgetEmitsDistinctRowsOnly) {
+  ExperimentConfig config;
+  ExperimentResult result = small_result(config);  // budget 12
+  std::ostringstream os;
+  ReportOptions options;
+  options.checkpoints = 30;  // > budget: repeated k values must collapse
+  write_markdown_report(result, config, os, options);
+  const std::string text = os.str();
+  // Exactly one row per distinct k in 1..12.
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const std::string row = "| " + std::to_string(k) + " |";
+    const std::size_t first = text.find(row);
+    EXPECT_NE(first, std::string::npos) << row;
+    EXPECT_EQ(text.find(row, first + 1), std::string::npos)
+        << row << " repeated";
+  }
+}
+
+TEST(MarkdownReportTest, SeriesShorterThanBudgetSaysNotAvailable) {
+  // Aggregates built under a smaller budget than config.budget (a merge of
+  // early-stopped shards): the late checkpoints have no samples.
+  ExperimentConfig config;
+  ExperimentResult result = small_result(config);  // series length 12
+  config.budget = 24;  // report asks for checkpoints past the series
+  std::ostringstream os;
+  ReportOptions options;
+  options.checkpoints = 4;  // k = 6, 12, 18, 24
+  write_markdown_report(result, config, os, options);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| 6 |"), std::string::npos);
+  EXPECT_EQ(text.find("| 6 | n/a"), std::string::npos);
+  EXPECT_NE(text.find("| 18 | n/a | n/a |"), std::string::npos);
+  EXPECT_NE(text.find("| 24 | n/a | n/a |"), std::string::npos);
+}
+
 TEST(CurvesCsvTest, LongFormatShape) {
   ExperimentConfig config;
   const ExperimentResult result = small_result(config);

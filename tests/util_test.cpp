@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/atomic_file.hpp"
@@ -249,6 +250,20 @@ TEST(HistogramTest, BinningAndClamping) {
 TEST(HistogramTest, RejectsDegenerateRange) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(HistogramTest, NanSamplesAreCountedNotBinned) {
+  // floor(NaN) cast to an integer is UB; a NaN sample must land in the
+  // nan_count() tally without disturbing any bin or the total.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  for (std::size_t b : {0u, 1u, 3u, 4u}) EXPECT_EQ(h.count(b), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 1.0);
 }
 
 // ------------------------------------------------------------------ Table ----

@@ -68,8 +68,12 @@ constexpr const char* kUsage =
     "             --max-cell-retries)\n"
     "  compare    compare the paper's policy roster (--in=FILE, --k, --runs,\n"
     "             --seed, --fault-rate, --retry, --resume=CHECKPOINT,\n"
-    "             --deadline-ms, --max-cell-retries; Ctrl-C stops at cell\n"
-    "             granularity and a checkpointed sweep resumes)\n"
+    "             --deadline-ms, --max-cell-retries, --shard=i/n; Ctrl-C\n"
+    "             stops at cell granularity and a checkpointed sweep\n"
+    "             resumes)\n"
+    "  merge      combine shard checkpoints into one result (--out=MERGED,\n"
+    "             --report, --curves, --allow-missing, positional shard\n"
+    "             checkpoint files)\n"
     "  assess     defender vulnerability report (--in=FILE, --k, --trials,\n"
     "             --seed, --top)\n"
     "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
@@ -295,6 +299,13 @@ int cmd_compare(const util::Options& opts) {
       static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
   config.max_cell_retries =
       static_cast<std::uint32_t>(opts.get_int("max-cell-retries", 0));
+  if (opts.has("shard")) {
+    // This invocation runs one shard of the (sample, run) grid; per-shard
+    // checkpoints merge later via `accu merge`.
+    const auto shard = parse_shard_spec(opts.get("shard", ""));
+    config.shard_index = shard.first;
+    config.shard_count = shard.second;
+  }
   // Ctrl-C (or SIGTERM) stops the sweep at cell granularity instead of
   // killing the process: completed cells stay checkpointed and resumable.
   config.interrupt_flag = &g_interrupted;
@@ -310,6 +321,12 @@ int cmd_compare(const util::Options& opts) {
       {"Random", [] { return std::make_unique<RandomStrategy>(); }},
   };
   const ExperimentResult result = run_experiment(factory, strategies, config);
+  if (config.shard_count > 1) {
+    std::fprintf(stderr,
+                 "shard %u/%u: the table below covers only this shard's "
+                 "cells; combine the shard checkpoints with 'accu merge'\n",
+                 config.shard_index, config.shard_count);
+  }
   const bool faulty = config.faults.total_rate() > 0.0;
   std::vector<std::string> headers = {"policy", "benefit", "±95%", "friends",
                                       "cautious friends"};
@@ -382,6 +399,67 @@ int cmd_compare(const util::Options& opts) {
     if (!os) throw IoError("cannot open --curves file");
     write_curves_csv(result, os);
     std::printf("curve CSV written to %s\n", opts.get("curves", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_merge(const util::Options& opts) {
+  const std::vector<std::string>& paths = opts.positional();
+  if (paths.empty()) {
+    throw InvalidArgument(
+        "merge: pass the shard checkpoint files as positional arguments "
+        "(accu merge --out=MERGED shard0.ckpt shard1.ckpt ...)");
+  }
+  const ShardMergeOutcome merged =
+      merge_shard_checkpoints(paths, opts.get("out", ""));
+  util::Table shards({"input", "cells"});
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    shards.row().cell(paths[i]).cell_int(
+        static_cast<long long>(merged.shard_cells[i]));
+  }
+  shards.print(std::cout);
+  const std::size_t grid = static_cast<std::size_t>(merged.config.samples) *
+                           merged.config.runs;
+  std::printf("merged %zu of %zu cells (%zu duplicate, %zu missing)\n",
+              merged.cells_merged, grid, merged.duplicate_cells,
+              merged.cells_missing);
+  util::Table table({"policy", "benefit", "±95%", "friends",
+                     "cautious friends"});
+  for (std::size_t s = 0; s < merged.result.strategy_names.size(); ++s) {
+    const TraceAggregator& agg = merged.result.aggregates[s];
+    table.row()
+        .cell(merged.result.strategy_names[s])
+        .cell(agg.total_benefit().mean(), 1)
+        .cell(agg.total_benefit().ci95_halfwidth(), 1)
+        .cell(agg.accepted_requests().mean(), 1)
+        .cell(agg.cautious_friends().mean(), 2);
+  }
+  table.print(std::cout);
+  if (opts.has("out")) {
+    std::printf("merged checkpoint written to %s\n",
+                opts.get("out", "").c_str());
+  }
+  if (opts.has("report")) {
+    std::ofstream os(opts.get("report", ""));
+    if (!os) throw IoError("cannot open --report file");
+    ReportOptions report_options;
+    report_options.title = "accu merge";
+    write_markdown_report(merged.result, merged.config, os, report_options);
+    std::printf("markdown report written to %s\n",
+                opts.get("report", "").c_str());
+  }
+  if (opts.has("curves")) {
+    std::ofstream os(opts.get("curves", ""));
+    if (!os) throw IoError("cannot open --curves file");
+    write_curves_csv(merged.result, os);
+    std::printf("curve CSV written to %s\n", opts.get("curves", "").c_str());
+  }
+  if (merged.cells_missing > 0 && !opts.get_bool("allow-missing", false)) {
+    std::fprintf(stderr,
+                 "merge: %zu grid cells missing — run the absent shards "
+                 "and re-merge (--allow-missing accepts a partial merge)\n",
+                 merged.cells_missing);
+    return 3;
   }
   return 0;
 }
@@ -534,12 +612,19 @@ int dispatch(int argc, char** argv) {
                "wall-clock budget per cell in ms; 0 = none (attack, compare)")
       .declare("max-cell-retries",
                "re-run a deadline-cancelled cell up to this many times with "
-               "a fresh seed stream (attack, compare)");
+               "a fresh seed stream (attack, compare)")
+      .declare("shard",
+               "run one shard i/n of the (sample, run) grid (compare); "
+               "merge the per-shard checkpoints with 'accu merge'")
+      .declare("allow-missing",
+               "exit 0 even when grid cells are absent from every input "
+               "(merge)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);
   if (command == "attack") return cmd_attack(opts);
   if (command == "compare") return cmd_compare(opts);
+  if (command == "merge") return cmd_merge(opts);
   if (command == "assess") return cmd_assess(opts);
   if (command == "swarm") return cmd_swarm(opts);
   if (command == "ratio") return cmd_ratio(opts);

@@ -5,7 +5,10 @@
 #   2. Debug with ACCU_SANITIZE=ON      — AddressSanitizer + UBSan
 #   3. engine gate                      — the engine-equivalence suite under
 #      ASan + the micro_core allocations-per-cell ceiling
-#   4. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
+#   4. shard round-trip                 — a sweep split into three shard
+#      processes (one SIGKILLed mid-run and resumed) merged with accu_merge
+#      must reproduce the unsharded report byte-for-byte
+#   5. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
 #      appends, cancellation)
 #
@@ -38,7 +41,7 @@ echo "=== engine + score-engine equivalence under ASan + allocation budget ==="
 # recorded allocations-per-cell ceiling (the O(1)-allocations property of
 # SimWorkspace).
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Engine|Score'
+  -R 'Engine|Score|Shard|Merge'
 ./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
 ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
   build-ci/BENCH_micro_core.json)"
@@ -48,6 +51,36 @@ awk -v a="${ALLOCS}" -v b="${BASELINE}" 'BEGIN { exit !(a <= b) }' || {
   echo "FAIL: pooled allocs/cell ${ALLOCS} exceeds baseline ${BASELINE}" >&2
   exit 1
 }
+
+echo "=== shard → kill → resume → merge round-trip ==="
+# End-to-end check of the sharding contract with real processes: three
+# shard sweeps (one SIGKILLed mid-run, then resumed from its surviving
+# checkpoint bytes) merge into a report byte-identical to the unsharded
+# single-process run — only the title line differs.
+RT="build-ci/shard-roundtrip"
+rm -rf "${RT}"
+mkdir -p "${RT}"
+./build-ci/tools/accu generate --dataset=facebook --scale=0.05 \
+  --cautious=8 --out="${RT}/net.accu" > /dev/null
+SWEEP=(./build-ci/tools/accu compare "--in=${RT}/net.accu" --k=12 --runs=6 \
+  --seed=9 --fault-rate=0.2 --retry=exp)
+"${SWEEP[@]}" "--report=${RT}/reference.md" > /dev/null
+for i in 0 2; do
+  "${SWEEP[@]}" "--shard=${i}/3" "--resume=${RT}/shard${i}.ckpt" > /dev/null
+done
+"${SWEEP[@]}" --shard=1/3 "--resume=${RT}/shard1.ckpt" > /dev/null 2>&1 &
+VICTIM=$!
+sleep 0.05
+kill -9 "${VICTIM}" 2> /dev/null || true
+wait "${VICTIM}" 2> /dev/null || true
+"${SWEEP[@]}" --shard=1/3 "--resume=${RT}/shard1.ckpt" > /dev/null
+./build-ci/tools/accu_merge "--out=${RT}/merged.ckpt" \
+  "--report=${RT}/merged.md" "${RT}"/shard*.ckpt > /dev/null
+diff <(tail -n +2 "${RT}/reference.md") <(tail -n +2 "${RT}/merged.md") || {
+  echo "FAIL: merged shard report differs from the unsharded reference" >&2
+  exit 1
+}
+echo "shard round-trip OK: merged report matches the unsharded sweep"
 
 echo "=== sanitized build (Debug, thread) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
