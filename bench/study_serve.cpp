@@ -1,0 +1,189 @@
+// Engineering study: what the serve daemon costs on top of the raw sweep.
+//
+// Three measurements, each against the same compare-kind job:
+//
+//   * submission latency — the atomic spool write (temp + fsync + rename +
+//     directory fsync) a client pays per `accu serve submit`;
+//   * scheduler overhead per cell — wall-clock of a daemon-run job
+//     (journal, forked workers, per-cell checkpoint fsyncs, merge, report)
+//     versus the identical run_experiment call in-process;
+//   * throughput scaling — daemon cells/second at 1, 2, and 4 workers.
+//
+// `--json=FILE` snapshots the numbers for BENCH_serve.json.
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/instance_io.hpp"
+#include "serve/daemon.hpp"
+#include "serve/job.hpp"
+#include "util/exit_codes.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace accu;
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path =
+      (fs::temp_directory_path() / name).string();
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  return path;
+}
+
+/// Runs one daemon session over a single submitted job; returns seconds.
+double time_daemon_run(const std::string& root, const serve::JobSpec& spec,
+                       std::uint32_t workers) {
+  fs::create_directories(root + "/spool");
+  serve::submit_job(root + "/spool", spec, "bench");
+  serve::ServeConfig config;
+  config.root = root;
+  config.workers = workers;
+  config.poll_ms = 5;
+  config.exit_when_idle = true;
+  const util::Timer timer;
+  const int code = serve::run_daemon(config);
+  const double seconds = timer.seconds();
+  if (code != util::exit_code::kOk) {
+    throw IoError("daemon run exited " + std::to_string(code));
+  }
+  return seconds;
+}
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  opts.declare("scale", "facebook dataset scale (default 0.03)")
+      .declare("k", "request budget per attack (default 8)")
+      .declare("runs", "repetitions = grid cells (default 96)")
+      .declare("seed", "master seed")
+      .declare("submits", "spool writes for the latency probe (default 64)")
+      .declare("json", "write a JSON snapshot to this path");
+  opts.check_unknown();
+  const double scale = opts.get_double("scale", 0.03);
+  const auto budget = static_cast<std::uint32_t>(opts.get_int("k", 8));
+  const auto runs = static_cast<std::uint32_t>(opts.get_int("runs", 96));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const auto submits =
+      static_cast<std::uint32_t>(opts.get_int("submits", 64));
+
+  // One fixed instance shared by every probe.
+  const std::string net_path = fresh_dir("accu_study_serve_net");
+  {
+    util::Rng rng(seed);
+    datasets::DatasetConfig config;
+    config.scale = scale;
+    config.num_cautious = 10;
+    write_instance_file(datasets::make_dataset("facebook", config, rng),
+                        net_path);
+  }
+  serve::JobSpec spec;
+  spec.kind = "compare";
+  spec.instance = net_path;
+  spec.budget = budget;
+  spec.runs = runs;
+  spec.seed = seed;
+  spec.threads = 1;
+
+  // --- submission latency --------------------------------------------------
+  const std::string spool = fresh_dir("accu_study_serve_spool");
+  fs::create_directories(spool);
+  double submit_total_ms = 0.0, submit_max_ms = 0.0;
+  for (std::uint32_t i = 0; i < submits; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "probe%04u", i);
+    const util::Timer timer;
+    serve::submit_job(spool, spec, name);
+    const double ms = timer.milliseconds();
+    submit_total_ms += ms;
+    if (ms > submit_max_ms) submit_max_ms = ms;
+  }
+  const double submit_mean_ms = submit_total_ms / submits;
+
+  // --- direct baseline -----------------------------------------------------
+  const util::Timer direct_timer;
+  const ExperimentResult direct = run_experiment(
+      serve::job_instance_factory(spec), serve::compare_roster(),
+      serve::shard_config(spec, 0, 1, ""));
+  const double direct_s = direct_timer.seconds();
+  if (!direct.failures.empty()) throw IoError("baseline sweep failed");
+  const double cells = static_cast<double>(runs);
+
+  // --- daemon runs ---------------------------------------------------------
+  const std::vector<std::uint32_t> worker_counts = {1, 2, 4};
+  std::vector<double> daemon_s;
+  for (const std::uint32_t workers : worker_counts) {
+    char dir[48];
+    std::snprintf(dir, sizeof dir, "accu_study_serve_w%u", workers);
+    daemon_s.push_back(time_daemon_run(fresh_dir(dir), spec, workers));
+  }
+  const double overhead_ms_per_cell =
+      (daemon_s[0] - direct_s) * 1000.0 / cells;
+
+  util::Table table({"probe", "value"});
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", submit_mean_ms);
+  table.row().cell("submit mean ms").cell(buf);
+  std::snprintf(buf, sizeof buf, "%.3f", submit_max_ms);
+  table.row().cell("submit max ms").cell(buf);
+  std::snprintf(buf, sizeof buf, "%.1f", cells / direct_s);
+  table.row().cell("direct cells/s").cell(buf);
+  std::snprintf(buf, sizeof buf, "%.3f", overhead_ms_per_cell);
+  table.row().cell("serve overhead ms/cell (1 worker)").cell(buf);
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.1f", cells / daemon_s[i]);
+    char label[40];
+    std::snprintf(label, sizeof label, "serve cells/s @ %u worker(s)",
+                  worker_counts[i]);
+    table.row().cell(label).cell(buf);
+  }
+  bench::emit(table,
+              "Study — serve daemon overhead (facebook scale " +
+                  std::to_string(scale) + ", " + std::to_string(runs) +
+                  " cells)",
+              "");
+
+  if (opts.has("json")) {
+    std::ofstream os(opts.get("json", ""));
+    if (!os) throw IoError("cannot open --json file");
+    char json[768];
+    std::snprintf(
+        json, sizeof json,
+        "{\n"
+        "  \"workload\": \"facebook-%.3g compare roster, k=%u, %u cells\",\n"
+        "  \"submit_latency_mean_ms\": %.3f,\n"
+        "  \"submit_latency_max_ms\": %.3f,\n"
+        "  \"direct_cells_per_sec\": %.1f,\n"
+        "  \"serve_overhead_ms_per_cell\": %.3f,\n"
+        "  \"serve_cells_per_sec\": {\n"
+        "    \"workers_1\": %.1f,\n"
+        "    \"workers_2\": %.1f,\n"
+        "    \"workers_4\": %.1f\n"
+        "  }\n"
+        "}\n",
+        scale, budget, runs, submit_mean_ms, submit_max_ms,
+        cells / direct_s, overhead_ms_per_cell, cells / daemon_s[0],
+        cells / daemon_s[1], cells / daemon_s[2]);
+    os << json;
+    std::printf("JSON snapshot written to %s\n",
+                opts.get("json", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "study_serve: %s\n", e.what());
+    return 1;
+  }
+}

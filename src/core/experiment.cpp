@@ -617,6 +617,24 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                    tasks);
   }
 
+  // Progress accounting: completed owned cells, restored ones included.
+  // The mutex both guards the counter and serializes the observer, so
+  // callers see monotonic cells_done regardless of the worker count.
+  std::mutex progress_mutex;
+  std::size_t cells_completed = 0;
+  auto report_progress = [&](std::size_t delta, double cell_ms,
+                             bool restored_cells) {
+    if (!config.progress) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    cells_completed += delta;
+    ExperimentProgress p;
+    p.cells_done = cells_completed;
+    p.cells_total = owned_tasks;
+    p.cell_ms = cell_ms;
+    p.restored = restored_cells;
+    config.progress(p);
+  };
+
   // Checkpoint: restore completed cells, then append new ones as they
   // finish.  The header write is atomic (temp + fsync + rename) and every
   // appended block is fsynced, so a crash at any instant leaves a file the
@@ -669,6 +687,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     if (restored > 0) {
       util::log_info("experiment: resumed %zu/%zu cells from %s", restored,
                      owned_tasks, config.checkpoint_path.c_str());
+      report_progress(restored, 0.0, /*restored_cells=*/true);
     }
   }
 
@@ -824,6 +843,8 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
           checkpoint_out.append(block);
           checkpoint_out.sync();
         }
+        report_progress(1, attempt_timer.milliseconds(),
+                        /*restored_cells=*/false);
         return;
       } catch (const util::CancelledError& e) {
         release_slot();

@@ -123,6 +123,21 @@ struct StrategyFactory {
 using InstanceFactory =
     std::function<AccuInstance(std::uint32_t sample, std::uint64_t seed)>;
 
+/// Snapshot handed to ExperimentConfig::progress after each completed
+/// (sample, run) cell — the hook live dashboards and the serve daemon's
+/// per-job status files are built on.
+struct ExperimentProgress {
+  /// Owned cells finished so far (checkpoint-restored ones included).
+  std::size_t cells_done = 0;
+  /// Owned cells in this invocation (this shard's share of the grid).
+  std::size_t cells_total = 0;
+  /// Wall-clock of the just-finished cell in ms; 0 for restored cells.
+  double cell_ms = 0.0;
+  /// True for the one batched notification covering checkpoint-restored
+  /// cells (no simulation ran; cell_ms is meaningless for them).
+  bool restored = false;
+};
+
 struct ExperimentConfig {
   std::uint32_t budget = 100;  ///< k — friend requests per attack
   std::uint32_t samples = 3;   ///< sample networks per dataset (paper: 100)
@@ -179,6 +194,12 @@ struct ExperimentConfig {
   /// sequential sweep.  The default 0/1 is the unsharded grid.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
+  /// Optional progress observer: invoked once for the block of cells
+  /// restored from the checkpoint (if any) and then after every cell that
+  /// completes, under an internal mutex — invocations are serialized and
+  /// cells_done is monotonic for any worker-thread count.  Keep it cheap;
+  /// the sweep blocks while it runs.  Failed/cancelled cells never count.
+  std::function<void(const ExperimentProgress&)> progress;
 };
 
 /// Parses a `--shard=i/n` spec ("0/4") into {shard_index, shard_count}.

@@ -1,0 +1,78 @@
+// Admission control for the serve daemon's job queue.
+//
+// Three independent guards, all deliberately simple and all testable with
+// an injected clock:
+//
+//   * a queue bound — at most `max_queued` non-terminal jobs exist at
+//     once; excess submissions are rejected at the spool, never silently
+//     dropped after admission;
+//   * a token bucket on *job starts* — a burst of submissions is admitted
+//     to the queue immediately but fans out into worker processes at a
+//     bounded rate, so a misbehaving client cannot fork-storm the host;
+//   * a per-job crash budget (enforced by the daemon with util::backoff
+//     between retries) — a job whose workers keep dying is quarantined
+//     instead of crash-looping forever.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace accu::serve {
+
+/// Classic token bucket with an explicit clock: `now_s` is seconds from
+/// any fixed origin (tests pass a fake clock; the daemon passes a
+/// monotonic one).  The bucket starts full so an idle daemon admits a
+/// burst instantly.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token if available; refills by elapsed-time * rate first.
+  /// A non-positive rate disables the limiter (always allows).
+  bool try_take(double now_s) {
+    if (rate_ <= 0.0) return true;
+    if (primed_) {
+      tokens_ += (now_s - last_s_) * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+    }
+    primed_ = true;
+    last_s_ = now_s;
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_s_ = 0.0;
+  bool primed_ = false;  ///< first call establishes the clock origin
+};
+
+struct AdmissionConfig {
+  /// Max non-terminal (queued + running) jobs; further submissions are
+  /// rejected.
+  std::size_t max_queued = 16;
+  /// Token-bucket rate/burst for job starts (starts per second).
+  double start_rate = 4.0;
+  double start_burst = 4.0;
+  /// Worker crashes a job may consume before it is quarantined.
+  std::uint32_t crash_budget = 3;
+};
+
+enum class Admission : std::uint8_t {
+  kAdmit = 0,
+  kQueueFull = 1,
+};
+
+/// Queue-bound check at submission time.
+[[nodiscard]] inline Admission admit(std::size_t active_jobs,
+                                     const AdmissionConfig& config) {
+  return active_jobs >= config.max_queued ? Admission::kQueueFull
+                                          : Admission::kAdmit;
+}
+
+}  // namespace accu::serve

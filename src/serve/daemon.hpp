@@ -1,0 +1,84 @@
+// The serve daemon: a crash-safe job scheduler over the sharded sweep
+// machinery.
+//
+// Layout under the serve root directory:
+//
+//     root/serve.pid        flock-held pidfile (single daemon per root)
+//     root/journal          write-ahead queue journal (serve/journal.hpp)
+//     root/spool/*.job      incoming descriptors (atomic client writes)
+//     root/jobs/<id>/       per-job state:
+//         job.desc          the admitted descriptor (CRC-guarded)
+//         shard<i>.ckpt     per-shard sweep checkpoint (crash-resumable)
+//         progress.<i>      throttled shard progress (advisory)
+//         merged.ckpt       post-merge unsharded checkpoint
+//         report.md         final markdown report
+//     root/STOP             drain request flag (written by `accu serve
+//                           stop`, removed once the drain completes)
+//
+// Crash story: admission renames the descriptor into jobs/<id>/ *before*
+// journaling the submit, so a crash between the two leaves a job directory
+// the next daemon adopts (re-journals) on startup; every later transition
+// is journaled before it is acted on.  Cell-level state lives in the shard
+// checkpoints, so losing a `start` record merely re-runs a shard that
+// resumes from its own checkpoint — no cell is ever lost or double-counted
+// after a kill -9 of the daemon or any worker.
+//
+// Workers are forked processes running run_job_shard; on Linux they carry
+// PR_SET_PDEATHSIG so a SIGKILLed daemon takes its workers with it (no
+// orphan ever appends to a checkpoint behind a restarted daemon's back).
+// Recovery additionally kills any journaled worker pid that still looks
+// like an accu process before rescheduling its shard.
+
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+
+namespace accu::serve {
+
+struct ServeConfig {
+  std::string root;           ///< serve state directory (created if absent)
+  std::uint32_t workers = 2;  ///< max concurrent worker processes; also the
+                              ///< shard count stamped on admitted jobs
+  AdmissionConfig admission{};
+  std::uint32_t poll_ms = 50;  ///< scheduler tick
+  /// Exit once the spool is empty and every job is terminal — the mode CI
+  /// and tests use; a service deployment leaves it false and drains via
+  /// SIGTERM or `accu serve stop`.
+  bool exit_when_idle = false;
+  /// External stop flag (SIGTERM handler); non-zero triggers a drain:
+  /// workers get SIGTERM, stop at cell granularity with checkpoints
+  /// flushed, and the daemon exits 0 with every non-terminal job resumable.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+/// Runs the daemon loop.  Returns util::exit_code::kOk on a clean drain or
+/// idle exit, kQuarantined when it exits idle with quarantined jobs,
+/// kAlreadyRunning when another daemon holds the root, kFailure on setup
+/// errors.
+[[nodiscard]] int run_daemon(const ServeConfig& config);
+
+/// One row of `accu serve status`.
+struct JobStatus {
+  std::string id;
+  std::string state;  ///< queued | running | done | failed | quarantined
+  std::size_t cells_done = 0;
+  std::size_t cells_total = 0;
+  double ema_cell_ms = 0.0;  ///< per-cell EMA across reporting shards
+  double eta_s = 0.0;        ///< 0 when unknown or done
+  std::uint32_t crashes = 0;
+  std::string detail;  ///< fail reason, exit code, ...
+};
+
+/// Reads queue state from the journal + progress files.  Works while a
+/// daemon is live (readers never lock) and after it exited.
+[[nodiscard]] std::vector<JobStatus> read_status(const std::string& root);
+
+/// Asks a running daemon to drain by dropping the STOP flag file.
+void request_stop(const std::string& root);
+
+}  // namespace accu::serve

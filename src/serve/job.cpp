@@ -1,0 +1,334 @@
+#include "serve/job.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/instance_io.hpp"
+#include "core/strategies/abm.hpp"
+#include "core/strategies/baselines.hpp"
+#include "datasets/datasets.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+
+namespace accu::serve {
+namespace {
+
+constexpr const char* kJobHeader = "# accu-serve-job v1";
+
+/// Every descriptor key, declared once — parse_job feeds these to
+/// util::Options so typos fail with did-you-mean instead of silently
+/// running defaults.
+const std::vector<std::pair<const char*, const char*>>& job_keys() {
+  static const std::vector<std::pair<const char*, const char*>> keys = {
+      {"kind", "compare | simulate | sweep"},
+      {"instance", "instance file (compare/simulate)"},
+      {"dataset", "dataset generator name (sweep)"},
+      {"scale", "dataset scale (sweep)"},
+      {"cautious", "cautious users (sweep)"},
+      {"budget", "k — friend requests per attack"},
+      {"samples", "sample networks (sweep)"},
+      {"runs", "repetitions per network"},
+      {"seed", "master seed"},
+      {"fault-rate", "total platform fault rate"},
+      {"suspension-rounds", "suspension length in rounds"},
+      {"retry", "retry policy spec (none|fixed|exp)"},
+      {"cell-deadline-ms", "per-cell wall-clock budget"},
+      {"max-cell-retries", "re-runs after a blown cell deadline"},
+      {"deadline-ms", "whole-job wall-clock deadline"},
+      {"threads", "worker threads per shard process"},
+  };
+  return keys;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += '\n';
+}
+
+std::string shard_progress_path(const std::string& job_dir,
+                                std::uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "/progress.%u", shard);
+  return job_dir + name;
+}
+
+}  // namespace
+
+std::string serialize_job(const JobSpec& spec) {
+  std::string body = std::string(kJobHeader) + "\n";
+  char num[64];
+  append_kv(body, "kind", spec.kind);
+  append_kv(body, "instance", spec.instance);
+  append_kv(body, "dataset", spec.dataset);
+  std::snprintf(num, sizeof num, "%.17g", spec.scale);
+  append_kv(body, "scale", num);
+  std::snprintf(num, sizeof num, "%u", spec.cautious);
+  append_kv(body, "cautious", num);
+  std::snprintf(num, sizeof num, "%u", spec.budget);
+  append_kv(body, "budget", num);
+  std::snprintf(num, sizeof num, "%u", spec.samples);
+  append_kv(body, "samples", num);
+  std::snprintf(num, sizeof num, "%u", spec.runs);
+  append_kv(body, "runs", num);
+  std::snprintf(num, sizeof num, "%" PRIu64, spec.seed);
+  append_kv(body, "seed", num);
+  std::snprintf(num, sizeof num, "%.17g", spec.fault_rate);
+  append_kv(body, "fault-rate", num);
+  std::snprintf(num, sizeof num, "%u", spec.suspension_rounds);
+  append_kv(body, "suspension-rounds", num);
+  append_kv(body, "retry", spec.retry);
+  std::snprintf(num, sizeof num, "%u", spec.cell_deadline_ms);
+  append_kv(body, "cell-deadline-ms", num);
+  std::snprintf(num, sizeof num, "%u", spec.max_cell_retries);
+  append_kv(body, "max-cell-retries", num);
+  std::snprintf(num, sizeof num, "%" PRIu64, spec.deadline_ms);
+  append_kv(body, "deadline-ms", num);
+  std::snprintf(num, sizeof num, "%u", spec.threads);
+  append_kv(body, "threads", num);
+  char trailer[24];
+  std::snprintf(trailer, sizeof trailer, "crc=%08x\n", util::crc32(body));
+  return body + trailer;
+}
+
+JobSpec parse_job(const std::string& text) {
+  // CRC trailer first: a descriptor that cannot prove its integrity is
+  // rejected before any field is looked at.
+  const std::string marker = "crc=";
+  const std::size_t crc_pos = text.rfind(marker);
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    throw IoError("job descriptor: missing crc trailer");
+  }
+  std::string crc_hex = text.substr(crc_pos + marker.size());
+  while (!crc_hex.empty() &&
+         (crc_hex.back() == '\n' || crc_hex.back() == '\r')) {
+    crc_hex.pop_back();
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(crc_hex.c_str(), &end, 16);
+  if (crc_hex.size() != 8 || end == nullptr || *end != '\0') {
+    throw IoError("job descriptor: malformed crc trailer");
+  }
+  const std::string payload = text.substr(0, crc_pos);
+  if (util::crc32(payload) != static_cast<std::uint32_t>(parsed)) {
+    throw IoError("job descriptor: crc mismatch (torn or corrupted file)");
+  }
+
+  // Re-parse the verified payload through util::Options so unknown keys
+  // fail with the same did-you-mean diagnostics as the command line.
+  std::vector<std::string> argv_storage = {"job"};
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    argv_storage.push_back("--" + line);
+  }
+  std::vector<const char*> argv;
+  argv.reserve(argv_storage.size());
+  for (const std::string& arg : argv_storage) argv.push_back(arg.c_str());
+  util::Options opts(static_cast<int>(argv.size()), argv.data());
+  for (const auto& [key, help] : job_keys()) opts.declare(key, help);
+  opts.check_unknown();
+
+  JobSpec spec;
+  spec.kind = opts.get("kind", spec.kind);
+  if (spec.kind != "compare" && spec.kind != "simulate" &&
+      spec.kind != "sweep") {
+    throw InvalidArgument("job descriptor: unknown kind '" + spec.kind +
+                          "' (compare | simulate | sweep)");
+  }
+  spec.instance = opts.get("instance", spec.instance);
+  spec.dataset = opts.get("dataset", spec.dataset);
+  spec.scale = opts.get_double("scale", spec.scale);
+  spec.cautious =
+      static_cast<std::uint32_t>(opts.get_int("cautious", spec.cautious));
+  spec.budget =
+      static_cast<std::uint32_t>(opts.get_int("budget", spec.budget));
+  spec.samples =
+      static_cast<std::uint32_t>(opts.get_int("samples", spec.samples));
+  spec.runs = static_cast<std::uint32_t>(opts.get_int("runs", spec.runs));
+  spec.seed = static_cast<std::uint64_t>(
+      opts.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+  spec.fault_rate = opts.get_double("fault-rate", spec.fault_rate);
+  spec.suspension_rounds = static_cast<std::uint32_t>(
+      opts.get_int("suspension-rounds", spec.suspension_rounds));
+  spec.retry = opts.get("retry", spec.retry);
+  (void)util::RetryPolicy::parse(spec.retry);  // validate eagerly
+  spec.cell_deadline_ms = static_cast<std::uint32_t>(
+      opts.get_int("cell-deadline-ms", spec.cell_deadline_ms));
+  spec.max_cell_retries = static_cast<std::uint32_t>(
+      opts.get_int("max-cell-retries", spec.max_cell_retries));
+  spec.deadline_ms = static_cast<std::uint64_t>(
+      opts.get_int("deadline-ms", static_cast<std::int64_t>(spec.deadline_ms)));
+  spec.threads =
+      static_cast<std::uint32_t>(opts.get_int("threads", spec.threads));
+  if (spec.runs == 0 || spec.samples == 0) {
+    throw InvalidArgument("job descriptor: samples and runs must be >= 1");
+  }
+  if ((spec.kind == "compare" || spec.kind == "simulate") &&
+      spec.instance.empty()) {
+    throw InvalidArgument("job descriptor: kind " + spec.kind +
+                          " needs instance=FILE");
+  }
+  return spec;
+}
+
+JobSpec load_job_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot read job descriptor " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw IoError("cannot read job descriptor " + path);
+  return parse_job(text);
+}
+
+std::string submit_job(const std::string& spool_dir, const JobSpec& spec,
+                       const std::string& name) {
+  const std::string base = name.empty() ? "job" : name;
+  const std::string path = spool_dir + "/" + base + ".job";
+  util::write_file_atomic(path, serialize_job(spec));
+  return path;
+}
+
+std::vector<StrategyFactory> compare_roster() {
+  return {
+      {"ABM", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
+      {"Greedy", [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }},
+      {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
+      {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
+      {"Random", [] { return std::make_unique<RandomStrategy>(); }},
+  };
+}
+
+ExperimentConfig shard_config(const JobSpec& spec, std::uint32_t shard,
+                              std::uint32_t shard_count,
+                              const std::string& checkpoint_path) {
+  ExperimentConfig config;
+  config.budget = spec.budget;
+  config.samples = spec.kind == "sweep" ? spec.samples : 1;
+  config.runs = spec.kind == "simulate" ? 1 : spec.runs;
+  config.seed = spec.seed;
+  config.threads = spec.threads;
+  config.faults = FaultConfig::uniform(spec.fault_rate,
+                                       spec.suspension_rounds);
+  config.retry = util::RetryPolicy::parse(spec.retry);
+  config.checkpoint_path = checkpoint_path;
+  config.cell_deadline_ms = spec.cell_deadline_ms;
+  config.max_cell_retries = spec.max_cell_retries;
+  config.shard_index = shard;
+  config.shard_count = shard_count;
+  return config;
+}
+
+InstanceFactory job_instance_factory(const JobSpec& spec) {
+  if (spec.kind == "sweep") {
+    return [spec](std::uint32_t, std::uint64_t seed) {
+      datasets::DatasetConfig config;
+      config.scale = spec.scale;
+      config.num_cautious = spec.cautious;
+      util::Rng rng(seed);
+      return datasets::make_dataset(spec.dataset, config, rng);
+    };
+  }
+  // compare/simulate: one fixed instance, loaded lazily inside the worker
+  // so a bad path fails the cell (reported per sample) instead of the
+  // daemon.  samples = 1 means it is read exactly once per shard.
+  const std::string path = spec.instance;
+  return [path](std::uint32_t, std::uint64_t) {
+    return read_instance_file(path);
+  };
+}
+
+bool read_shard_progress(const std::string& job_dir, std::uint32_t shard,
+                         ShardProgress& out) {
+  std::ifstream in(shard_progress_path(job_dir, shard));
+  if (!in.good()) return false;
+  ShardProgress parsed;
+  std::string line;
+  bool saw_done = false, saw_total = false;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "done") {
+      parsed.done = std::strtoull(value.c_str(), nullptr, 10);
+      saw_done = true;
+    } else if (key == "total") {
+      parsed.total = std::strtoull(value.c_str(), nullptr, 10);
+      saw_total = true;
+    } else if (key == "ema-cell-ms") {
+      parsed.ema_cell_ms = std::strtod(value.c_str(), nullptr);
+    }
+  }
+  if (!saw_done || !saw_total) return false;
+  out = parsed;
+  return true;
+}
+
+int run_job_shard(const JobSpec& spec, const std::string& job_dir,
+                  std::uint32_t shard, std::uint32_t shard_count,
+                  const volatile std::sig_atomic_t* stop) {
+  namespace exit_code = util::exit_code;
+  try {
+    char ckpt_name[32];
+    std::snprintf(ckpt_name, sizeof ckpt_name, "/shard%u.ckpt", shard);
+    ExperimentConfig config =
+        shard_config(spec, shard, shard_count, job_dir + ckpt_name);
+    config.interrupt_flag = stop;
+
+    // Progress file: EMA of per-cell wall clock, flushed at most every
+    // 100ms (plus once at the end) so status queries stay cheap for the
+    // sweep.  write_file_atomic keeps readers from ever seeing a torn
+    // file.
+    const std::string progress_path = shard_progress_path(job_dir, shard);
+    using clock = std::chrono::steady_clock;
+    clock::time_point last_write{};
+    double ema_ms = 0.0;
+    config.progress = [&](const ExperimentProgress& p) {
+      if (!p.restored && p.cell_ms > 0.0) {
+        ema_ms = ema_ms == 0.0 ? p.cell_ms : 0.8 * ema_ms + 0.2 * p.cell_ms;
+      }
+      const clock::time_point now = clock::now();
+      if (p.cells_done < p.cells_total &&
+          now - last_write < std::chrono::milliseconds(100)) {
+        return;
+      }
+      last_write = now;
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "done=%zu\ntotal=%zu\nema-cell-ms=%.3f\n", p.cells_done,
+                    p.cells_total, ema_ms);
+      try {
+        util::write_file_atomic(progress_path, buf);
+      } catch (const IoError&) {
+        // Progress is advisory; the checkpoint holds the real state.
+      }
+    };
+
+    const ExperimentResult result = run_experiment(
+        job_instance_factory(spec), compare_roster(), config);
+    if (result.interrupted) return exit_code::kInterrupted;
+    if (!result.failures.empty()) {
+      util::log_error("serve shard %u/%u: %zu cell(s) failed", shard,
+                      shard_count, result.failures.size());
+      return exit_code::kFailure;
+    }
+    return exit_code::kOk;
+  } catch (const std::exception& e) {
+    util::log_error("serve shard %u/%u: %s", shard, shard_count, e.what());
+    return exit_code::kFailure;
+  }
+}
+
+}  // namespace accu::serve

@@ -1,0 +1,115 @@
+// Job descriptors for the serve daemon, and the shard runner workers
+// execute.
+//
+// A job is a sweep request — the same knobs `accu compare` takes on its
+// command line, serialized as `key=value` lines with a CRC32 trailer so a
+// torn or bit-rotted descriptor is rejected at admission instead of
+// launching a half-configured sweep.  Submission is a two-step atomic
+// handshake: the client writes the descriptor into `<root>/spool/` with
+// write_file_atomic (temp + fsync + rename + dir fsync), the daemon
+// renames it into the job's own directory and journals the admission.
+// Either step crashing leaves the descriptor whole in exactly one place.
+//
+// Execution reuses the library's sharded-sweep machinery unchanged: each
+// worker process runs `run_job_shard`, which is run_experiment on one
+// shard of the (sample, run) grid with a per-shard checkpoint file, so a
+// killed worker resumes at cell granularity and the daemon's final merge
+// is bit-identical to an unsharded run.
+
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace accu::serve {
+
+/// One queued sweep.  Field defaults are deliberately tiny — a default
+/// job is a smoke test, not a paper run.
+struct JobSpec {
+  /// "compare": the paper roster on a fixed instance file (samples = 1,
+  /// like `accu compare`).  "simulate": compare with runs forced to 1.
+  /// "sweep": the roster over `samples` generated networks of `dataset`.
+  std::string kind = "compare";
+  std::string instance;               ///< compare/simulate: instance file
+  std::string dataset = "facebook";   ///< sweep: generator name
+  double scale = 0.05;                ///< sweep: dataset scale
+  std::uint32_t cautious = 20;        ///< sweep: cautious users
+  std::uint32_t budget = 100;         ///< k — requests per attack
+  std::uint32_t samples = 1;          ///< sweep: networks per dataset
+  std::uint32_t runs = 10;            ///< repetitions per network
+  std::uint64_t seed = 1;
+  double fault_rate = 0.0;            ///< spread over the four fault kinds
+  std::uint32_t suspension_rounds = 3;
+  std::string retry = "none";         ///< RetryPolicy::parse spec
+  std::uint32_t cell_deadline_ms = 0;
+  std::uint32_t max_cell_retries = 0;
+  /// Whole-job wall-clock deadline enforced by the daemon; 0 = none.
+  /// A job still running past it is terminated and journaled as failed.
+  std::uint64_t deadline_ms = 0;
+  std::uint32_t threads = 1;          ///< worker threads *per shard process*
+};
+
+/// key=value serialization with a `crc=<8hex>` trailer line covering every
+/// preceding byte.
+[[nodiscard]] std::string serialize_job(const JobSpec& spec);
+
+/// Parses a descriptor; throws IoError on a missing/mismatched CRC trailer
+/// and InvalidArgument on unknown keys (with did-you-mean, via
+/// util::Options) or invalid values.
+[[nodiscard]] JobSpec parse_job(const std::string& text);
+
+/// parse_job over a file's bytes.  Throws IoError when unreadable.
+[[nodiscard]] JobSpec load_job_file(const std::string& path);
+
+/// Atomically places a descriptor into the daemon's spool directory as
+/// `<name>.job` (name must be filesystem-safe; empty picks "job").
+/// Returns the path written.
+std::string submit_job(const std::string& spool_dir, const JobSpec& spec,
+                       const std::string& name = {});
+
+/// The paper's comparison roster — the same five policies `accu compare`
+/// runs, shared so serve reports are byte-identical to compare reports.
+[[nodiscard]] std::vector<StrategyFactory> compare_roster();
+
+/// ExperimentConfig for one shard of the job's grid, checkpointing to
+/// `checkpoint_path`.  compare/simulate kinds force samples = 1 (and
+/// simulate runs = 1) so their fingerprint matches a direct `accu
+/// compare` invocation.
+[[nodiscard]] ExperimentConfig shard_config(const JobSpec& spec,
+                                            std::uint32_t shard,
+                                            std::uint32_t shard_count,
+                                            const std::string& checkpoint_path);
+
+/// Instance factory for the job: fixed file for compare/simulate, dataset
+/// generator for sweep.
+[[nodiscard]] InstanceFactory job_instance_factory(const JobSpec& spec);
+
+/// Runs one shard to completion inside the current process (workers call
+/// this after fork).  Writes a throttled progress file
+/// `<job_dir>/progress.<shard>` as cells finish.  Returns an exit_code
+/// value: kOk on a clean shard, kInterrupted when `stop` fired (shard is
+/// resumable), kFailure when any cell failed or the sweep threw.
+[[nodiscard]] int run_job_shard(const JobSpec& spec,
+                                const std::string& job_dir,
+                                std::uint32_t shard,
+                                std::uint32_t shard_count,
+                                const volatile std::sig_atomic_t* stop);
+
+/// One parsed progress file.  `ema_cell_ms` is an exponential moving
+/// average of per-cell wall clock — the daemon's ETA source.
+struct ShardProgress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double ema_cell_ms = 0.0;
+};
+
+/// Reads `<job_dir>/progress.<shard>`; returns false if absent/corrupt
+/// (a torn progress file is cosmetic — the checkpoint holds the truth).
+bool read_shard_progress(const std::string& job_dir, std::uint32_t shard,
+                         ShardProgress& out);
+
+}  // namespace accu::serve

@@ -1,0 +1,228 @@
+#include "serve/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace accu::serve {
+namespace {
+
+constexpr const char* kHeader = "# accu-serve-journal v1";
+
+bool has_whitespace(const std::string& s) {
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) return true;
+  }
+  return false;
+}
+
+/// Splits a verified payload into verb + args (whitespace-delimited).
+JournalRecord parse_payload(const std::string& payload) {
+  std::istringstream in(payload);
+  JournalRecord record;
+  in >> record.verb;
+  std::string token;
+  while (in >> token) record.args.push_back(std::move(token));
+  return record;
+}
+
+/// Verifies one raw line (no trailing newline).  Returns false on any
+/// damage: missing CRC token, malformed hex, or checksum mismatch.
+bool verify_line(const std::string& line, std::string& payload_out) {
+  const std::size_t space = line.find_last_of(' ');
+  if (space == std::string::npos) return false;
+  const std::string crc_token = line.substr(space + 1);
+  if (crc_token.size() != 8) return false;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(crc_token.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return false;
+  const std::string payload = line.substr(0, space);
+  if (util::crc32(payload) != static_cast<std::uint32_t>(parsed)) {
+    return false;
+  }
+  payload_out = payload;
+  return true;
+}
+
+}  // namespace
+
+std::string format_journal_record(const std::string& verb,
+                                  const std::vector<std::string>& args) {
+  if (verb.empty() || has_whitespace(verb)) {
+    throw InvalidArgument("journal: bad verb '" + verb + "'");
+  }
+  std::string payload = verb;
+  for (const std::string& arg : args) {
+    if (arg.empty() || has_whitespace(arg)) {
+      throw InvalidArgument("journal: argument with whitespace in '" + verb +
+                            "' record: '" + arg + "'");
+    }
+    payload += ' ';
+    payload += arg;
+  }
+  char trailer[16];
+  std::snprintf(trailer, sizeof trailer, " %08x\n", util::crc32(payload));
+  return payload + trailer;
+}
+
+JournalLoad read_journal(const std::string& path) {
+  JournalLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return load;  // missing file: empty, existed = false
+  load.existed = true;
+
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) throw IoError("cannot read journal " + path);
+  load.file_size = content.size();
+
+  // Header first: a damaged header invalidates the whole file.
+  std::size_t pos = 0;
+  {
+    const std::size_t nl = content.find('\n');
+    if (nl == std::string::npos || content.substr(0, nl) != kHeader) {
+      return load;  // valid_end = 0
+    }
+    pos = nl + 1;
+  }
+  load.valid_end = pos;
+
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: no newline
+    const std::string line = content.substr(pos, nl - pos);
+    std::string payload;
+    if (!verify_line(line, payload)) break;  // bit rot / torn record
+    load.records.push_back(parse_payload(payload));
+    pos = nl + 1;
+    load.valid_end = pos;
+  }
+  return load;
+}
+
+JournalLoad JobJournal::open(const std::string& path) {
+  JournalLoad load = read_journal(path);
+  if (!load.existed) {
+    util::write_file_atomic(path, std::string(kHeader) + "\n");
+    load.valid_end = load.file_size = std::string(kHeader).size() + 1;
+  } else if (load.valid_end < load.file_size) {
+    if (load.valid_end == 0) {
+      // Header itself is damaged: the queue state is gone, but the shard
+      // checkpoints still hold every finished cell — start a fresh log and
+      // let directory adoption re-journal surviving jobs.
+      util::log_warn("journal %s: damaged header, starting fresh",
+                     path.c_str());
+      util::write_file_atomic(path, std::string(kHeader) + "\n");
+    } else {
+      util::log_warn("journal %s: dropping torn tail (%llu of %llu bytes "
+                     "verified)",
+                     path.c_str(),
+                     static_cast<unsigned long long>(load.valid_end),
+                     static_cast<unsigned long long>(load.file_size));
+      util::truncate_file(path, load.valid_end);
+    }
+  }
+  out_.open(path);
+  return load;
+}
+
+void JobJournal::append(const std::string& verb,
+                        const std::vector<std::string>& args) {
+  if (!out_.is_open()) throw IoError("journal: append before open");
+  out_.append(format_journal_record(verb, args));
+  out_.sync();
+}
+
+const char* replayed_state_name(ReplayedJob::State state) noexcept {
+  switch (state) {
+    case ReplayedJob::State::kQueued: return "queued";
+    case ReplayedJob::State::kRunning: return "running";
+    case ReplayedJob::State::kDone: return "done";
+    case ReplayedJob::State::kFailed: return "failed";
+    case ReplayedJob::State::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+ReplayState replay_journal(const std::vector<JournalRecord>& records) {
+  ReplayState state;
+  auto find = [&state](const std::string& id) -> ReplayedJob* {
+    auto it = state.jobs.find(id);
+    return it == state.jobs.end() ? nullptr : &it->second;
+  };
+  auto shard_of = [](const ReplayedJob& job,
+                     const std::string& arg) -> std::size_t {
+    const long shard = std::strtol(arg.c_str(), nullptr, 10);
+    if (shard < 0 || static_cast<std::size_t>(shard) >= job.shard_done.size()) {
+      return job.shard_done.size();  // out of range: sentinel
+    }
+    return static_cast<std::size_t>(shard);
+  };
+  auto terminal = [](const ReplayedJob& job) {
+    return job.state == ReplayedJob::State::kDone ||
+           job.state == ReplayedJob::State::kFailed ||
+           job.state == ReplayedJob::State::kQuarantined;
+  };
+
+  for (const JournalRecord& record : records) {
+    if (record.verb == "submit" && record.args.size() >= 2) {
+      if (find(record.args[0]) != nullptr) continue;  // duplicate submit
+      ReplayedJob job;
+      const long shards = std::strtol(record.args[1].c_str(), nullptr, 10);
+      job.shards = shards > 0 ? static_cast<std::uint32_t>(shards) : 1;
+      job.shard_done.assign(job.shards, false);
+      job.shard_pid.assign(job.shards, 0);
+      state.jobs.emplace(record.args[0], std::move(job));
+    } else if (record.verb == "start" && record.args.size() >= 3) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || terminal(*job)) continue;
+      const std::size_t shard = shard_of(*job, record.args[1]);
+      if (shard >= job->shard_done.size()) continue;
+      job->state = ReplayedJob::State::kRunning;
+      job->shard_pid[shard] = std::strtol(record.args[2].c_str(), nullptr, 10);
+    } else if (record.verb == "shard-done" && record.args.size() >= 2) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || terminal(*job)) continue;
+      const std::size_t shard = shard_of(*job, record.args[1]);
+      if (shard >= job->shard_done.size()) continue;
+      job->shard_done[shard] = true;
+      job->shard_pid[shard] = 0;
+    } else if (record.verb == "crash" && record.args.size() >= 2) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || terminal(*job)) continue;
+      const std::size_t shard = shard_of(*job, record.args[1]);
+      if (shard < job->shard_pid.size()) job->shard_pid[shard] = 0;
+      ++job->crashes;
+    } else if (record.verb == "quarantine" && record.args.size() >= 1) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || job->state == ReplayedJob::State::kDone) continue;
+      job->state = ReplayedJob::State::kQuarantined;
+    } else if (record.verb == "fail" && record.args.size() >= 1) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || terminal(*job)) continue;
+      job->state = ReplayedJob::State::kFailed;
+      job->fail_reason = record.args.size() >= 2 ? record.args[1] : "";
+    } else if (record.verb == "done" && record.args.size() >= 1) {
+      ReplayedJob* job = find(record.args[0]);
+      if (job == nullptr || terminal(*job)) continue;
+      job->state = ReplayedJob::State::kDone;
+      job->exit_code =
+          record.args.size() >= 2
+              ? static_cast<int>(std::strtol(record.args[1].c_str(), nullptr,
+                                             10))
+              : 0;
+    } else if (record.verb == "drain") {
+      state.drain_requested = true;
+    }
+    // Unknown verbs: skipped (forward compatibility).
+  }
+  return state;
+}
+
+}  // namespace accu::serve

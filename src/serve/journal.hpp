@@ -1,0 +1,120 @@
+// Write-ahead journal for the serve daemon's job queue.
+//
+// Every queue transition (submit, shard start, shard completion, crash,
+// quarantine, failure, job completion, drain) is appended as one fsynced
+// line *before* the daemon acts on it, so a `kill -9` at any instant loses
+// at most the in-flight record — never a completed state change.  On
+// restart the journal is replayed into a state machine and the daemon
+// resumes exactly where the log ends; the per-cell sweep state itself
+// lives in the shard checkpoint files, so a lost `start` record merely
+// re-runs a shard whose checkpoint already holds its finished cells.
+//
+// Format (line-oriented, mirrors the checkpoint v2 conventions):
+//
+//     # accu-serve-journal v1
+//     <verb> <arg> ... <crc32-8hex>\n
+//
+// The CRC trailer covers the payload (everything before the final
+// space-separated token).  Arguments must not contain whitespace.  A torn
+// or bit-rotted tail is detected by the CRC / missing-newline check and
+// truncated deterministically on open, exactly like a torn checkpoint
+// block: records after the first invalid line are dropped even if they
+// would individually verify, because append order is the source of truth.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+
+namespace accu::serve {
+
+struct JournalRecord {
+  std::string verb;
+  std::vector<std::string> args;
+};
+
+/// What reading a journal file yielded.  `valid_end` is the byte offset
+/// just past the last verifiable record — everything beyond it is torn or
+/// corrupt and must be truncated before appending.
+struct JournalLoad {
+  std::vector<JournalRecord> records;
+  std::uint64_t valid_end = 0;
+  std::uint64_t file_size = 0;
+  bool existed = false;
+};
+
+/// Reads and verifies a journal.  A missing file yields an empty load
+/// (existed = false); a file whose header line is damaged yields
+/// valid_end = 0 (the whole file is discarded).  Never throws on
+/// corruption — corruption is an expected crash artifact, reported via
+/// valid_end < file_size.  Throws IoError only when the file exists but
+/// cannot be read at all.
+[[nodiscard]] JournalLoad read_journal(const std::string& path);
+
+/// Formats one record line (payload + CRC trailer + newline), the exact
+/// bytes JobJournal::append writes.  Throws InvalidArgument if the verb or
+/// any argument contains whitespace.
+[[nodiscard]] std::string format_journal_record(
+    const std::string& verb, const std::vector<std::string>& args);
+
+/// Append handle.  `open` creates the file with its header, or truncates a
+/// torn tail of an existing file; `append` writes one record and fsyncs it
+/// before returning, so a record the caller has seen acknowledged survives
+/// any subsequent crash.
+class JobJournal {
+ public:
+  /// Opens (creating or repairing) the journal; returns the records that
+  /// survived verification, replaying duties to the caller.
+  JournalLoad open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+  /// Raw descriptor for fork hygiene (see DurableAppender::fd).
+  [[nodiscard]] int fd() const noexcept { return out_.fd(); }
+  void append(const std::string& verb,
+              const std::vector<std::string>& args = {});
+
+ private:
+  util::DurableAppender out_;
+};
+
+// ---------------------------------------------------------------------------
+// Replay: fold the record stream into per-job state.
+
+struct ReplayedJob {
+  enum class State : std::uint8_t {
+    kQueued = 0,
+    kRunning = 1,
+    kDone = 2,
+    kFailed = 3,
+    kQuarantined = 4,
+  };
+  State state = State::kQueued;
+  std::uint32_t shards = 1;
+  std::vector<bool> shard_done;
+  /// Last journaled worker pid per shard; 0 = none recorded.  After a
+  /// daemon crash these are the candidates for orphan recovery.
+  std::vector<long> shard_pid;
+  std::uint32_t crashes = 0;
+  int exit_code = 0;
+  std::string fail_reason;
+};
+
+[[nodiscard]] const char* replayed_state_name(
+    ReplayedJob::State state) noexcept;
+
+struct ReplayState {
+  /// Keyed by job id; std::map keeps submission (id) order.
+  std::map<std::string, ReplayedJob> jobs;
+  bool drain_requested = false;
+};
+
+/// Folds records into job states.  Idempotent under duplicated records
+/// (a crash can duplicate at most the acted-on-but-re-journaled tail) and
+/// tolerant of unknown verbs (skipped — forward compatibility).
+[[nodiscard]] ReplayState replay_journal(
+    const std::vector<JournalRecord>& records);
+
+}  // namespace accu::serve

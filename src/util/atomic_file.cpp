@@ -29,13 +29,6 @@ std::string directory_of(const std::string& path) {
 }
 
 #ifdef ACCU_HAVE_POSIX_IO
-void fsync_directory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return;  // best effort: not all filesystems allow dir opens
-  (void)::fsync(fd);
-  (void)::close(fd);
-}
-
 void write_all(int fd, const char* data, std::size_t len,
                const std::string& path) {
   while (len > 0) {
@@ -51,6 +44,23 @@ void write_all(int fd, const char* data, std::size_t len,
 #endif
 
 }  // namespace
+
+bool fsync_dir(const std::string& dir) noexcept {
+#ifdef ACCU_HAVE_POSIX_IO
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;  // not all filesystems allow dir opens
+  const bool ok = ::fsync(fd) == 0;
+  (void)::close(fd);
+  return ok;
+#else
+  (void)dir;
+  return false;  // no durability guarantees on the stdio fallback
+#endif
+}
+
+bool fsync_parent_dir(const std::string& path) noexcept {
+  return fsync_dir(directory_of(path));
+}
 
 void write_file_atomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
@@ -74,7 +84,7 @@ void write_file_atomic(const std::string& path, const std::string& content) {
     (void)::unlink(tmp.c_str());
     io_fail("cannot rename into place", path);
   }
-  fsync_directory(directory_of(path));
+  (void)fsync_parent_dir(path);
 #else
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) io_fail("cannot create", tmp);
@@ -118,6 +128,9 @@ void DurableAppender::open(const std::string& path) {
 #ifdef ACCU_HAVE_POSIX_IO
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) io_fail("cannot open for append", path);
+  // If the open just created the file, its *name* exists only in the
+  // directory; records synced into an unlinked-by-crash inode are lost.
+  (void)fsync_parent_dir(path);
 #else
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) io_fail("cannot open for append", path);

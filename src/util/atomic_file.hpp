@@ -29,6 +29,17 @@ namespace accu::util {
 /// Throws IoError on any failure; the target is untouched in that case.
 void write_file_atomic(const std::string& path, const std::string& content);
 
+/// Flushes a directory's entry table to stable storage.  A rename or a
+/// freshly created file is durable only once its *directory* is fsynced —
+/// fsyncing the file alone leaves the name itself at the mercy of a power
+/// loss.  Best effort: returns false (never throws) where the platform or
+/// filesystem refuses directory fsync, in which case crashes may lose the
+/// newest names but the code stays correct.
+bool fsync_dir(const std::string& dir) noexcept;
+
+/// fsync_dir on the directory containing `path` ("." for a bare name).
+bool fsync_parent_dir(const std::string& path) noexcept;
+
 /// Truncates `path` to `length` bytes.  Throws IoError on failure.
 void truncate_file(const std::string& path, std::uint64_t length);
 
@@ -54,6 +65,10 @@ class DurableAppender {
 
   /// Current size of the file in bytes.
   [[nodiscard]] std::uint64_t size() const;
+
+  /// The raw descriptor (-1 when closed) — lets a forked child close its
+  /// inherited copy so it never pins the parent's append stream.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:
   int fd_ = -1;

@@ -1,0 +1,30 @@
+// Process exit codes shared by every accu binary (accu, accu_merge, the
+// serve daemon and its workers).  One table instead of scattered magic
+// numbers, so shell scripts — tools/ci.sh above all — can branch on a
+// stable contract:
+//
+//   0    success
+//   1    unhandled error (exception reached main)
+//   2    usage error (bad command line)
+//   3    merge found grid cells missing from every input
+//   4    serve: at least one job was quarantined as poisoned
+//   5    serve: another daemon already holds the root's pid lock
+//   130  interrupted (SIGINT/SIGTERM drain; 128 + SIGINT by convention) —
+//        state is checkpointed/journaled and resumable
+//
+// Codes are values, not an enum: they cross process boundaries (waitpid,
+// shell $?), where the integer itself is the interface.
+
+#pragma once
+
+namespace accu::util::exit_code {
+
+inline constexpr int kOk = 0;
+inline constexpr int kFailure = 1;
+inline constexpr int kUsage = 2;
+inline constexpr int kMissingCells = 3;
+inline constexpr int kQuarantined = 4;
+inline constexpr int kAlreadyRunning = 5;
+inline constexpr int kInterrupted = 130;
+
+}  // namespace accu::util::exit_code

@@ -1,0 +1,90 @@
+#include "util/lockfile.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ACCU_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+namespace accu::util {
+
+PidFile::~PidFile() { release(); }
+
+bool PidFile::try_acquire(const std::string& path) {
+  if (held()) throw IoError("PidFile: already holding " + path_);
+#ifdef ACCU_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    throw IoError("cannot open pid file " + path + ": " +
+                  std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    (void)::close(fd);
+    if (errno == EWOULDBLOCK || errno == EAGAIN) return false;
+    throw IoError("cannot lock pid file " + path + ": " +
+                  std::strerror(errno));
+  }
+  char buf[32];
+  const int len =
+      std::snprintf(buf, sizeof buf, "%ld\n", static_cast<long>(::getpid()));
+  bool ok = ::ftruncate(fd, 0) == 0;
+  ok = ok && ::write(fd, buf, static_cast<std::size_t>(len)) == len;
+  ok = ok && ::fsync(fd) == 0;
+  if (!ok) {
+    const int saved = errno;
+    (void)::close(fd);  // closing drops the flock
+    throw IoError("cannot record pid in " + path + ": " +
+                  std::strerror(saved));
+  }
+  (void)fsync_parent_dir(path);
+  fd_ = fd;
+#else
+  // Create-exclusive fallback: no lock to inherit-release on crash, so a
+  // stale file blocks successors until removed by hand.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f != nullptr) {
+    std::fclose(f);
+    return false;
+  }
+  f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot create pid file " + path);
+  std::fprintf(f, "0\n");
+  std::fclose(f);
+  fd_ = 0;
+#endif
+  path_ = path;
+  return true;
+}
+
+void PidFile::release() noexcept {
+  if (!held()) return;
+#ifdef ACCU_HAVE_POSIX_IO
+  // Unlink before close: we still hold the flock while removing the name,
+  // so no live daemon's file is ever deleted from under it.
+  (void)::unlink(path_.c_str());
+  (void)::close(fd_);
+#else
+  std::remove(path_.c_str());
+#endif
+  fd_ = -1;
+  path_.clear();
+}
+
+long PidFile::read_pid(const std::string& path) noexcept {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  long pid = 0;
+  const int got = std::fscanf(f, "%ld", &pid);
+  std::fclose(f);
+  return got == 1 && pid > 0 ? pid : 0;
+}
+
+}  // namespace accu::util

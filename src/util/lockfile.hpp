@@ -1,0 +1,50 @@
+// Pid-file lock for singleton daemons (the `accu serve` front door).
+//
+// The classic pidfile race — a stale file from a crashed daemon blocking
+// every successor — is avoided by locking the file with flock(2) instead of
+// trusting its contents: the lock dies with the process, so a SIGKILLed
+// daemon releases the root automatically while a *live* one keeps any
+// second instance out (two daemons appending to one journal would corrupt
+// the queue).  The recorded pid is advisory, for `status` and operators.
+//
+// On platforms without flock the guard degrades to create-exclusive
+// semantics: correct against concurrent starts, but a crash leaves a stale
+// file the operator must remove.
+
+#pragma once
+
+#include <string>
+
+namespace accu::util {
+
+class PidFile {
+ public:
+  PidFile() = default;
+  ~PidFile();
+  PidFile(const PidFile&) = delete;
+  PidFile& operator=(const PidFile&) = delete;
+
+  /// Tries to take the exclusive lock on `path`, recording this process's
+  /// pid inside.  Returns false when another live process holds it; throws
+  /// IoError only on genuine I/O failure (unwritable directory, ...).
+  [[nodiscard]] bool try_acquire(const std::string& path);
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// The raw descriptor (-1 when not held).  A forked child must close its
+  /// inherited copy: flock lives on the open file description, so a child
+  /// that keeps the fd would hold the lock past the parent's death.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Drops the lock and removes the file (no-op when not held).
+  void release() noexcept;
+
+  /// Advisory: the pid recorded in a lock file, or 0 when unreadable.
+  [[nodiscard]] static long read_pid(const std::string& path) noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace accu::util

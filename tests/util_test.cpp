@@ -16,6 +16,8 @@
 #include "util/cancel.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/exit_codes.hpp"
+#include "util/lockfile.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -553,6 +555,37 @@ TEST(AtomicFileTest, TruncateFileDropsTheTail) {
   EXPECT_EQ(slurp(path), "keep this");
 }
 
+TEST(AtomicFileTest, FsyncDirFlushesARealDirectory) {
+  // The helper behind durable renames/creates: it must succeed on a real
+  // directory and report (not throw) failure on a bogus path, since every
+  // caller treats directory fsync as best effort.
+  EXPECT_TRUE(fsync_dir(testing::TempDir()));
+  EXPECT_FALSE(fsync_dir(testing::TempDir() + "no_such_dir_accu"));
+}
+
+TEST(AtomicFileTest, FsyncParentDirResolvesTheContainingDirectory) {
+  const std::string path = util_temp_path("accu_parent_sync.txt");
+  write_file_atomic(path, "x");
+  EXPECT_TRUE(fsync_parent_dir(path));
+  EXPECT_FALSE(fsync_parent_dir(testing::TempDir() +
+                                "no_such_dir_accu/file.txt"));
+  // A bare filename's parent is the working directory.
+  EXPECT_TRUE(fsync_parent_dir("bare_name_without_slash"));
+}
+
+TEST(DurableAppenderTest, CreatingAnAppendFileSyncsItsDirectory) {
+  // A journal created by open() must be findable after a power loss: the
+  // open fsyncs the parent directory, not just (later) the file bytes.
+  const std::string path = util_temp_path("accu_append_create.txt");
+  DurableAppender out;
+  out.open(path);
+  ASSERT_TRUE(out.is_open());
+  out.append("record\n");
+  out.sync();
+  out.close();
+  EXPECT_EQ(slurp(path), "record\n");
+}
+
 TEST(DurableAppenderTest, AppendsSyncsAndReportsSize) {
   const std::string path = util_temp_path("accu_append.txt");
   DurableAppender out;
@@ -572,6 +605,46 @@ TEST(DurableAppenderTest, AppendsSyncsAndReportsSize) {
   again.append("three\n");
   again.close();
   EXPECT_EQ(slurp(path), "one\ntwo\nthree\n");
+}
+
+// ------------------------------------------------------------- pid lock ----
+
+TEST(PidFileTest, AcquireRecordsPidAndExcludesSecondHolder) {
+  const std::string path = util_temp_path("accu_pidfile.lock");
+  PidFile first;
+  ASSERT_TRUE(first.try_acquire(path));
+  EXPECT_TRUE(first.held());
+  EXPECT_GT(PidFile::read_pid(path), 0);
+  // flock is per open-file-description, so a second holder — even in the
+  // same process — is refused while the first lives.
+  PidFile second;
+  EXPECT_FALSE(second.try_acquire(path));
+  first.release();
+  EXPECT_FALSE(first.held());
+  // A clean release removes the file and frees the lock for successors.
+  EXPECT_EQ(PidFile::read_pid(path), 0);
+  EXPECT_TRUE(second.try_acquire(path));
+  second.release();
+}
+
+TEST(PidFileTest, ReadPidOnMissingOrGarbageFileIsZero) {
+  const std::string path = util_temp_path("accu_pidfile_garbage.lock");
+  EXPECT_EQ(PidFile::read_pid(path), 0);
+  write_file_atomic(path, "not a pid\n");
+  EXPECT_EQ(PidFile::read_pid(path), 0);
+}
+
+// ------------------------------------------------------------ exit codes ----
+
+TEST(ExitCodesTest, ContractValuesAreStable) {
+  // Shell scripts (tools/ci.sh) branch on these exact integers.
+  EXPECT_EQ(exit_code::kOk, 0);
+  EXPECT_EQ(exit_code::kFailure, 1);
+  EXPECT_EQ(exit_code::kUsage, 2);
+  EXPECT_EQ(exit_code::kMissingCells, 3);
+  EXPECT_EQ(exit_code::kQuarantined, 4);
+  EXPECT_EQ(exit_code::kAlreadyRunning, 5);
+  EXPECT_EQ(exit_code::kInterrupted, 130);
 }
 
 // ---------------------------------------------------------- cancellation ----

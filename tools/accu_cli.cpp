@@ -15,6 +15,7 @@
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,7 +35,10 @@
 #include "datasets/datasets.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/dot.hpp"
+#include "serve/daemon.hpp"
+#include "serve/job.hpp"
 #include "util/cancel.hpp"
+#include "util/exit_codes.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -78,7 +82,12 @@ constexpr const char* kUsage =
     "             --seed, --top)\n"
     "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
     "             --wi, --seed)\n"
-    "  ratio      submodularity ratios, small instances only (--in=FILE)\n";
+    "  ratio      submodularity ratios, small instances only (--in=FILE)\n"
+    "  serve      crash-safe sweep daemon (accu serve <run|submit|status|\n"
+    "             stop> --root=DIR; run: --workers, --max-queued, --rate,\n"
+    "             --burst, --crash-budget, --poll-ms, --exit-when-idle;\n"
+    "             submit: --kind=compare|simulate|sweep plus the compare/\n"
+    "             generate knobs, --name, --job-deadline-ms)\n";
 
 AccuInstance load_instance(const util::Options& opts) {
   const std::string path = opts.get("in", "");
@@ -231,7 +240,7 @@ int cmd_attack(const util::Options& opts) {
                  "attack: every attempt exceeded --deadline-ms=%u "
                  "(%u attempts); raise the deadline or --max-cell-retries\n",
                  deadline_ms, max_retries + 1);
-    return 1;
+    return util::exit_code::kFailure;
   }
   std::printf("%s, budget %u: benefit %.1f, friends %u (cautious %u)\n",
               policy->name().c_str(), k, result.total_benefit,
@@ -313,13 +322,9 @@ int cmd_compare(const util::Options& opts) {
   const InstanceFactory factory = [&instance](std::uint32_t, std::uint64_t) {
     return instance;
   };
-  const std::vector<StrategyFactory> strategies = {
-      {"ABM", [] { return std::make_unique<AbmStrategy>(0.5, 0.5); }},
-      {"Greedy", [] { return std::make_unique<AbmStrategy>(1.0, 0.0); }},
-      {"MaxDegree", [] { return std::make_unique<MaxDegreeStrategy>(); }},
-      {"PageRank", [] { return std::make_unique<PageRankStrategy>(); }},
-      {"Random", [] { return std::make_unique<RandomStrategy>(); }},
-  };
+  // The roster lives in serve/job.cpp so daemon-produced reports stay
+  // byte-identical to direct compare reports.
+  const std::vector<StrategyFactory> strategies = serve::compare_roster();
   const ExperimentResult result = run_experiment(factory, strategies, config);
   if (config.shard_count > 1) {
     std::fprintf(stderr,
@@ -383,7 +388,7 @@ int cmd_compare(const util::Options& opts) {
                    "--resume=%s\n",
                    config.checkpoint_path.c_str());
     }
-    return 130;  // conventional exit code for SIGINT
+    return util::exit_code::kInterrupted;
   }
   if (opts.has("report")) {
     std::ofstream os(opts.get("report", ""));
@@ -459,7 +464,7 @@ int cmd_merge(const util::Options& opts) {
                  "merge: %zu grid cells missing — run the absent shards "
                  "and re-merge (--allow-missing accepts a partial merge)\n",
                  merged.cells_missing);
-    return 3;
+    return util::exit_code::kMissingCells;
   }
   return 0;
 }
@@ -568,10 +573,107 @@ int cmd_ratio(const util::Options& opts) {
   return 0;
 }
 
+int cmd_serve(const util::Options& opts) {
+  const std::vector<std::string>& pos = opts.positional();
+  const std::string action = pos.empty() ? "" : pos[0];
+  const std::string root = opts.get("root", "");
+  if (root.empty()) {
+    throw InvalidArgument("serve: missing --root=DIR (the daemon's state "
+                          "directory)");
+  }
+  if (action == "run") {
+    serve::ServeConfig config;
+    config.root = root;
+    config.workers =
+        static_cast<std::uint32_t>(opts.get_int("workers", 2));
+    config.admission.max_queued =
+        static_cast<std::size_t>(opts.get_int("max-queued", 16));
+    config.admission.start_rate = opts.get_double("rate", 4.0);
+    config.admission.start_burst = opts.get_double("burst", 4.0);
+    config.admission.crash_budget =
+        static_cast<std::uint32_t>(opts.get_int("crash-budget", 3));
+    config.poll_ms =
+        static_cast<std::uint32_t>(opts.get_int("poll-ms", 50));
+    config.exit_when_idle = opts.get_bool("exit-when-idle", false);
+    // SIGTERM/SIGINT drain the queue at cell granularity; every
+    // non-terminal job stays resumable by the next `accu serve run`.
+    config.stop_flag = &g_interrupted;
+    install_interrupt_handlers();
+    return serve::run_daemon(config);
+  }
+  if (action == "submit") {
+    serve::JobSpec spec;
+    spec.kind = opts.get("kind", spec.kind);
+    spec.instance = opts.get("in", "");
+    spec.dataset = opts.get("dataset", spec.dataset);
+    spec.scale = opts.get_double("scale", spec.scale);
+    spec.cautious =
+        static_cast<std::uint32_t>(opts.get_int("cautious", spec.cautious));
+    spec.budget = static_cast<std::uint32_t>(opts.get_int("k", 100));
+    spec.samples =
+        static_cast<std::uint32_t>(opts.get_int("samples", spec.samples));
+    spec.runs = static_cast<std::uint32_t>(opts.get_int("runs", 10));
+    spec.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+    spec.fault_rate = opts.get_double("fault-rate", 0.0);
+    spec.suspension_rounds =
+        static_cast<std::uint32_t>(opts.get_int("suspension-rounds", 3));
+    spec.retry = opts.get("retry", "none");
+    spec.cell_deadline_ms =
+        static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
+    spec.max_cell_retries =
+        static_cast<std::uint32_t>(opts.get_int("max-cell-retries", 0));
+    spec.deadline_ms =
+        static_cast<std::uint64_t>(opts.get_int("job-deadline-ms", 0));
+    spec.threads = static_cast<std::uint32_t>(opts.get_int("threads", 1));
+    // Round-trip through the descriptor parser so a bad submission fails
+    // here, at the keyboard, instead of poisoning the daemon's queue.
+    (void)serve::parse_job(serve::serialize_job(spec));
+    std::filesystem::create_directories(root + "/spool");
+    const std::string path =
+        serve::submit_job(root + "/spool", spec, opts.get("name", ""));
+    std::printf("queued %s\n", path.c_str());
+    return util::exit_code::kOk;
+  }
+  if (action == "status") {
+    const std::vector<serve::JobStatus> status = serve::read_status(root);
+    if (status.empty()) {
+      std::printf("no jobs at %s\n", root.c_str());
+      return util::exit_code::kOk;
+    }
+    util::Table table({"job", "state", "cells", "cell ms", "eta s",
+                       "crashes", "detail"});
+    for (const serve::JobStatus& job : status) {
+      char cells[48];
+      std::snprintf(cells, sizeof cells, "%zu/%zu", job.cells_done,
+                    job.cells_total);
+      table.row()
+          .cell(job.id)
+          .cell(job.state)
+          .cell(cells)
+          .cell(job.ema_cell_ms, 1)
+          .cell(job.eta_s, 1)
+          .cell_int(static_cast<long long>(job.crashes))
+          .cell(job.detail);
+    }
+    table.print(std::cout);
+    return util::exit_code::kOk;
+  }
+  if (action == "stop") {
+    serve::request_stop(root);
+    std::printf("drain requested at %s (the daemon exits once every worker "
+                "has stopped at a cell boundary)\n",
+                root.c_str());
+    return util::exit_code::kOk;
+  }
+  std::fprintf(stderr,
+               "usage: accu serve <run|submit|status|stop> --root=DIR\n");
+  return util::exit_code::kUsage;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
-    return 2;
+    return util::exit_code::kUsage;
   }
   const std::string command = argv[1];
   util::Options opts(argc - 1, argv + 1);
@@ -618,7 +720,24 @@ int dispatch(int argc, char** argv) {
                "merge the per-shard checkpoints with 'accu merge'")
       .declare("allow-missing",
                "exit 0 even when grid cells are absent from every input "
-               "(merge)");
+               "(merge)")
+      .declare("root", "serve state directory (serve)")
+      .declare("workers", "max concurrent worker processes (serve run)")
+      .declare("max-queued", "admission bound on queued+running jobs "
+               "(serve run)")
+      .declare("rate", "token-bucket job-start rate per second (serve run)")
+      .declare("burst", "token-bucket burst size (serve run)")
+      .declare("crash-budget",
+               "worker crashes before a job is quarantined (serve run)")
+      .declare("poll-ms", "scheduler tick in ms (serve run)")
+      .declare("exit-when-idle",
+               "exit once the queue is empty and jobs are terminal "
+               "(serve run)")
+      .declare("name", "spool file base name (serve submit)")
+      .declare("kind", "job kind: compare|simulate|sweep (serve submit)")
+      .declare("samples", "sample networks per dataset (serve submit)")
+      .declare("job-deadline-ms",
+               "whole-job wall-clock deadline; 0 = none (serve submit)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);
@@ -628,8 +747,9 @@ int dispatch(int argc, char** argv) {
   if (command == "assess") return cmd_assess(opts);
   if (command == "swarm") return cmd_swarm(opts);
   if (command == "ratio") return cmd_ratio(opts);
+  if (command == "serve") return cmd_serve(opts);
   std::fputs(kUsage, stderr);
-  return 2;
+  return util::exit_code::kUsage;
 }
 
 }  // namespace
@@ -639,6 +759,6 @@ int main(int argc, char** argv) {
     return dispatch(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "accu: %s\n", e.what());
-    return 1;
+    return util::exit_code::kFailure;
   }
 }

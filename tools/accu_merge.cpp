@@ -23,6 +23,7 @@
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "util/exit_codes.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -45,7 +46,7 @@ int run(int argc, char** argv) {
                  "usage: accu_merge [--out=MERGED] [--report=FILE] "
                  "[--curves=FILE] SHARD.ckpt [SHARD.ckpt ...]\n%s",
                  opts.help_text().c_str());
-    return 2;
+    return util::exit_code::kUsage;
   }
 
   const ShardMergeOutcome merged =
@@ -101,9 +102,9 @@ int run(int argc, char** argv) {
                  "shards and re-merge (--allow-missing accepts a partial "
                  "merge)\n",
                  merged.cells_missing);
-    return 3;
+    return util::exit_code::kMissingCells;
   }
-  return 0;
+  return util::exit_code::kOk;
 }
 
 }  // namespace
@@ -113,6 +114,6 @@ int main(int argc, char** argv) {
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "accu_merge: %s\n", e.what());
-    return 1;
+    return util::exit_code::kFailure;
   }
 }
