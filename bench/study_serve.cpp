@@ -7,7 +7,15 @@
 //   * scheduler overhead per cell — wall-clock of a daemon-run job
 //     (journal, forked workers, per-cell checkpoint fsyncs, merge, report)
 //     versus the identical run_experiment call in-process;
-//   * throughput scaling — daemon cells/second at 1, 2, and 4 workers.
+//   * throughput scaling — daemon cells/second at 1, 2, and 4 workers,
+//     per durability mode (strict fsync-per-cell vs grouped commit).
+//
+// The durability axis is the point: strict mode's per-cell fsync is the
+// serve throughput ceiling — worker processes gain nothing because their
+// fsyncs serialize on the same device write queue (workers_2 ≈ workers_1
+// in BENCH_serve.json history).  Grouped commit amortizes that fsync over
+// group-cells, so it both lifts single-worker throughput and restores
+// worker scaling.
 //
 // `--json=FILE` snapshots the numbers for BENCH_serve.json.
 
@@ -64,6 +72,11 @@ int run(int argc, char** argv) {
       .declare("runs", "repetitions = grid cells (default 96)")
       .declare("seed", "master seed")
       .declare("submits", "spool writes for the latency probe (default 64)")
+      .declare("durability",
+               "daemon axis: strict | grouped | both (default both)")
+      .declare("group-cells", "grouped mode: fsync every N cells (default 64)")
+      .declare("group-ms", "grouped mode: fsync at least every T ms "
+                           "(default 100)")
       .declare("json", "write a JSON snapshot to this path");
   opts.check_unknown();
   const double scale = opts.get_double("scale", 0.03);
@@ -115,16 +128,37 @@ int run(int argc, char** argv) {
   if (!direct.failures.empty()) throw IoError("baseline sweep failed");
   const double cells = static_cast<double>(runs);
 
-  // --- daemon runs ---------------------------------------------------------
+  // --- daemon runs: durability × workers -----------------------------------
+  const std::string axis = opts.get("durability", "both");
+  std::vector<std::string> modes;
+  if (axis == "both") {
+    modes = {"strict", "grouped"};
+  } else {
+    (void)util::DurabilityPolicy::parse_mode(axis);  // reject typos early
+    modes = {axis};
+  }
   const std::vector<std::uint32_t> worker_counts = {1, 2, 4};
-  std::vector<double> daemon_s;
-  for (const std::uint32_t workers : worker_counts) {
-    char dir[48];
-    std::snprintf(dir, sizeof dir, "accu_study_serve_w%u", workers);
-    daemon_s.push_back(time_daemon_run(fresh_dir(dir), spec, workers));
+  // seconds[mode][i] for worker_counts[i]
+  std::vector<std::vector<double>> seconds;
+  for (const std::string& mode : modes) {
+    serve::JobSpec mode_spec = spec;
+    mode_spec.durability = mode;
+    mode_spec.group_cells =
+        static_cast<std::uint32_t>(opts.get_int("group-cells", 64));
+    mode_spec.group_ms =
+        static_cast<std::uint32_t>(opts.get_int("group-ms", 100));
+    std::vector<double> per_workers;
+    for (const std::uint32_t workers : worker_counts) {
+      char dir[64];
+      std::snprintf(dir, sizeof dir, "accu_study_serve_%s_w%u",
+                    mode.c_str(), workers);
+      per_workers.push_back(time_daemon_run(fresh_dir(dir), mode_spec,
+                                            workers));
+    }
+    seconds.push_back(std::move(per_workers));
   }
   const double overhead_ms_per_cell =
-      (daemon_s[0] - direct_s) * 1000.0 / cells;
+      (seconds[0][0] - direct_s) * 1000.0 / cells;
 
   util::Table table({"probe", "value"});
   char buf[64];
@@ -135,13 +169,21 @@ int run(int argc, char** argv) {
   std::snprintf(buf, sizeof buf, "%.1f", cells / direct_s);
   table.row().cell("direct cells/s").cell(buf);
   std::snprintf(buf, sizeof buf, "%.3f", overhead_ms_per_cell);
-  table.row().cell("serve overhead ms/cell (1 worker)").cell(buf);
-  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
-    std::snprintf(buf, sizeof buf, "%.1f", cells / daemon_s[i]);
-    char label[40];
-    std::snprintf(label, sizeof label, "serve cells/s @ %u worker(s)",
-                  worker_counts[i]);
-    table.row().cell(label).cell(buf);
+  table.row().cell("serve overhead ms/cell (" + modes[0] + ", 1 worker)")
+      .cell(buf);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%.1f", cells / seconds[m][i]);
+      char label[56];
+      std::snprintf(label, sizeof label, "serve cells/s (%s) @ %u worker(s)",
+                    modes[m].c_str(), worker_counts[i]);
+      table.row().cell(label).cell(buf);
+    }
+  }
+  if (modes.size() == 2) {
+    std::snprintf(buf, sizeof buf, "%.2fx",
+                  seconds[0][0] / seconds[1][0]);
+    table.row().cell("grouped speedup @ 1 worker").cell(buf);
   }
   bench::emit(table,
               "Study — serve daemon overhead (facebook scale " +
@@ -152,25 +194,41 @@ int run(int argc, char** argv) {
   if (opts.has("json")) {
     std::ofstream os(opts.get("json", ""));
     if (!os) throw IoError("cannot open --json file");
-    char json[768];
+    char head[512];
     std::snprintf(
-        json, sizeof json,
+        head, sizeof head,
         "{\n"
         "  \"workload\": \"facebook-%.3g compare roster, k=%u, %u cells\",\n"
         "  \"submit_latency_mean_ms\": %.3f,\n"
         "  \"submit_latency_max_ms\": %.3f,\n"
         "  \"direct_cells_per_sec\": %.1f,\n"
         "  \"serve_overhead_ms_per_cell\": %.3f,\n"
-        "  \"serve_cells_per_sec\": {\n"
-        "    \"workers_1\": %.1f,\n"
-        "    \"workers_2\": %.1f,\n"
-        "    \"workers_4\": %.1f\n"
-        "  }\n"
-        "}\n",
+        "  \"serve_cells_per_sec\": {\n",
         scale, budget, runs, submit_mean_ms, submit_max_ms,
-        cells / direct_s, overhead_ms_per_cell, cells / daemon_s[0],
-        cells / daemon_s[1], cells / daemon_s[2]);
-    os << json;
+        cells / direct_s, overhead_ms_per_cell);
+    os << head;
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      char block[256];
+      std::snprintf(block, sizeof block,
+                    "    \"%s\": {\n"
+                    "      \"workers_1\": %.1f,\n"
+                    "      \"workers_2\": %.1f,\n"
+                    "      \"workers_4\": %.1f\n"
+                    "    }%s\n",
+                    modes[m].c_str(), cells / seconds[m][0],
+                    cells / seconds[m][1], cells / seconds[m][2],
+                    m + 1 < modes.size() ? "," : "");
+      os << block;
+    }
+    os << "  }";
+    if (modes.size() == 2) {
+      char speedup[128];
+      std::snprintf(speedup, sizeof speedup,
+                    ",\n  \"grouped_speedup_workers_1\": %.2f",
+                    seconds[0][0] / seconds[1][0]);
+      os << speedup;
+    }
+    os << "\n}\n";
     std::printf("JSON snapshot written to %s\n",
                 opts.get("json", "").c_str());
   }

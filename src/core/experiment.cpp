@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -574,6 +575,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                                 const std::vector<StrategyFactory>& strategies,
                                 const ExperimentConfig& config) {
   config.faults.validate();
+  config.durability.validate();
   if (config.shard_count == 0 ||
       config.shard_index >= config.shard_count) {
     throw InvalidArgument(
@@ -636,12 +638,15 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   };
 
   // Checkpoint: restore completed cells, then append new ones as they
-  // finish.  The header write is atomic (temp + fsync + rename) and every
-  // appended block is fsynced, so a crash at any instant leaves a file the
-  // loader can resume from.
+  // finish.  The header write is atomic (temp + fsync + rename) and
+  // appended blocks are fsynced per the durability policy (strict: every
+  // cell; grouped: every N cells / T ms plus a forced flush on every stop
+  // path), so a crash at any instant leaves a file the loader can resume
+  // from — grouped merely widens the re-run window to the last uncommitted
+  // group.
   const CheckpointFingerprint fingerprint =
       fingerprint_of(config, result.strategy_names);
-  util::DurableAppender checkpoint_out;
+  util::GroupCommitAppender checkpoint_out;
   std::mutex checkpoint_mutex;
   if (!config.checkpoint_path.empty()) {
     bool existing = false;
@@ -683,7 +688,13 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
       util::write_file_atomic(config.checkpoint_path,
                               checkpoint_header(fingerprint));
     }
-    checkpoint_out.open(config.checkpoint_path);
+    checkpoint_out.open(config.checkpoint_path, config.durability);
+    if (config.durability.mode == util::DurabilityPolicy::Mode::kGrouped) {
+      util::log_info(
+          "experiment: grouped durability — fsync every %u cells / %u ms "
+          "(crash re-runs at most the last uncommitted group)",
+          config.durability.group_cells, config.durability.group_ms);
+    }
     if (restored > 0) {
       util::log_info("experiment: resumed %zu/%zu cells from %s", restored,
                      owned_tasks, config.checkpoint_path.c_str());
@@ -694,6 +705,12 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   std::mutex failure_mutex;
   std::atomic<bool> stop{false};         // no new cells may start
   std::atomic<bool> interrupted{false};  // external stop observed
+  // First checkpoint-I/O failure (ENOSPC, failed fsync, ...).  Unlike a
+  // cell failure, losing the checkpoint stream is fail-stop: recording a
+  // CellFailure and carrying on would silently drop durability for every
+  // later cell.  The pool drains and the exception is rethrown to the
+  // caller, who maps it to a dedicated exit code with a resume hint.
+  std::exception_ptr io_failure;
   auto interrupt_requested = [&config]() -> bool {
     return config.interrupt_flag != nullptr && *config.interrupt_flag != 0;
   };
@@ -799,6 +816,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
         const std::lock_guard<std::mutex> lock(slot.mu);
         slot.token.reset();
       };
+      bool cell_done = false;
       try {
         // Retried attempts re-derive the policy/fault/retry streams from a
         // fresh tag; the ground truth below stays on the original stream so
@@ -837,15 +855,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
           partials[task][s].add(worker.outcomes[s], config.budget);
         }
         release_slot();
-        if (checkpoint_out.is_open()) {
-          const std::string block = serialize_cell(task, worker.outcomes);
-          const std::lock_guard<std::mutex> lock(checkpoint_mutex);
-          checkpoint_out.append(block);
-          checkpoint_out.sync();
-        }
-        report_progress(1, attempt_timer.milliseconds(),
-                        /*restored_cells=*/false);
-        return;
+        cell_done = true;
       } catch (const util::CancelledError& e) {
         release_slot();
         // A cancelled attempt never leaves a half-aggregated trace behind.
@@ -896,6 +906,33 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
         result.failures.push_back(std::move(failure));
         return;
       }
+      // Deliberately outside the per-cell catch: a checkpoint append that
+      // throws (DiskFullError, a poisoned sync) is a durability loss, not
+      // a cell failure — it propagates to the pool driver, which stops the
+      // sweep and rethrows after the drain.
+      if (cell_done) {
+        if (checkpoint_out.is_open()) {
+          const std::string block = serialize_cell(task, worker.outcomes);
+          const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+          checkpoint_out.append_record(block);
+        }
+        report_progress(1, attempt_timer.milliseconds(),
+                        /*restored_cells=*/false);
+        return;
+      }
+    }
+  };
+
+  // Pool driver: runs one cell, converting a checkpoint-I/O exception into
+  // a sweep-wide stop (worker threads must not leak exceptions).
+  auto drive_task = [&](std::size_t task, CellSlot& slot,
+                        WorkerState& worker) {
+    try {
+      run_task(task, slot, worker);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!io_failure) io_failure = std::current_exception();
+      stop.store(true, std::memory_order_release);
     }
   };
 
@@ -943,7 +980,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
   if (workers <= 1) {
     for (std::size_t task = 0;
          task < tasks && !stop.load(std::memory_order_acquire); ++task) {
-      run_task(task, slots[0], worker_states[0]);
+      drive_task(task, slots[0], worker_states[0]);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -954,7 +991,7 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
         for (std::size_t task = next.fetch_add(1); task < tasks;
              task = next.fetch_add(1)) {
           if (stop.load(std::memory_order_acquire)) break;
-          run_task(task, slots[w], worker_states[w]);
+          drive_task(task, slots[w], worker_states[w]);
         }
       });
     }
@@ -964,9 +1001,25 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     watchdog_exit.store(true, std::memory_order_release);
     watchdog.join();
   }
+  // Forced flush on every exit path — normal completion, interrupt drain,
+  // deadline, failure — so grouped durability never leaves an acknowledged
+  // stop with unsynced cells.  A flush failure joins the fail-stop path
+  // unless an earlier I/O failure is already recorded.
   if (checkpoint_out.is_open()) {
-    checkpoint_out.sync();
+    try {
+      checkpoint_out.flush();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!io_failure) io_failure = std::current_exception();
+    }
     checkpoint_out.close();
+  }
+  if (io_failure) {
+    util::log_warn(
+        "experiment: checkpoint I/O failed — stopping the sweep; the "
+        "checkpoint on disk is a valid prefix, rerun with the same "
+        "--checkpoint to resume once the cause is fixed");
+    std::rethrow_exception(io_failure);
   }
 
   // Deterministic merge order: task-major, strategy-minor.

@@ -36,6 +36,7 @@
 
 #include "core/faults.hpp"
 #include "core/simulator.hpp"
+#include "util/atomic_file.hpp"
 #include "util/backoff.hpp"
 #include "util/stats.hpp"
 
@@ -166,6 +167,14 @@ struct ExperimentConfig {
   /// torn or CRC-failing tail is truncated with a warning on load, and v1
   /// files are still readable (upgraded to v2 in place on resume).
   std::string checkpoint_path{};
+  /// Checkpoint fsync cadence (util/atomic_file.hpp).  strict (default)
+  /// syncs every cell; grouped amortizes the fsync over group_cells /
+  /// group_ms with a forced flush on interrupt/deadline drain and at sweep
+  /// end.  A crash under grouped loses at most the last uncommitted group,
+  /// which simply re-runs on resume (CRC trailers + first-wins dedup keep
+  /// the final report bit-identical).  Not part of the checkpoint
+  /// fingerprint — like `threads`, a resume may switch modes freely.
+  util::DurabilityPolicy durability{};
   /// Wall-clock budget per (sample, run) cell in milliseconds; 0 = none.
   /// A cell that exceeds it is cancelled cooperatively (between simulation
   /// rounds) by the watchdog and recorded in ExperimentResult::failures

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/atomic_file.hpp"
+
 namespace accu {
 
 void write_instance(const AccuInstance& instance, std::ostream& os) {
@@ -34,11 +36,13 @@ void write_instance(const AccuInstance& instance, std::ostream& os) {
 
 void write_instance_file(const AccuInstance& instance,
                          const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw IoError("cannot open for writing: " + path);
+  // Atomic replace (temp + fsync + rename): a crash or ENOSPC mid-write
+  // never leaves a torn instance file behind for a later run to load, and
+  // short writes/ENOSPC surface as IoError/DiskFullError instead of a
+  // silently truncated ofstream.
+  std::ostringstream os;
   write_instance(instance, os);
-  os.flush();
-  if (!os) throw IoError("write failed: " + path);
+  util::write_file_atomic(path, os.str());
 }
 
 namespace {

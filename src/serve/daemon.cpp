@@ -10,6 +10,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -357,6 +358,18 @@ void Daemon::reap() {
       // checkpoint is flushed and the cells it holds will be reused.
       sh.phase = ShardRuntime::Phase::kPending;
     } else {
+      if (code == exit_code::kDiskFull) {
+        util::log_error(
+            "serve: job %s shard %u fail-stopped on ENOSPC; its checkpoint "
+            "is a valid prefix — the retry resumes it once space is freed",
+            job_id.c_str(), shard);
+      } else if (code == exit_code::kSyncLost) {
+        util::log_error(
+            "serve: job %s shard %u fail-stopped on a failed fsync "
+            "(dirty pages may be lost); cells synced before the failure "
+            "are safe in its checkpoint and the retry resumes from there",
+            job_id.c_str(), shard);
+      }
       journal.append("crash", {job_id, to_string_u(shard), to_string_i(code)});
       ++job->crashes;
       sh.phase = ShardRuntime::Phase::kPending;
@@ -432,8 +445,12 @@ void Daemon::scan_spool() {
     // between the two, startup adoption re-journals the directory.  The
     // other order would admit a job whose descriptor vanished.
     fs::rename(path, fs::path(job.dir + "/job.desc"));
-    (void)util::fsync_dir(job.dir);
-    (void)util::fsync_dir(spool);
+    // Both renames must be durable before the journal admits the job: a
+    // hard dir-fsync error here would let a crash resurrect the spool file
+    // *and* lose the job directory the journal references.  Fail-stop
+    // (propagates to run_daemon → kSyncLost) instead of shrugging.
+    util::checked_fsync_dir(job.dir);
+    util::checked_fsync_dir(spool);
     journal.append("submit", {job.id, to_string_u(job.shards)});
     journaled.insert(job.id);
     util::log_info("serve: admitted %s as %s (%zu grid cell(s), %u shard(s))",
@@ -467,14 +484,14 @@ void Daemon::complete_jobs() {
         job.state = JobRuntime::State::kFailed;
         continue;
       }
-      std::ofstream os(job.dir + "/report.md");
-      if (!os) throw IoError("cannot write " + job.dir + "/report.md");
       ReportOptions report_options;
       report_options.title = "accu serve — " + id;
-      write_markdown_report(merged.result, merged.config, os,
+      std::ostringstream report;
+      write_markdown_report(merged.result, merged.config, report,
                             report_options);
-      os.flush();
-      if (!os) throw IoError("short write on " + job.dir + "/report.md");
+      // Atomic + durable: the report a status query can see is always
+      // whole, and a crash right after "done" is journaled cannot lose it.
+      util::write_file_atomic(job.dir + "/report.md", report.str());
       journal.append("done", {id, "0"});
       job.state = JobRuntime::State::kDone;
       util::log_info("serve: job %s done (%zu cells merged)", id.c_str(),
@@ -603,6 +620,18 @@ int run_daemon(const ServeConfig& config) {
     Daemon daemon;
     daemon.config = config;
     return daemon.run();
+  } catch (const DiskFullError& e) {
+    util::log_error(
+        "serve: disk full — %s; the journal and shard checkpoints are "
+        "valid prefixes, restart the daemon once space is freed to resume",
+        e.what());
+    return exit_code::kDiskFull;
+  } catch (const SyncFailedError& e) {
+    util::log_error(
+        "serve: fsync failed — %s; state synced before the failure is "
+        "safe, restart the daemon once the device recovers to resume",
+        e.what());
+    return exit_code::kSyncLost;
   } catch (const std::exception& e) {
     util::log_error("serve: %s", e.what());
     return exit_code::kFailure;

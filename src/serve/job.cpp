@@ -43,6 +43,9 @@ const std::vector<std::pair<const char*, const char*>>& job_keys() {
       {"max-cell-retries", "re-runs after a blown cell deadline"},
       {"deadline-ms", "whole-job wall-clock deadline"},
       {"threads", "worker threads per shard process"},
+      {"durability", "checkpoint fsync cadence: strict | grouped"},
+      {"group-cells", "grouped durability: fsync every N cells"},
+      {"group-ms", "grouped durability: fsync at least every T ms"},
   };
   return keys;
 }
@@ -94,6 +97,11 @@ std::string serialize_job(const JobSpec& spec) {
   append_kv(body, "deadline-ms", num);
   std::snprintf(num, sizeof num, "%u", spec.threads);
   append_kv(body, "threads", num);
+  append_kv(body, "durability", spec.durability);
+  std::snprintf(num, sizeof num, "%u", spec.group_cells);
+  append_kv(body, "group-cells", num);
+  std::snprintf(num, sizeof num, "%u", spec.group_ms);
+  append_kv(body, "group-ms", num);
   char trailer[24];
   std::snprintf(trailer, sizeof trailer, "crc=%08x\n", util::crc32(body));
   return body + trailer;
@@ -172,6 +180,12 @@ JobSpec parse_job(const std::string& text) {
       opts.get_int("deadline-ms", static_cast<std::int64_t>(spec.deadline_ms)));
   spec.threads =
       static_cast<std::uint32_t>(opts.get_int("threads", spec.threads));
+  spec.durability = opts.get("durability", spec.durability);
+  spec.group_cells = static_cast<std::uint32_t>(
+      opts.get_int("group-cells", spec.group_cells));
+  spec.group_ms =
+      static_cast<std::uint32_t>(opts.get_int("group-ms", spec.group_ms));
+  (void)spec.durability_policy();  // validate mode + knob ranges eagerly
   if (spec.runs == 0 || spec.samples == 0) {
     throw InvalidArgument("job descriptor: samples and runs must be >= 1");
   }
@@ -181,6 +195,15 @@ JobSpec parse_job(const std::string& text) {
                           " needs instance=FILE");
   }
   return spec;
+}
+
+util::DurabilityPolicy JobSpec::durability_policy() const {
+  util::DurabilityPolicy policy;
+  policy.mode = util::DurabilityPolicy::parse_mode(durability);
+  policy.group_cells = group_cells;
+  policy.group_ms = group_ms;
+  policy.validate();
+  return policy;
 }
 
 JobSpec load_job_file(const std::string& path) {
@@ -225,6 +248,7 @@ ExperimentConfig shard_config(const JobSpec& spec, std::uint32_t shard,
   config.checkpoint_path = checkpoint_path;
   config.cell_deadline_ms = spec.cell_deadline_ms;
   config.max_cell_retries = spec.max_cell_retries;
+  config.durability = spec.durability_policy();
   config.shard_index = shard;
   config.shard_count = shard_count;
   return config;
@@ -325,6 +349,19 @@ int run_job_shard(const JobSpec& spec, const std::string& job_dir,
       return exit_code::kFailure;
     }
     return exit_code::kOk;
+  } catch (const DiskFullError& e) {
+    util::log_error(
+        "serve shard %u/%u: disk full — %s; the shard checkpoint is a "
+        "valid prefix, the shard resumes once space is freed",
+        shard, shard_count, e.what());
+    return exit_code::kDiskFull;
+  } catch (const SyncFailedError& e) {
+    util::log_error(
+        "serve shard %u/%u: fsync failed — %s; cells synced before the "
+        "failure are safe, the shard resumes from the checkpoint once the "
+        "device recovers",
+        shard, shard_count, e.what());
+    return exit_code::kSyncLost;
   } catch (const std::exception& e) {
     util::log_error("serve shard %u/%u: %s", shard, shard_count, e.what());
     return exit_code::kFailure;

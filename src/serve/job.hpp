@@ -51,6 +51,16 @@ struct JobSpec {
   /// A job still running past it is terminated and journaled as failed.
   std::uint64_t deadline_ms = 0;
   std::uint32_t threads = 1;          ///< worker threads *per shard process*
+  /// Checkpoint fsync cadence per shard: "strict" | "grouped"
+  /// (util::DurabilityPolicy).  grouped amortizes the per-cell fsync —
+  /// the serve throughput ceiling — over group_cells / group_ms.
+  std::string durability = "strict";
+  std::uint32_t group_cells = 64;     ///< grouped: fsync every N cells
+  std::uint32_t group_ms = 100;       ///< grouped: fsync at least every T ms
+
+  /// The validated util::DurabilityPolicy the three fields above encode.
+  /// Throws InvalidArgument on a bad mode or out-of-range knobs.
+  [[nodiscard]] util::DurabilityPolicy durability_policy() const;
 };
 
 /// key=value serialization with a `crc=<8hex>` trailer line covering every

@@ -5,20 +5,22 @@
 #include <cstring>
 
 #include "util/error.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define ACCU_HAVE_POSIX_IO 1
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
+#include "util/io_env.hpp"
 
 namespace accu::util {
 
 namespace {
 
 [[noreturn]] void io_fail(const std::string& what, const std::string& path) {
-  throw IoError(what + " " + path + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string message = what + " " + path + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) throw DiskFullError(message);
+  throw IoError(message);
+}
+
+[[noreturn]] void sync_fail(const std::string& what,
+                            const std::string& path) {
+  throw SyncFailedError(what + " " + path + ": " + std::strerror(errno));
 }
 
 std::string directory_of(const std::string& path) {
@@ -31,8 +33,9 @@ std::string directory_of(const std::string& path) {
 #ifdef ACCU_HAVE_POSIX_IO
 void write_all(int fd, const char* data, std::size_t len,
                const std::string& path) {
+  IoEnv& env = io_env();
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    const long n = env.write(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       io_fail("cannot write", path);
@@ -47,11 +50,7 @@ void write_all(int fd, const char* data, std::size_t len,
 
 bool fsync_dir(const std::string& dir) noexcept {
 #ifdef ACCU_HAVE_POSIX_IO
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return false;  // not all filesystems allow dir opens
-  const bool ok = ::fsync(fd) == 0;
-  (void)::close(fd);
-  return ok;
+  return io_env().fsync_dir(dir) == DirSyncResult::kOk;
 #else
   (void)dir;
   return false;  // no durability guarantees on the stdio fallback
@@ -62,29 +61,45 @@ bool fsync_parent_dir(const std::string& path) noexcept {
   return fsync_dir(directory_of(path));
 }
 
+void checked_fsync_dir(const std::string& dir) {
+#ifdef ACCU_HAVE_POSIX_IO
+  if (io_env().fsync_dir(dir) == DirSyncResult::kError) {
+    sync_fail("cannot fsync directory", dir);
+  }
+#else
+  (void)dir;  // unsupported platform: tolerated, like kUnsupported
+#endif
+}
+
+void checked_fsync_parent_dir(const std::string& path) {
+  checked_fsync_dir(directory_of(path));
+}
+
 void write_file_atomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
 #ifdef ACCU_HAVE_POSIX_IO
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  IoEnv& env = io_env();
+  const int fd = env.open_write(tmp, OpenMode::kTruncate);
   if (fd < 0) io_fail("cannot create", tmp);
   try {
     write_all(fd, content.data(), content.size(), tmp);
-    if (::fsync(fd) != 0) io_fail("cannot fsync", tmp);
+    if (env.fsync(fd) != 0) sync_fail("cannot fsync", tmp);
   } catch (...) {
-    (void)::close(fd);
-    (void)::unlink(tmp.c_str());
+    (void)env.close(fd);
+    (void)env.unlink(tmp);
     throw;
   }
-  if (::close(fd) != 0) {
-    (void)::unlink(tmp.c_str());
+  if (env.close(fd) != 0) {
+    (void)env.unlink(tmp);
     io_fail("cannot close", tmp);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    (void)::unlink(tmp.c_str());
+  if (env.rename(tmp, path) != 0) {
+    (void)env.unlink(tmp);
     io_fail("cannot rename into place", path);
   }
-  (void)fsync_parent_dir(path);
+  // The rename is in place; only its durability is at stake now, so a hard
+  // directory-fsync error must surface as SyncFailedError, not be dropped.
+  checked_fsync_parent_dir(path);
 #else
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) io_fail("cannot create", tmp);
@@ -105,7 +120,7 @@ void write_file_atomic(const std::string& path, const std::string& content) {
 
 void truncate_file(const std::string& path, std::uint64_t length) {
 #ifdef ACCU_HAVE_POSIX_IO
-  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+  if (io_env().truncate(path, length) != 0) {
     io_fail("cannot truncate", path);
   }
 #else
@@ -124,13 +139,20 @@ DurableAppender::~DurableAppender() { close(); }
 
 void DurableAppender::open(const std::string& path) {
   close();
+  sync_failed_ = false;
   path_ = path;
 #ifdef ACCU_HAVE_POSIX_IO
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  fd_ = io_env().open_write(path, OpenMode::kAppend);
   if (fd_ < 0) io_fail("cannot open for append", path);
   // If the open just created the file, its *name* exists only in the
   // directory; records synced into an unlinked-by-crash inode are lost.
-  (void)fsync_parent_dir(path);
+  // A hard error here is lost durability — surface it.
+  try {
+    checked_fsync_parent_dir(path);
+  } catch (...) {
+    close();
+    throw;
+  }
 #else
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) io_fail("cannot open for append", path);
@@ -145,6 +167,11 @@ bool DurableAppender::is_open() const noexcept { return fd_ >= 0; }
 
 void DurableAppender::append(std::string_view data) {
   if (!is_open()) throw IoError("DurableAppender: append on closed file");
+  if (sync_failed_) {
+    throw SyncFailedError(
+        "DurableAppender: handle poisoned by an earlier fsync failure (" +
+        path_ + "); appended bytes may already be lost");
+  }
 #ifdef ACCU_HAVE_POSIX_IO
   write_all(fd_, data.data(), data.size(), path_);
 #else
@@ -159,14 +186,24 @@ void DurableAppender::append(std::string_view data) {
 
 void DurableAppender::sync() {
   if (!is_open()) return;
+  if (sync_failed_) {
+    throw SyncFailedError(
+        "DurableAppender: handle poisoned by an earlier fsync failure (" +
+        path_ + ")");
+  }
 #ifdef ACCU_HAVE_POSIX_IO
-  if (::fsync(fd_) != 0) io_fail("cannot fsync", path_);
+  if (io_env().fsync(fd_) != 0) {
+    // fsyncgate: the kernel may have dropped the dirty pages.  Poison the
+    // handle — a retried fsync reporting success would prove nothing.
+    sync_failed_ = true;
+    sync_fail("cannot fsync", path_);
+  }
 #endif
 }
 
 void DurableAppender::close() noexcept {
 #ifdef ACCU_HAVE_POSIX_IO
-  if (fd_ >= 0) (void)::close(fd_);
+  if (fd_ >= 0) (void)io_env().close(fd_);
 #endif
   fd_ = -1;
 }
@@ -174,9 +211,9 @@ void DurableAppender::close() noexcept {
 std::uint64_t DurableAppender::size() const {
   if (!is_open()) return 0;
 #ifdef ACCU_HAVE_POSIX_IO
-  struct stat st{};
-  if (::fstat(fd_, &st) != 0) io_fail("cannot stat", path_);
-  return static_cast<std::uint64_t>(st.st_size);
+  const long long size = io_env().size(fd_);
+  if (size < 0) io_fail("cannot stat", path_);
+  return static_cast<std::uint64_t>(size);
 #else
   std::FILE* f = std::fopen(path_.c_str(), "rb");
   if (f == nullptr) return 0;
@@ -185,6 +222,68 @@ std::uint64_t DurableAppender::size() const {
   std::fclose(f);
   return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityPolicy + GroupCommitAppender
+
+DurabilityPolicy::Mode DurabilityPolicy::parse_mode(const std::string& name) {
+  if (name == "strict") return Mode::kStrict;
+  if (name == "grouped") return Mode::kGrouped;
+  throw InvalidArgument("durability must be 'strict' or 'grouped', got '" +
+                        name + "'");
+}
+
+const char* DurabilityPolicy::mode_name() const noexcept {
+  return mode == Mode::kStrict ? "strict" : "grouped";
+}
+
+void DurabilityPolicy::validate() const {
+  if (group_cells < 1 || group_cells > 1000000) {
+    throw InvalidArgument("group_cells must be in [1, 1000000], got " +
+                          std::to_string(group_cells));
+  }
+  if (group_ms < 1 || group_ms > 600000) {
+    throw InvalidArgument("group_ms must be in [1, 600000], got " +
+                          std::to_string(group_ms));
+  }
+}
+
+void GroupCommitAppender::open(const std::string& path,
+                               const DurabilityPolicy& policy) {
+  policy.validate();
+  policy_ = policy;
+  pending_ = 0;
+  sync_count_ = 0;
+  out_.open(path);
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+void GroupCommitAppender::append_record(std::string_view data) {
+  out_.append(data);
+  ++pending_;
+  if (policy_.mode == DurabilityPolicy::Mode::kStrict) {
+    sync_now();
+    return;
+  }
+  if (pending_ >= policy_.group_cells) {
+    sync_now();
+    return;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - last_sync_);
+  if (elapsed.count() >= policy_.group_ms) sync_now();
+}
+
+void GroupCommitAppender::flush() {
+  if (pending_ > 0) sync_now();
+}
+
+void GroupCommitAppender::sync_now() {
+  out_.sync();
+  pending_ = 0;
+  ++sync_count_;
+  last_sync_ = std::chrono::steady_clock::now();
 }
 
 }  // namespace accu::util

@@ -13,12 +13,21 @@
 //   * truncate_file — drops a torn tail in place (resume after a crash
 //     mid-append).
 //
-// On POSIX these map to open/write/fsync/rename; elsewhere they degrade to
-// stdio without the fsync guarantees (same semantics minus durability —
-// the code stays correct, crashes may just lose more).
+// Failure taxonomy (all derive from IoError, see util/error.hpp):
+// ENOSPC/EDQUOT on a write throws DiskFullError; a failed fsync — file or
+// directory — throws SyncFailedError and, on DurableAppender, is *sticky*:
+// the kernel may have dropped the dirty pages (fsyncgate), so every later
+// append/sync on that handle refuses rather than let a retried fsync
+// "succeed" over lost data.
+//
+// On POSIX these route through util::io_env() (open/write/fsync/rename),
+// which tests swap for a deterministic fault injector; elsewhere they
+// degrade to stdio without the fsync guarantees (same semantics minus
+// durability — the code stays correct, crashes may just lose more).
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -26,7 +35,10 @@
 namespace accu::util {
 
 /// Atomically replaces `path` with `content` (temp file + fsync + rename).
-/// Throws IoError on any failure; the target is untouched in that case.
+/// Throws IoError (DiskFullError / SyncFailedError for those causes); the
+/// target is untouched except when the final directory fsync fails, in
+/// which case the rename happened but may not survive a crash — callers
+/// must treat SyncFailedError as fatal either way.
 void write_file_atomic(const std::string& path, const std::string& content);
 
 /// Flushes a directory's entry table to stable storage.  A rename or a
@@ -34,11 +46,20 @@ void write_file_atomic(const std::string& path, const std::string& content);
 /// fsyncing the file alone leaves the name itself at the mercy of a power
 /// loss.  Best effort: returns false (never throws) where the platform or
 /// filesystem refuses directory fsync, in which case crashes may lose the
-/// newest names but the code stays correct.
+/// newest names but the code stays correct.  Hard errors (EIO, ENOSPC)
+/// also return false here; durable paths use checked_fsync_dir instead.
 bool fsync_dir(const std::string& dir) noexcept;
 
 /// fsync_dir on the directory containing `path` ("." for a bare name).
 bool fsync_parent_dir(const std::string& path) noexcept;
+
+/// Like fsync_dir but distinguishes "the filesystem cannot sync
+/// directories" (tolerated, returns) from a hard I/O error on one that can
+/// (throws SyncFailedError — an entry we needed durable may be lost).
+void checked_fsync_dir(const std::string& dir);
+
+/// checked_fsync_dir on the directory containing `path`.
+void checked_fsync_parent_dir(const std::string& path);
 
 /// Truncates `path` to `length` bytes.  Throws IoError on failure.
 void truncate_file(const std::string& path, std::uint64_t length);
@@ -55,11 +76,19 @@ class DurableAppender {
   void open(const std::string& path);
   [[nodiscard]] bool is_open() const noexcept;
 
-  /// Appends the whole buffer (short writes are retried).  Throws IoError.
+  /// Appends the whole buffer (short writes are retried).  Throws IoError;
+  /// DiskFullError on ENOSPC, SyncFailedError if a previous sync failed.
   void append(std::string_view data);
 
   /// Flushes appended bytes to stable storage (fsync where available).
+  /// A failure throws SyncFailedError and poisons the handle: the dropped
+  /// dirty pages cannot be recovered by retrying (fsyncgate), so every
+  /// subsequent append/sync throws until the handle is re-opened against
+  /// verified on-disk state.
   void sync();
+
+  /// True once a sync has failed on this handle.
+  [[nodiscard]] bool sync_failed() const noexcept { return sync_failed_; }
 
   void close() noexcept;
 
@@ -72,7 +101,81 @@ class DurableAppender {
 
  private:
   int fd_ = -1;
+  bool sync_failed_ = false;
   std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Durability policy + group commit.
+
+/// How aggressively a record stream is fsynced.
+///
+///   * strict  — fsync after every record.  Crash loses at most the
+///               in-flight record.  This is the pre-existing behavior.
+///   * grouped — fsync every `group_cells` records or `group_ms`
+///               milliseconds, whichever first, plus forced flushes at
+///               drain/stop/deadline and stream end.  Crash loses at most
+///               the last uncommitted group — and because records carry CRC
+///               trailers and loads dedup first-wins, recovery truncates to
+///               the valid prefix and simply re-runs the lost cells;
+///               the final report stays bit-identical.
+///
+/// The elapsed-time bound is checked at append boundaries (no timer
+/// thread): a stream that goes quiet keeps its tail unsynced until the
+/// next append or flush, which is why every stop path must flush.
+struct DurabilityPolicy {
+  enum class Mode : std::uint8_t { kStrict = 0, kGrouped = 1 };
+
+  Mode mode = Mode::kStrict;
+  std::uint32_t group_cells = 64;
+  std::uint32_t group_ms = 100;
+
+  /// Parses "strict" / "grouped".  Throws InvalidArgument otherwise.
+  [[nodiscard]] static Mode parse_mode(const std::string& name);
+  [[nodiscard]] const char* mode_name() const noexcept;
+
+  /// Bounds-checks the group knobs (group_cells in [1, 1e6], group_ms in
+  /// [1, 600000]).  Throws InvalidArgument with the offending value.
+  void validate() const;
+};
+
+/// A DurableAppender that syncs per DurabilityPolicy.  `append_record`
+/// counts one record (= one grid cell for the checkpoint stream) and syncs
+/// when the policy says so; `flush` forces out anything pending and is
+/// mandatory before reporting progress as durable (drain, STOP, deadline,
+/// stream end).  Sync failures are sticky exactly like DurableAppender's.
+class GroupCommitAppender {
+ public:
+  /// Throws InvalidArgument if the policy fails validate().
+  void open(const std::string& path, const DurabilityPolicy& policy);
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+
+  /// Appends one record and syncs if the policy's cell or time bound is
+  /// reached.  Throws like DurableAppender::append / sync.
+  void append_record(std::string_view data);
+
+  /// Syncs any unsynced records; no-op when nothing is pending.
+  void flush();
+
+  void close() noexcept { out_.close(); }
+
+  /// Records appended since the last sync (crash-window size).
+  [[nodiscard]] std::uint32_t pending() const noexcept { return pending_; }
+  /// fsyncs issued by this appender (bench/test observability).
+  [[nodiscard]] std::uint64_t sync_count() const noexcept {
+    return sync_count_;
+  }
+  [[nodiscard]] std::uint64_t size() const { return out_.size(); }
+  [[nodiscard]] int fd() const noexcept { return out_.fd(); }
+
+ private:
+  void sync_now();
+
+  DurableAppender out_;
+  DurabilityPolicy policy_;
+  std::uint32_t pending_ = 0;
+  std::uint64_t sync_count_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
 };
 
 }  // namespace accu::util

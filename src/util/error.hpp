@@ -37,6 +37,24 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a durable write hits ENOSPC/EDQUOT.  The write is a clean
+/// fail-stop: on-disk state is a valid prefix (checkpoint/journal records
+/// are CRC-trailed), so freeing space and resuming loses nothing.
+class DiskFullError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Thrown when fsync (file or directory) fails.  Fsyncgate semantics: a
+/// failed fsync means the kernel may have *dropped* the dirty pages, so a
+/// later "successful" fsync proves nothing — the only safe reaction is to
+/// stop using the handle and fail-stop the process.  DurableAppender makes
+/// this sticky; callers map it to exit_code::kSyncLost.
+class SyncFailedError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 namespace detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,

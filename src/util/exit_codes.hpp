@@ -9,6 +9,13 @@
 //   3    merge found grid cells missing from every input
 //   4    serve: at least one job was quarantined as poisoned
 //   5    serve: another daemon already holds the root's pid lock
+//   6    disk full (ENOSPC/EDQUOT) on a durable path — the checkpoint /
+//        journal on disk is a valid prefix; free space and resume
+//   7    fsync failed (file or directory) — dirty pages may be lost
+//        (fsyncgate), the process fail-stopped rather than continue on a
+//        handle whose durability can no longer be trusted; state on disk
+//        is a valid prefix as of the last *successful* sync, resume re-runs
+//        the rest
 //   130  interrupted (SIGINT/SIGTERM drain; 128 + SIGINT by convention) —
 //        state is checkpointed/journaled and resumable
 //
@@ -25,6 +32,8 @@ inline constexpr int kUsage = 2;
 inline constexpr int kMissingCells = 3;
 inline constexpr int kQuarantined = 4;
 inline constexpr int kAlreadyRunning = 5;
+inline constexpr int kDiskFull = 6;
+inline constexpr int kSyncLost = 7;
 inline constexpr int kInterrupted = 130;
 
 }  // namespace accu::util::exit_code

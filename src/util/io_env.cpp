@@ -1,0 +1,491 @@
+#include "util/io_env.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/error.hpp"
+
+#ifdef ACCU_HAVE_POSIX_IO
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace accu::util {
+
+namespace {
+
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------------------
+// Real backend: a zero-logic veneer over POSIX.
+
+class RealIoEnv final : public IoEnv {
+ public:
+  int open_write(const std::string& path, OpenMode mode) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    const int flags = O_WRONLY | O_CREAT |
+                      (mode == OpenMode::kTruncate ? O_TRUNC : O_APPEND);
+    return ::open(path.c_str(), flags, 0644);
+#else
+    (void)path;
+    (void)mode;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+
+  long write(int fd, const char* data, std::size_t len) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    return static_cast<long>(::write(fd, data, len));
+#else
+    (void)fd;
+    (void)data;
+    (void)len;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+
+  int fsync(int fd) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    return ::fsync(fd);
+#else
+    (void)fd;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+
+  int close(int fd) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    return ::close(fd);
+#else
+    (void)fd;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+
+  int rename(const std::string& from, const std::string& to) override {
+    return std::rename(from.c_str(), to.c_str());
+  }
+
+  int truncate(const std::string& path, std::uint64_t length) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    return ::truncate(path.c_str(), static_cast<off_t>(length));
+#else
+    (void)path;
+    (void)length;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+
+  int unlink(const std::string& path) override {
+    return std::remove(path.c_str());
+  }
+
+  DirSyncResult fsync_dir(const std::string& dir) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return DirSyncResult::kUnsupported;
+    DirSyncResult result = DirSyncResult::kOk;
+    if (::fsync(fd) != 0) {
+      // EINVAL/ENOTSUP: the filesystem refuses directory fsync — a known
+      // portability gap, not a lost write.  Anything else (EIO, ENOSPC)
+      // means an entry table we needed durable may be gone.
+      result = (errno == EINVAL || errno == ENOTSUP || errno == EROFS)
+                   ? DirSyncResult::kUnsupported
+                   : DirSyncResult::kError;
+    }
+    const int saved_errno = errno;
+    (void)::close(fd);
+    errno = saved_errno;
+    return result;
+#else
+    (void)dir;
+    return DirSyncResult::kUnsupported;
+#endif
+  }
+
+  long long size(int fd) override {
+#ifdef ACCU_HAVE_POSIX_IO
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) return -1;
+    return static_cast<long long>(st.st_size);
+#else
+    (void)fd;
+    errno = ENOSYS;
+    return -1;
+#endif
+  }
+};
+
+std::atomic<IoEnv*> g_override{nullptr};
+
+/// Fully writes `len` bytes through the real env (its write can legally be
+/// short); used by FaultyFs to apply the *effective* (possibly fault-
+/// shortened) byte count to the real file.
+bool real_write_all(int fd, const char* data, std::size_t len) {
+  IoEnv& real = real_io_env();
+  while (len > 0) {
+    const long n = real.write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+IoEnv& real_io_env() noexcept {
+  static RealIoEnv env;
+  return env;
+}
+
+IoEnv& io_env() noexcept {
+  IoEnv* override_env = g_override.load(std::memory_order_acquire);
+  return override_env != nullptr ? *override_env : real_io_env();
+}
+
+IoEnv* set_io_env(IoEnv* env) noexcept {
+  return g_override.exchange(env, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFs
+
+FaultyFs::FaultyFs() = default;
+
+void FaultyFs::crash_at(std::uint64_t op_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_op_ = op_index;
+}
+
+void FaultyFs::fail_fsync(std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_fsync_at_ = nth;
+}
+
+void FaultyFs::short_write_cap(std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  short_write_cap_ = max_bytes;
+}
+
+void FaultyFs::eintr_burst(std::uint32_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eintr_left_ = count;
+}
+
+void FaultyFs::disk_budget(long long bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  disk_budget_ = bytes;
+}
+
+std::uint64_t FaultyFs::op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_count_;
+}
+
+std::uint64_t FaultyFs::sync_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fsync_count_;
+}
+
+bool FaultyFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+bool FaultyFs::durable_content(const std::string& path,
+                               std::string* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = durable_.find(path);
+  if (it == durable_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+bool FaultyFs::crash_boundary() {
+  ++op_count_;
+  if (crashed_) {
+    errno = EIO;
+    return true;
+  }
+  if (crash_op_ != 0 && op_count_ >= crash_op_) {
+    crashed_ = true;
+    errno = EIO;
+    return true;
+  }
+  return false;
+}
+
+std::string FaultyFs::durable_snapshot(const std::string& path) const {
+  const auto fit = fsynced_.find(path);
+  if (fit != fsynced_.end()) return fit->second;
+  const auto dit = durable_.find(path);
+  if (dit != durable_.end()) return dit->second;
+  return std::string();
+}
+
+namespace {
+
+/// Reads the whole file, returning false when it does not exist.
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+void FaultyFs::adopt_locked(const std::string& path) {
+  // Adopt a file that predates the fault script: it was durable before the
+  // adversary arrived.  Must run before the op's real effect (a rename or
+  // truncate would clobber the content we need to remember).
+  if (cache_.find(path) != cache_.end() ||
+      durable_.find(path) != durable_.end()) {
+    return;
+  }
+  std::string existing;
+  if (slurp(path, &existing)) {
+    cache_[path] = existing;
+    durable_[path] = existing;
+  }
+}
+
+int FaultyFs::open_write(const std::string& path, OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  adopt_locked(path);
+  if (crash_boundary()) return -1;
+  const int fd = real_io_env().open_write(path, mode);
+  if (fd < 0) return fd;
+  const bool name_known =
+      durable_.find(path) != durable_.end() ||
+      cache_.find(path) != cache_.end();
+  if (mode == OpenMode::kTruncate) {
+    cache_[path].clear();
+  } else if (cache_.find(path) == cache_.end()) {
+    cache_[path] = std::string();
+  }
+  if (!name_known) {
+    pending_.push_back({PendingEntry::Kind::kCreate, directory_of(path),
+                        path, std::string(), std::string()});
+  }
+  fds_[fd] = path;
+  return fd;
+}
+
+long FaultyFs::write(int fd, const char* data, std::size_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (eintr_left_ > 0) {
+    --eintr_left_;
+    errno = EINTR;
+    return -1;  // deliberately not a crash boundary: the op never started
+  }
+  if (crash_boundary()) return -1;
+  std::size_t effective = len;
+  if (short_write_cap_ > 0 && effective > short_write_cap_) {
+    effective = short_write_cap_;
+  }
+  if (disk_budget_ >= 0) {
+    if (disk_budget_ == 0) {
+      errno = ENOSPC;
+      return -1;
+    }
+    if (static_cast<long long>(effective) > disk_budget_) {
+      effective = static_cast<std::size_t>(disk_budget_);
+    }
+  }
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    // Not a descriptor we opened — forward untouched.
+    return real_io_env().write(fd, data, len);
+  }
+  if (!real_write_all(fd, data, effective)) return -1;
+  if (disk_budget_ >= 0) disk_budget_ -= static_cast<long long>(effective);
+  cache_[it->second].append(data, effective);
+  return static_cast<long>(effective);
+}
+
+int FaultyFs::fsync(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crash_boundary()) return -1;
+  const auto it = fds_.find(fd);
+  const std::string path = it != fds_.end() ? it->second : std::string();
+  ++fsync_count_;
+  if (fsync_count_ == fail_fsync_at_) {
+    // fsyncgate: the failed fsync *dropped* the dirty pages.  The cache
+    // view reverts to the last durable content; a later fsync will report
+    // success over the truncated state.
+    if (!path.empty()) cache_[path] = durable_snapshot(path);
+    errno = EIO;
+    return -1;
+  }
+  const int rc = real_io_env().fsync(fd);
+  if (rc != 0) return rc;
+  if (!path.empty()) {
+    fsynced_[path] = cache_[path];
+    const auto dit = durable_.find(path);
+    if (dit != durable_.end()) dit->second = cache_[path];
+  }
+  return 0;
+}
+
+int FaultyFs::close(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fds_.erase(fd);
+  return real_io_env().close(fd);
+}
+
+int FaultyFs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A pre-existing rename target must be remembered *before* the real
+  // rename clobbers it: until the parent directory fsyncs, the old entry
+  // is what a crash leaves behind.
+  adopt_locked(from);
+  adopt_locked(to);
+  if (crash_boundary()) return -1;
+  const int rc = real_io_env().rename(from, to);
+  if (rc != 0) return rc;
+  const std::string snapshot = durable_snapshot(from);
+  const auto cit = cache_.find(from);
+  cache_[to] = cit != cache_.end() ? cit->second : std::string();
+  cache_.erase(from);
+  pending_.push_back(
+      {PendingEntry::Kind::kRename, directory_of(to), to, from, snapshot});
+  return 0;
+}
+
+int FaultyFs::truncate(const std::string& path, std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  adopt_locked(path);
+  if (crash_boundary()) return -1;
+  const int rc = real_io_env().truncate(path, length);
+  if (rc != 0) return rc;
+  // Documented simplification: truncation is modeled as immediately
+  // durable.  It is only used for torn-tail repair, which runs during
+  // recovery (under the real env), never inside the crash window.
+  const auto resize_to = static_cast<std::size_t>(length);
+  auto shrink = [resize_to](std::map<std::string, std::string>& m,
+                            const std::string& p) {
+    const auto it = m.find(p);
+    if (it != m.end() && it->second.size() > resize_to) {
+      it->second.resize(resize_to);
+    }
+  };
+  shrink(cache_, path);
+  shrink(durable_, path);
+  shrink(fsynced_, path);
+  return 0;
+}
+
+int FaultyFs::unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  adopt_locked(path);  // a crash before the dir fsync resurrects the file
+  if (crash_boundary()) return -1;
+  const int rc = real_io_env().unlink(path);
+  if (rc != 0) return rc;
+  cache_.erase(path);
+  pending_.push_back({PendingEntry::Kind::kUnlink, directory_of(path), path,
+                      std::string(), std::string()});
+  return 0;
+}
+
+DirSyncResult FaultyFs::fsync_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crash_boundary()) return DirSyncResult::kError;
+  ++fsync_count_;
+  if (fsync_count_ == fail_fsync_at_) {
+    // The entry table's dirty pages are dropped: pending entries stay
+    // uncommitted, which is exactly the not-durable state they model.
+    errno = EIO;
+    return DirSyncResult::kError;
+  }
+  const DirSyncResult real = real_io_env().fsync_dir(dir);
+  if (real != DirSyncResult::kError) commit_pending_for(dir);
+  return real;
+}
+
+void FaultyFs::commit_pending_for(const std::string& dir) {
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->dir != dir) {
+      ++it;
+      continue;
+    }
+    switch (it->kind) {
+      case PendingEntry::Kind::kCreate: {
+        if (durable_.find(it->path) == durable_.end()) {
+          const auto fit = fsynced_.find(it->path);
+          durable_[it->path] =
+              fit != fsynced_.end() ? fit->second : std::string();
+        }
+        break;
+      }
+      case PendingEntry::Kind::kRename: {
+        durable_[it->path] = it->content;
+        durable_.erase(it->from);
+        fsynced_.erase(it->from);
+        break;
+      }
+      case PendingEntry::Kind::kUnlink: {
+        durable_.erase(it->path);
+        fsynced_.erase(it->path);
+        break;
+      }
+    }
+    it = pending_.erase(it);
+  }
+}
+
+long long FaultyFs::size(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return real_io_env().size(fd);
+}
+
+void FaultyFs::materialize_crash_state() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<std::string> touched;
+  for (const auto& [path, content] : cache_) touched.insert(path);
+  for (const auto& [path, content] : durable_) touched.insert(path);
+  for (const auto& [path, content] : fsynced_) touched.insert(path);
+  for (const auto& entry : pending_) {
+    touched.insert(entry.path);
+    if (!entry.from.empty()) touched.insert(entry.from);
+  }
+  for (const std::string& path : touched) {
+    const auto it = durable_.find(path);
+    if (it == durable_.end()) {
+      std::remove(path.c_str());  // the name never became durable
+      continue;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("materialize_crash_state: cannot rewrite " + path);
+    }
+    out.write(it->second.data(),
+              static_cast<std::streamsize>(it->second.size()));
+    out.flush();
+    if (!out) {
+      throw IoError("materialize_crash_state: cannot rewrite " + path);
+    }
+  }
+}
+
+}  // namespace accu::util

@@ -1,0 +1,219 @@
+// Injectable I/O environment: the narrow syscall surface every durable
+// path in accu goes through (checkpoint appends, serve journal, job spool,
+// progress files, atomic replaces).
+//
+// Production code calls the ambient `io_env()`, which defaults to the real
+// POSIX backend.  Tests swap in `FaultyFs`, a deterministic adversary that
+// scripts the failures that actually corrupt state in the field:
+//
+//   * short writes            — write() returns fewer bytes than asked;
+//   * EINTR storms            — write() fails with EINTR n times first;
+//   * ENOSPC                  — a byte budget; the write that exhausts it
+//                               is short, the next one fails with ENOSPC;
+//   * fsync failure           — one scripted fsync fails, and (fsyncgate
+//                               semantics) the dirty pages it covered are
+//                               *dropped*: later fsyncs "succeed" but the
+//                               data is gone, which is exactly the trap a
+//                               sticky DurableAppender must refuse to fall
+//                               into;
+//   * crash at op k           — every effectful op from the k-th on fails
+//                               with EIO and applies no effect, freezing a
+//                               shadow "what is durable" model that
+//                               materialize_crash_state() then writes back
+//                               over the real files, simulating power loss
+//                               at that exact boundary.
+//
+// FaultyFs forwards effects to the real filesystem (so in-run reads see
+// normal data) while maintaining the shadow durability model on the side:
+// write() dirties only the cache view; fsync(fd) promotes cache to
+// durable; rename() and newly created names become durable only at the
+// parent directory's fsync_dir (adversarial: before that, a crash loses
+// the name entirely).  One documented simplification: truncate() is
+// modeled as immediately durable (it is only used for torn-tail repair,
+// which runs during recovery under the real env).
+//
+// One effectful op = one crash boundary.  Effectful ops are open-for-write,
+// write (EINTR rejections excluded), fsync, fsync_dir, rename, truncate and
+// unlink; close() and size() are free.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ACCU_HAVE_POSIX_IO 1
+#endif
+
+namespace accu::util {
+
+/// Outcome of a directory fsync.  Some filesystems refuse to open or sync
+/// directories (kUnsupported — tolerated, durability degrades gracefully);
+/// a hard error on a filesystem that *does* support it (EIO, ENOSPC) is a
+/// real lost-durability signal the caller must treat as fatal.
+enum class DirSyncResult : std::uint8_t {
+  kOk = 0,
+  kUnsupported = 1,
+  kError = 2,
+};
+
+/// How open_write opens its target.
+enum class OpenMode : std::uint8_t {
+  kTruncate = 0,  ///< O_WRONLY | O_CREAT | O_TRUNC
+  kAppend = 1,    ///< O_WRONLY | O_CREAT | O_APPEND
+};
+
+/// The syscall surface.  Methods mirror POSIX return conventions (negative
+/// on failure with errno set) so call sites keep their familiar shape and
+/// the real backend stays a zero-cost veneer.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// Returns an fd, or -1 with errno set.
+  virtual int open_write(const std::string& path, OpenMode mode) = 0;
+  /// Returns bytes written (possibly short), or -1 with errno set.
+  virtual long write(int fd, const char* data, std::size_t len) = 0;
+  /// 0 on success, -1 with errno set.
+  virtual int fsync(int fd) = 0;
+  /// Never a crash boundary (no durability effect).
+  virtual int close(int fd) = 0;
+  virtual int rename(const std::string& from, const std::string& to) = 0;
+  virtual int truncate(const std::string& path, std::uint64_t length) = 0;
+  virtual int unlink(const std::string& path) = 0;
+  virtual DirSyncResult fsync_dir(const std::string& dir) = 0;
+  /// Size of the open file, or -1 with errno set.
+  virtual long long size(int fd) = 0;
+};
+
+/// The ambient environment used by util/atomic_file (and through it every
+/// durable writer).  Defaults to the real POSIX backend.
+[[nodiscard]] IoEnv& io_env() noexcept;
+
+/// Swaps the ambient environment; passing nullptr restores the real one.
+/// Returns the previous override (nullptr when the real env was active).
+/// Not synchronized against in-flight I/O — install before spawning the
+/// workload under test.
+IoEnv* set_io_env(IoEnv* env) noexcept;
+
+/// The real backend, for code that must bypass an installed fault layer
+/// (e.g. FaultyFs forwarding its effects).
+[[nodiscard]] IoEnv& real_io_env() noexcept;
+
+/// RAII override: installs `env` on construction, restores the previous
+/// environment on destruction (exception-safe test scaffolding).
+class ScopedIoEnv {
+ public:
+  explicit ScopedIoEnv(IoEnv& env) : previous_(set_io_env(&env)) {}
+  ~ScopedIoEnv() { set_io_env(previous_); }
+  ScopedIoEnv(const ScopedIoEnv&) = delete;
+  ScopedIoEnv& operator=(const ScopedIoEnv&) = delete;
+
+ private:
+  IoEnv* previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic fault-injection backend.
+
+class FaultyFs final : public IoEnv {
+ public:
+  FaultyFs();
+
+  // --- fault script (set before running the workload) ---------------------
+
+  /// Crash at the k-th effectful op (1-based): that op and every later one
+  /// fail with EIO and apply no effect.  0 disables.
+  void crash_at(std::uint64_t op_index);
+  /// Fail the n-th fsync/fsync_dir call (1-based) with EIO and drop the
+  /// dirty cache of the file it covered (fsyncgate).  Later fsyncs succeed
+  /// again — deliberately, so tests can prove callers refuse the trap.
+  void fail_fsync(std::uint64_t nth);
+  /// Cap every write() at `max_bytes` per call (short-write storm).
+  /// 0 disables the cap.
+  void short_write_cap(std::size_t max_bytes);
+  /// Make the next `count` write() calls fail with EINTR before one
+  /// succeeds.  EINTR rejections are not crash boundaries.
+  void eintr_burst(std::uint32_t count);
+  /// Total bytes writable before ENOSPC: the write that crosses the budget
+  /// is short, the next returns -1/ENOSPC.  Negative disables.
+  void disk_budget(long long bytes);
+
+  // --- inspection ---------------------------------------------------------
+
+  /// Effectful ops seen so far (= number of crash boundaries).
+  [[nodiscard]] std::uint64_t op_count() const;
+  /// fsync + fsync_dir calls seen so far.
+  [[nodiscard]] std::uint64_t sync_count() const;
+  /// True once a scripted crash point has triggered.
+  [[nodiscard]] bool crashed() const;
+  /// The shadow-durable content of `path`; returns false if the *name*
+  /// would not survive a crash right now.
+  [[nodiscard]] bool durable_content(const std::string& path,
+                                     std::string* out) const;
+
+  /// Rewrites the real filesystem to the shadow-durable state: every
+  /// touched path gets its durable content, paths whose name is not
+  /// durable are removed.  Call after the workload aborted on a scripted
+  /// crash, then restore the real env and run recovery against the
+  /// materialized state.
+  void materialize_crash_state();
+
+  // --- IoEnv --------------------------------------------------------------
+
+  int open_write(const std::string& path, OpenMode mode) override;
+  long write(int fd, const char* data, std::size_t len) override;
+  int fsync(int fd) override;
+  int close(int fd) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int truncate(const std::string& path, std::uint64_t length) override;
+  int unlink(const std::string& path) override;
+  DirSyncResult fsync_dir(const std::string& dir) override;
+  long long size(int fd) override;
+
+ private:
+  struct PendingEntry {
+    enum class Kind : std::uint8_t { kCreate, kRename, kUnlink };
+    Kind kind;
+    std::string dir;      ///< parent directory whose fsync commits this
+    std::string path;     ///< created / renamed-to / unlinked name
+    std::string from;     ///< rename source (kRename only)
+    std::string content;  ///< durable content snapshot at rename time
+  };
+
+  /// Returns true (and sets errno to EIO) when this op is at or past the
+  /// scripted crash point; increments the op counter otherwise.
+  bool crash_boundary();
+  /// Slurps a real file that predates the fault script into cache_ +
+  /// durable_ on first touch (open/truncate/rename/unlink of its name).
+  void adopt_locked(const std::string& path);
+  void commit_pending_for(const std::string& dir);
+  [[nodiscard]] std::string durable_snapshot(const std::string& path) const;
+
+  mutable std::mutex mutex_;
+  std::uint64_t op_count_ = 0;
+  std::uint64_t crash_op_ = 0;
+  bool crashed_ = false;
+  std::uint64_t fsync_count_ = 0;
+  std::uint64_t fail_fsync_at_ = 0;
+  std::size_t short_write_cap_ = 0;
+  std::uint32_t eintr_left_ = 0;
+  long long disk_budget_ = -1;
+
+  /// Current visible ("page cache") content per touched path.
+  std::map<std::string, std::string> cache_;
+  /// Content durably on disk for paths whose *name* is durable.
+  std::map<std::string, std::string> durable_;
+  /// Content promoted by fd-fsync for paths whose name is not yet durable
+  /// (a created-but-unrenamed temp file, an appender before dir fsync).
+  std::map<std::string, std::string> fsynced_;
+  /// Directory-entry changes awaiting their parent's fsync_dir.
+  std::vector<PendingEntry> pending_;
+  /// Open descriptors (real fds from the forwarded open).
+  std::map<int, std::string> fds_;
+};
+
+}  // namespace accu::util

@@ -7,6 +7,8 @@
 
 #include "core/instance_io.hpp"
 #include "datasets/datasets.hpp"
+#include "util/error.hpp"
+#include "util/io_env.hpp"
 
 namespace accu {
 namespace {
@@ -219,6 +221,59 @@ TEST(InstanceIoTest, ConstructorValidationStillApplies) {
 TEST(InstanceIoTest, MissingFileThrows) {
   EXPECT_THROW(read_instance_file("/nonexistent/nope.accu"), IoError);
 }
+
+#ifdef ACCU_HAVE_POSIX_IO
+
+AccuInstance small_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  datasets::DatasetConfig config;
+  config.scale = 0.05;
+  config.num_cautious = 5;
+  return datasets::make_dataset("facebook", config, rng);
+}
+
+TEST(InstanceIoTest, EnospcDuringWriteLeavesThePreviousFileIntact) {
+  const std::string path = testing::TempDir() + "accu_instance_enospc.accu";
+  const AccuInstance first = small_instance(3);
+  write_instance_file(first, path);
+  {
+    util::FaultyFs faulty;
+    util::ScopedIoEnv scoped(faulty);
+    faulty.disk_budget(64);  // the replacement tears off mid-write
+    EXPECT_THROW(write_instance_file(small_instance(4), path),
+                 DiskFullError);
+    faulty.materialize_crash_state();
+  }
+  // Atomic replace: the torn temp never reached `path`.
+  expect_same_instance(read_instance_file(path), first);
+}
+
+TEST(InstanceIoTest, ShortWritesStillProduceACompleteFile) {
+  const std::string path = testing::TempDir() + "accu_instance_short.accu";
+  const AccuInstance original = small_instance(5);
+  util::FaultyFs faulty;
+  util::ScopedIoEnv scoped(faulty);
+  faulty.short_write_cap(7);  // every write() advances at most 7 bytes
+  write_instance_file(original, path);
+  expect_same_instance(read_instance_file(path), original);
+}
+
+TEST(InstanceIoTest, FsyncFailureDuringWriteSurfacesAsSyncLost) {
+  const std::string path = testing::TempDir() + "accu_instance_sync.accu";
+  const AccuInstance first = small_instance(6);
+  write_instance_file(first, path);
+  {
+    util::FaultyFs faulty;
+    util::ScopedIoEnv scoped(faulty);
+    faulty.fail_fsync(faulty.sync_count() + 1);
+    EXPECT_THROW(write_instance_file(small_instance(7), path),
+                 SyncFailedError);
+    faulty.materialize_crash_state();
+  }
+  expect_same_instance(read_instance_file(path), first);
+}
+
+#endif  // ACCU_HAVE_POSIX_IO
 
 }  // namespace
 }  // namespace accu

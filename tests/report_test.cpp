@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/report.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/io_env.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "datasets/datasets.hpp"
@@ -171,6 +175,42 @@ TEST(DegreeProportionalBenefitTest, UsableInAnInstance) {
   const SimulationResult result = simulate(instance, truth, abm, 10, srng);
   EXPECT_GT(result.total_benefit, 0.0);
 }
+
+#ifdef ACCU_HAVE_POSIX_IO
+
+// The durable report path (render to string, write_file_atomic) must turn
+// a full disk into a clean DiskFullError without tearing a previously
+// published report — the daemon republishes report.md on completion.
+TEST(MarkdownReportTest, EnospcOnTheDurableReportPathLeavesTheOldReport) {
+  ExperimentConfig config;
+  const ExperimentResult result = small_result(config);
+  std::ostringstream os;
+  write_markdown_report(result, config, os);
+  const std::string rendered = os.str();
+
+  const std::string path = testing::TempDir() + "report_enospc_test.md";
+  util::write_file_atomic(path, "previous report\n");
+  {
+    util::FaultyFs faulty;
+    util::ScopedIoEnv scoped(faulty);
+    faulty.disk_budget(32);
+    EXPECT_THROW(util::write_file_atomic(path, rendered), DiskFullError);
+    faulty.materialize_crash_state();
+  }
+  std::ifstream is(path);
+  std::ostringstream survived;
+  survived << is.rdbuf();
+  EXPECT_EQ(survived.str(), "previous report\n");
+
+  // With space available again the same bytes publish verbatim.
+  util::write_file_atomic(path, rendered);
+  std::ifstream again(path);
+  std::ostringstream republished;
+  republished << again.rdbuf();
+  EXPECT_EQ(republished.str(), rendered);
+}
+
+#endif  // ACCU_HAVE_POSIX_IO
 
 }  // namespace
 }  // namespace accu

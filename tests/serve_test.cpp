@@ -243,6 +243,9 @@ JobSpec sample_spec() {
   spec.max_cell_retries = 2;
   spec.deadline_ms = 60000;
   spec.threads = 2;
+  spec.durability = "grouped";
+  spec.group_cells = 9;
+  spec.group_ms = 250;
   return spec;
 }
 
@@ -279,6 +282,9 @@ TEST(ServeJobTest, DescriptorRoundTripsEveryField) {
   EXPECT_EQ(parsed.max_cell_retries, spec.max_cell_retries);
   EXPECT_EQ(parsed.deadline_ms, spec.deadline_ms);
   EXPECT_EQ(parsed.threads, spec.threads);
+  EXPECT_EQ(parsed.durability, spec.durability);
+  EXPECT_EQ(parsed.group_cells, spec.group_cells);
+  EXPECT_EQ(parsed.group_ms, spec.group_ms);
 }
 
 TEST(ServeJobTest, BitFlippedDescriptorIsRejected) {
@@ -313,6 +319,41 @@ TEST(ServeJobTest, InvalidKindAndMissingInstanceAreRejected) {
   compare.kind = "compare";
   compare.instance = "";
   EXPECT_THROW((void)parse_job(serialize_job(compare)), InvalidArgument);
+}
+
+TEST(ServeJobTest, MisspelledDurabilityKeyGetsADidYouMeanHint) {
+  const std::string body =
+      restamp(serialize_job(sample_spec()), "durability=", "durabilty=");
+  try {
+    (void)parse_job(body);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --durability"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ServeJobTest, UnknownDurabilityModeIsRejected) {
+  EXPECT_THROW((void)parse_job(restamp(serialize_job(sample_spec()),
+                                       "durability=grouped",
+                                       "durability=eventual")),
+               InvalidArgument);
+}
+
+TEST(ServeJobTest, OutOfRangeGroupKnobsAreRejected) {
+  EXPECT_THROW((void)parse_job(restamp(serialize_job(sample_spec()),
+                                       "group-cells=9", "group-cells=0")),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_job(restamp(serialize_job(sample_spec()),
+                                       "group-ms=250", "group-ms=9999999")),
+               InvalidArgument);
+  // A value that overflows 64-bit parsing is an *out-of-range* error, not
+  // a silent wrap.
+  EXPECT_THROW(
+      (void)parse_job(restamp(serialize_job(sample_spec()), "group-cells=9",
+                              "group-cells=99999999999999999999999")),
+      InvalidArgument);
 }
 
 TEST(ServeJobTest, SubmitWritesAParseableSpoolFile) {

@@ -308,6 +308,13 @@ int cmd_compare(const util::Options& opts) {
       static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
   config.max_cell_retries =
       static_cast<std::uint32_t>(opts.get_int("max-cell-retries", 0));
+  config.durability.mode =
+      util::DurabilityPolicy::parse_mode(opts.get("durability", "strict"));
+  config.durability.group_cells = static_cast<std::uint32_t>(
+      opts.get_int("group-cells", config.durability.group_cells));
+  config.durability.group_ms = static_cast<std::uint32_t>(
+      opts.get_int("group-ms", config.durability.group_ms));
+  config.durability.validate();
   if (opts.has("shard")) {
     // This invocation runs one shard of the (sample, run) grid; per-shard
     // checkpoints merge later via `accu merge`.
@@ -625,6 +632,11 @@ int cmd_serve(const util::Options& opts) {
     spec.deadline_ms =
         static_cast<std::uint64_t>(opts.get_int("job-deadline-ms", 0));
     spec.threads = static_cast<std::uint32_t>(opts.get_int("threads", 1));
+    spec.durability = opts.get("durability", spec.durability);
+    spec.group_cells = static_cast<std::uint32_t>(
+        opts.get_int("group-cells", spec.group_cells));
+    spec.group_ms =
+        static_cast<std::uint32_t>(opts.get_int("group-ms", spec.group_ms));
     // Round-trip through the descriptor parser so a bad submission fails
     // here, at the keyboard, instead of poisoning the daemon's queue.
     (void)serve::parse_job(serve::serialize_job(spec));
@@ -737,7 +749,16 @@ int dispatch(int argc, char** argv) {
       .declare("kind", "job kind: compare|simulate|sweep (serve submit)")
       .declare("samples", "sample networks per dataset (serve submit)")
       .declare("job-deadline-ms",
-               "whole-job wall-clock deadline; 0 = none (serve submit)");
+               "whole-job wall-clock deadline; 0 = none (serve submit)")
+      .declare("durability",
+               "checkpoint fsync cadence: strict (every cell, default) | "
+               "grouped (every group-cells / group-ms, forced flush on "
+               "stop) (compare, serve submit)")
+      .declare("group-cells",
+               "grouped durability: fsync every N cells (default 64)")
+      .declare("group-ms",
+               "grouped durability: fsync at least every T ms "
+               "(default 100)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);
@@ -757,6 +778,20 @@ int dispatch(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return dispatch(argc, argv);
+  } catch (const accu::DiskFullError& e) {
+    std::fprintf(stderr,
+                 "accu: disk full — %s\n"
+                 "accu: the checkpoint on disk is a valid prefix; free "
+                 "space and rerun with the same --resume to continue\n",
+                 e.what());
+    return util::exit_code::kDiskFull;
+  } catch (const accu::SyncFailedError& e) {
+    std::fprintf(stderr,
+                 "accu: fsync failed — %s\n"
+                 "accu: cells synced before the failure are safe; rerun "
+                 "with the same --resume once the device recovers\n",
+                 e.what());
+    return util::exit_code::kSyncLost;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "accu: %s\n", e.what());
     return util::exit_code::kFailure;

@@ -10,7 +10,8 @@
 #      must reproduce the unsharded report byte-for-byte
 #   5. serve drill                      — the real `accu serve` daemon is
 #      SIGKILLed mid-job, restarted, SIGTERM-drained, and restarted again;
-#      the finished report must match the direct sweep byte-for-byte
+#      the finished report must match the direct sweep byte-for-byte.
+#      Run once per durability mode (strict, grouped)
 #   6. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
 #      appends, cancellation, serve journal/daemon)
@@ -44,7 +45,7 @@ echo "=== engine + score-engine equivalence under ASan + allocation budget ==="
 # recorded allocations-per-cell ceiling (the O(1)-allocations property of
 # SimWorkspace).
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Engine|Score|Shard|Merge|Serve'
+  -R 'Engine|Score|Shard|Merge|Serve|IoEnv|GroupCommit|CrashPoint'
 ./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
 ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
   build-ci/BENCH_micro_core.json)"
@@ -86,12 +87,15 @@ diff <(tail -n +2 "${RT}/reference.md") <(tail -n +2 "${RT}/merged.md") || {
 echo "shard round-trip OK: merged report matches the unsharded sweep"
 
 echo "=== serve drill: kill -9 mid-flight, restart, SIGTERM drain, finish ==="
-# End-to-end check of the serve contract with the real daemon binary: a
-# submitted compare job is SIGKILLed mid-flight, the restarted daemon
-# adopts the journal and resumes the surviving shard checkpoints, a
-# SIGTERM lands mid-run and must drain cleanly (exit 0), and a final
-# restart completes the job — whose report must match the direct
-# unsharded `accu compare` byte-for-byte below the title line.
+# End-to-end check of the serve contract with the real daemon binary, run
+# once per durability mode: a submitted compare job is SIGKILLed
+# mid-flight, the restarted daemon adopts the journal and resumes the
+# surviving shard checkpoints, a SIGTERM lands mid-run and must drain
+# cleanly (exit 0), and a final restart completes the job — whose report
+# must match the direct unsharded `accu compare` byte-for-byte below the
+# title line.  `grouped` widens the crash window to the open fsync group,
+# so passing both modes pins the group-commit recovery contract with real
+# processes, not just the in-process CrashPoint enumeration.
 SV="build-ci/serve-drill"
 rm -rf "${SV}"
 mkdir -p "${SV}"
@@ -99,38 +103,43 @@ mkdir -p "${SV}"
   --cautious=8 --out="${SV}/net.accu" > /dev/null
 ./build-ci/tools/accu compare "--in=${SV}/net.accu" --k=8 --runs=6000 \
   --seed=11 --threads=1 "--report=${SV}/reference.md" > /dev/null
-./build-ci/tools/accu serve submit "--root=${SV}/root" --kind=compare \
-  "--in=${SV}/net.accu" --k=8 --runs=6000 --seed=11 --name=drill > /dev/null
-SERVE=(./build-ci/tools/accu serve run "--root=${SV}/root" --workers=3 \
-  --poll-ms=10 --crash-budget=9 --exit-when-idle)
-"${SERVE[@]}" > /dev/null 2>&1 &
-DAEMON=$!
-sleep 0.35
-kill -9 "${DAEMON}" 2> /dev/null || true
-wait "${DAEMON}" 2> /dev/null || true
-"${SERVE[@]}" > /dev/null 2>&1 &
-DAEMON=$!
-sleep 0.25
-kill -TERM "${DAEMON}" 2> /dev/null || true
-DRAIN=0
-wait "${DAEMON}" || DRAIN=$?
-if [ "${DRAIN}" -ne 0 ]; then
-  echo "FAIL: SIGTERM drain exited ${DRAIN} instead of 0" >&2
-  exit 1
-fi
-"${SERVE[@]}" > /dev/null
-./build-ci/tools/accu serve status "--root=${SV}/root"
-diff <(tail -n +2 "${SV}/reference.md") \
-  <(tail -n +2 "${SV}/root/jobs/job0001/report.md") || {
-  echo "FAIL: serve report differs from the direct unsharded sweep" >&2
-  exit 1
-}
-echo "serve drill OK: journaled queue survived kill -9 and drained cleanly"
+for MODE in strict grouped; do
+  ROOT="${SV}/root-${MODE}"
+  ./build-ci/tools/accu serve submit "--root=${ROOT}" --kind=compare \
+    "--in=${SV}/net.accu" --k=8 --runs=6000 --seed=11 \
+    "--durability=${MODE}" --group-cells=64 --group-ms=50 \
+    --name=drill > /dev/null
+  SERVE=(./build-ci/tools/accu serve run "--root=${ROOT}" --workers=3 \
+    --poll-ms=10 --crash-budget=9 --exit-when-idle)
+  "${SERVE[@]}" > /dev/null 2>&1 &
+  DAEMON=$!
+  sleep 0.35
+  kill -9 "${DAEMON}" 2> /dev/null || true
+  wait "${DAEMON}" 2> /dev/null || true
+  "${SERVE[@]}" > /dev/null 2>&1 &
+  DAEMON=$!
+  sleep 0.25
+  kill -TERM "${DAEMON}" 2> /dev/null || true
+  DRAIN=0
+  wait "${DAEMON}" || DRAIN=$?
+  if [ "${DRAIN}" -ne 0 ]; then
+    echo "FAIL(${MODE}): SIGTERM drain exited ${DRAIN} instead of 0" >&2
+    exit 1
+  fi
+  "${SERVE[@]}" > /dev/null
+  ./build-ci/tools/accu serve status "--root=${ROOT}"
+  diff <(tail -n +2 "${SV}/reference.md") \
+    <(tail -n +2 "${ROOT}/jobs/job0001/report.md") || {
+    echo "FAIL(${MODE}): serve report differs from the direct sweep" >&2
+    exit 1
+  }
+  echo "serve drill (${MODE}) OK: survived kill -9 and drained cleanly"
+done
 
 echo "=== sanitized build (Debug, thread) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}"
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve'
+  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint'
 
 echo "=== CI OK ==="
