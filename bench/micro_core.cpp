@@ -389,6 +389,7 @@ struct KernelTimings {
   double potential_scalar_ns = 0.0;     // per scalar potential() call
   double batched_rescore_ns = 0.0;      // per candidate in score_batch
   double abm_round_ns = 0.0;            // per round of a pooled ABM attack
+  double deferred_delivery_ns = 0.0;    // per round, ABM under delayed:5
 };
 
 KernelTimings measure_kernels(const AccuInstance& instance) {
@@ -460,6 +461,28 @@ KernelTimings measure_kernels(const AccuInstance& instance) {
     benchmark::DoNotOptimize(sink);
     t.abm_round_ns = s * 1e9 / static_cast<double>(iters * budget);
   }
+  {  // The same pooled ABM attack under delayed-by-5 feedback: the delta vs
+     // abm_round_ns is the cost of the pending-revelation queue plus the
+     // round-boundary delivery drain (core/feedback.hpp).
+    util::Rng rng(13);
+    const Realization truth = Realization::sample(instance, rng);
+    const std::uint32_t budget = 50;
+    const FeedbackModel delayed{FeedbackKind::kDelayed, 5};
+    SimWorkspace ws;
+    AbmStrategy abm(0.5, 0.5);
+    SimulationResult out;
+    const std::uint64_t iters = 50;
+    double sink = 0.0;
+    const double s = measure_seconds(4, iters, [&](std::uint64_t) {
+      util::Rng srng(14);
+      AttackerView& view = ws.reset_view(instance);
+      simulate_into(instance, truth, abm, budget, srng, view, ws, out,
+                    nullptr, delayed);
+      sink += out.total_benefit;
+    });
+    benchmark::DoNotOptimize(sink);
+    t.deferred_delivery_ns = s * 1e9 / static_cast<double>(iters * budget);
+  }
   return t;
 }
 
@@ -491,14 +514,15 @@ int run_json_mode(const char* path) {
       "    \"observation_update_ns\": %.1f,\n"
       "    \"potential_scalar_ns\": %.1f,\n"
       "    \"batched_rescore_ns_per_candidate\": %.2f,\n"
-      "    \"abm_round_ns\": %.1f\n"
+      "    \"abm_round_ns\": %.1f,\n"
+      "    \"deferred_delivery_ns\": %.1f\n"
       "  }\n"
       "}\n",
       static_cast<unsigned long long>(cells), budget, fresh.cells_per_sec,
       fresh.allocs_per_cell, pooled.cells_per_sec, pooled.allocs_per_cell,
       reduction, kernels.realization_sample_ns, kernels.observation_update_ns,
       kernels.potential_scalar_ns, kernels.batched_rescore_ns,
-      kernels.abm_round_ns);
+      kernels.abm_round_ns, kernels.deferred_delivery_ns);
 
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {

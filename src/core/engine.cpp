@@ -42,11 +42,13 @@ void offer_score_pack(const AccuInstance& instance, Strategy& strategy,
 void simulate_into(const AccuInstance& instance, const Realization& truth,
                    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
                    AttackerView& view, SimWorkspace& ws, SimulationResult& out,
-                   const util::CancelToken* cancel) {
+                   const util::CancelToken* cancel,
+                   const FeedbackModel& feedback) {
   ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   out.clear();
   out.trace.reserve(budget);
+  view.arm_feedback(feedback);
   offer_score_pack(instance, strategy, ws);
   strategy.reset(instance, rng);
   engine::ReliableEnv env(instance, truth, strategy, budget, rng, view, ws,
@@ -59,11 +61,13 @@ void simulate_with_faults_into(const AccuInstance& instance,
                                std::uint32_t budget, util::Rng& rng,
                                FaultModel& faults, AttackerView& view,
                                SimWorkspace& ws, SimulationResult& out,
-                               const util::CancelToken* cancel) {
+                               const util::CancelToken* cancel,
+                               const FeedbackModel& feedback) {
   ACCU_ASSERT(truth.num_edges() == instance.graph().num_edges());
   ACCU_ASSERT(truth.num_nodes() == instance.num_nodes());
   out.clear();
   out.trace.reserve(budget);
+  view.arm_feedback(feedback);
   offer_score_pack(instance, strategy, ws);
   strategy.reset(instance, rng);
   engine::FaultyEnv env(instance, truth, strategy, budget, rng, faults, view,

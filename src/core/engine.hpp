@@ -96,7 +96,8 @@ class SimWorkspace {
 void simulate_into(const AccuInstance& instance, const Realization& truth,
                    Strategy& strategy, std::uint32_t budget, util::Rng& rng,
                    AttackerView& view, SimWorkspace& ws, SimulationResult& out,
-                   const util::CancelToken* cancel = nullptr);
+                   const util::CancelToken* cancel = nullptr,
+                   const FeedbackModel& feedback = {});
 
 /// As `simulate_with_faults`, workspace-pooled like `simulate_into`.
 void simulate_with_faults_into(const AccuInstance& instance,
@@ -104,7 +105,8 @@ void simulate_with_faults_into(const AccuInstance& instance,
                                std::uint32_t budget, util::Rng& rng,
                                FaultModel& faults, AttackerView& view,
                                SimWorkspace& ws, SimulationResult& out,
-                               const util::CancelToken* cancel = nullptr);
+                               const util::CancelToken* cancel = nullptr,
+                               const FeedbackModel& feedback = {});
 
 namespace engine {
 
@@ -135,12 +137,16 @@ void run_rounds(Env& env) {
 /// Cautious users follow the threshold model: the pre-drawn coin of the
 /// active regime decides (q1 below θ, q2 at/above; the deterministic model
 /// is (q1, q2) = (0, 1)).  Reckless users follow their acceptance coin.
+/// The threshold test is the *platform's*: a cautious user counts their
+/// realized mutual friends (`true_cautious_would_accept`), which equals the
+/// attacker's observed test under full feedback but may run ahead of it
+/// under a deferred FeedbackModel.
 template <class View, class Truth>
 [[nodiscard]] bool resolve_acceptance(const AccuInstance& instance,
                                       const Truth& truth, const View& view,
                                       NodeId target) {
   if (instance.is_cautious(target)) {
-    const bool reached = view.cautious_would_accept(target);
+    const bool reached = view.true_cautious_would_accept(target);
     return reached ? truth.cautious_above_accepts(target)
                    : truth.cautious_below_accepts(target);
   }
@@ -176,18 +182,18 @@ class SingleBotEnvBase {
     record_.accepted = accepted;
     if (accepted) {
       view_.record_acceptance(target, truth_, ws_.effects);
-      record_.benefit_after = view_.current_benefit();
+      record_.benefit_after = view_.true_benefit();
       strategy_.observe(target, true, view_, &ws_.effects);
     } else {
       view_.record_rejection(target);
-      record_.benefit_after = view_.current_benefit();
+      record_.benefit_after = view_.true_benefit();
       strategy_.observe(target, false, view_, nullptr);
     }
     out_.trace.push_back(record_);
   }
 
   void finish() {
-    out_.total_benefit = view_.current_benefit();
+    out_.total_benefit = view_.true_benefit();
     out_.num_accepted = static_cast<std::uint32_t>(view_.friends().size());
     out_.num_cautious_friends = view_.num_cautious_friends();
     out_.friends = view_.friends();
@@ -198,7 +204,24 @@ class SingleBotEnvBase {
     if (cancel_ != nullptr) cancel_->check();
   }
 
-  /// Validates the selection and opens this round's trace record.
+  /// Drains every revelation due at `round` into the observed layer and
+  /// notifies the strategy per delivery.  No-op under full feedback (the
+  /// reveal happened inline in settle).  The environments call this from
+  /// begin_round with their own clock, so "d rounds later" means the same
+  /// thing budget means in that environment.
+  void deliver_feedback(std::uint64_t round) {
+    if (!view_.deferred_feedback()) return;
+    view_.set_feedback_round(round);
+    while (view_.has_due_revelation()) {
+      const NodeId source = view_.deliver_next_revelation(truth_, ws_.effects);
+      strategy_.observe_revelation(source, view_, ws_.effects);
+    }
+  }
+
+  /// Validates the selection and opens this round's trace record.  Trace
+  /// benefits measure the realized attack state (true_benefit ==
+  /// current_benefit under full feedback), so the reported curves stay
+  /// comparable across feedback models.
   void open_record(NodeId target) {
     ACCU_ASSERT_MSG(target < instance_.num_nodes(),
                     "strategy selected an out-of-range node");
@@ -207,7 +230,7 @@ class SingleBotEnvBase {
     record_ = RequestRecord{};
     record_.target = target;
     record_.cautious_target = instance_.is_cautious(target);
-    record_.benefit_before = view_.current_benefit();
+    record_.benefit_before = view_.true_benefit();
   }
 
   const AccuInstance& instance_;
@@ -231,8 +254,9 @@ class ReliableEnv final : public SingleBotEnvBase {
   [[nodiscard]] bool has_budget() const {
     return view_.num_requests() < budget_;
   }
-  [[nodiscard]] RoundStep begin_round() const {
+  [[nodiscard]] RoundStep begin_round() {
     check_cancel();
+    deliver_feedback(view_.num_requests());  // round clock = requests sent
     return RoundStep::kContinue;
   }
   [[nodiscard]] bool begin_request(NodeId target) {
@@ -259,8 +283,9 @@ class FaultyEnv final : public SingleBotEnvBase {
   }
 
   [[nodiscard]] bool has_budget() const { return rounds_ < budget_; }
-  [[nodiscard]] RoundStep begin_round() const {
+  [[nodiscard]] RoundStep begin_round() {
     check_cancel();
+    deliver_feedback(rounds_);  // round clock = budget rounds consumed
     return RoundStep::kContinue;
   }
 
@@ -308,7 +333,7 @@ class FaultyEnv final : public SingleBotEnvBase {
       for (std::uint32_t i = 0; i < w && rounds_ < budget_; ++i) {
         RequestRecord stall;
         stall.fault = FaultKind::kSuspensionStall;
-        stall.benefit_before = view_.current_benefit();
+        stall.benefit_before = view_.true_benefit();
         stall.benefit_after = stall.benefit_before;
         out_.trace.push_back(stall);
         ++rounds_;
@@ -415,6 +440,11 @@ struct BotScopedView {
   BotId bot;
   [[nodiscard]] bool cautious_would_accept(NodeId v) const {
     return view.cautious_would_accept(bot, v);
+  }
+  /// Multi-bot runs are full-feedback only (simulate_multibot rejects a
+  /// non-full model), so the true and observed tests coincide.
+  [[nodiscard]] bool true_cautious_would_accept(NodeId v) const {
+    return cautious_would_accept(v);
   }
 };
 struct BotScopedTruth {

@@ -188,6 +188,7 @@ struct CheckpointFingerprint {
   std::vector<std::string> names;
   FaultConfig faults{};
   util::RetryPolicy retry{};
+  FeedbackModel feedback{};
 };
 
 CheckpointFingerprint fingerprint_of(const ExperimentConfig& config,
@@ -202,6 +203,7 @@ CheckpointFingerprint fingerprint_of(const ExperimentConfig& config,
   fp.names = names;
   fp.faults = config.faults;
   fp.retry = config.retry;
+  fp.feedback = config.feedback;
   return fp;
 }
 
@@ -223,6 +225,12 @@ std::string checkpoint_header(const CheckpointFingerprint& fp) {
                 fp.retry.base_delay, fp.retry.max_delay);
   os << buf;
   os << "shard " << fp.shard_index << ' ' << fp.shard_count << '\n';
+  // The feedback line is written only for non-full models so every
+  // checkpoint file a full-feedback sweep writes stays byte-identical to
+  // the pre-feedback-axis format (and old files read as full).
+  if (!fp.feedback.is_full()) {
+    os << "feedback " << fp.feedback.spec() << '\n';
+  }
   for (std::size_t i = 0; i < fp.names.size(); ++i) {
     os << "name " << i << ' ' << fp.names[i] << '\n';
   }
@@ -261,6 +269,9 @@ void check_fingerprint(const std::string& path,
       parsed.retry.base_delay != r.base_delay ||
       parsed.retry.max_delay != r.max_delay) {
     checkpoint_mismatch(path, "different fault or retry configuration");
+  }
+  if (parsed.feedback != expected.feedback) {
+    checkpoint_mismatch(path, "different feedback model");
   }
   if (parsed.names != expected.names) {
     checkpoint_mismatch(path, "different strategy roster");
@@ -428,6 +439,25 @@ LoadedCheckpoint load_checkpoint(const std::string& path,
     } else {
       parsed.shard_index = 0;
       parsed.shard_count = 1;
+      pending_line = true;
+    }
+  }
+  // Optional feedback-model line (absent = full; full-feedback files never
+  // write it, so their bytes predate the feedback axis unchanged).
+  {
+    if (!pending_line && !next_header_line()) {
+      throw IoError("checkpoint " + path + ": missing strategy name line");
+    }
+    if (line.rfind("feedback ", 0) == 0) {
+      pending_line = false;
+      try {
+        parsed.feedback = FeedbackModel::parse(line.substr(9));
+      } catch (const InvalidArgument& e) {
+        throw IoError("checkpoint " + path + ": malformed feedback line (" +
+                      e.what() + ")");
+      }
+    } else {
+      parsed.feedback = FeedbackModel{};
       pending_line = true;
     }
   }
@@ -846,11 +876,11 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
             simulate_with_faults_into(instance, truth, strategy,
                                       config.budget, policy_rng, faults, view,
                                       worker.ws, worker.outcomes[s],
-                                      token.get());
+                                      token.get(), config.feedback);
           } else {
             simulate_into(instance, truth, strategy, config.budget,
                           policy_rng, view, worker.ws, worker.outcomes[s],
-                          token.get());
+                          token.get(), config.feedback);
           }
           partials[task][s].add(worker.outcomes[s], config.budget);
         }
@@ -1109,6 +1139,7 @@ ShardMergeOutcome merge_shard_checkpoints(
   out.config.seed = base.seed;
   out.config.faults = base.faults;
   out.config.retry = base.retry;
+  out.config.feedback = base.feedback;
   out.result.strategy_names = base.names;
   out.result.aggregates.resize(base.names.size());
   // Deterministic merge order: task-major, strategy-minor — identical to

@@ -158,6 +158,13 @@ struct ExperimentConfig {
   /// When not kNone, every strategy instance is wrapped in a
   /// RetryingStrategy with this policy (jitter seeded per cell).
   util::RetryPolicy retry{};
+  /// Feedback model for every simulation of the sweep
+  /// (core/feedback.hpp; DESIGN.md §15).  The default full model is the
+  /// paper's semantics and leaves every code path — including the
+  /// checkpoint bytes and report — untouched.  Non-full models are part of
+  /// the checkpoint fingerprint: a resume under a different model is
+  /// rejected.
+  FeedbackModel feedback{};
   /// When non-empty, completed (sample, run) cells are appended to this
   /// file as they finish, and an existing file is loaded first so a killed
   /// sweep resumes where it stopped — with aggregates bit-identical to an

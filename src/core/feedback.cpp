@@ -1,0 +1,118 @@
+#include "core/feedback.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace accu {
+namespace {
+
+constexpr std::array<const char*, 4> kNames = {"full", "myopic", "delayed",
+                                               "batched"};
+
+/// Edit distance for the did-you-mean hint on unknown model names — same
+/// near-miss policy as util::Options (suggest only distance < 3).
+std::size_t levenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string FeedbackModel::spec() const {
+  if (is_full()) return "full";
+  switch (kind) {
+    case FeedbackKind::kFull:
+      return "full";
+    case FeedbackKind::kMyopic:
+      return "myopic";
+    case FeedbackKind::kDelayed:
+      return "delayed:" + std::to_string(param);
+    case FeedbackKind::kBatched:
+      return "batched:" + std::to_string(param);
+  }
+  return "full";
+}
+
+FeedbackModel FeedbackModel::parse(const std::string& spec,
+                                   std::uint32_t param) {
+  std::string name = spec;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const std::string tail = spec.substr(colon + 1);
+    if (tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos) {
+      throw InvalidArgument("feedback parameter in '" + spec +
+                            "' must be a non-negative integer");
+    }
+    unsigned long long v = 0;
+    for (const char c : tail) {
+      v = v * 10 + static_cast<unsigned long long>(c - '0');
+      if (v > 0xffffffffULL) {
+        throw InvalidArgument("feedback parameter in '" + spec +
+                              "' is out of range");
+      }
+    }
+    param = static_cast<std::uint32_t>(v);
+  }
+
+  FeedbackModel model;
+  if (name == "full") {
+    model.kind = FeedbackKind::kFull;
+  } else if (name == "myopic") {
+    model.kind = FeedbackKind::kMyopic;
+  } else if (name == "delayed") {
+    model.kind = FeedbackKind::kDelayed;
+  } else if (name == "batched") {
+    model.kind = FeedbackKind::kBatched;
+  } else {
+    std::string message = "unknown feedback model '" + name +
+                          "' (expected full|myopic|delayed|batched)";
+    std::string best;
+    std::size_t best_distance = 3;  // suggest only near-misses
+    for (const char* known : kNames) {
+      const std::size_t d = levenshtein(name, known);
+      if (d < best_distance) {
+        best_distance = d;
+        best = known;
+      }
+    }
+    if (!best.empty()) message += " (did you mean '" + best + "'?)";
+    throw InvalidArgument(message);
+  }
+
+  model.param = param;
+  if (model.kind == FeedbackKind::kDelayed && model.param == 0) {
+    throw InvalidArgument(
+        "feedback model 'delayed' needs --feedback-delay >= 1 "
+        "(use --feedback=full for no delay)");
+  }
+  if (model.kind == FeedbackKind::kBatched && model.param == 0) {
+    throw InvalidArgument(
+        "feedback model 'batched' needs --feedback-delay >= 1 "
+        "(the batch size in rounds; 1 is equivalent to full)");
+  }
+  if ((model.kind == FeedbackKind::kFull ||
+       model.kind == FeedbackKind::kMyopic) &&
+      param != 0) {
+    throw InvalidArgument("feedback model '" + name +
+                          "' does not take a delay parameter");
+  }
+  return model;
+}
+
+}  // namespace accu

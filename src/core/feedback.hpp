@@ -1,0 +1,104 @@
+// Feedback models — how much of the network a successful friend request
+// reveals, and when (DESIGN.md §15).
+//
+// The paper assumes *full* feedback: the instant u accepts, u's entire
+// neighborhood realization becomes visible to the attacker (§II-B).  The
+// adaptive-submodularity literature the paper builds on (Golovin & Krause;
+// Peng & Chen's myopic feedback; Tong's general feedback models — see
+// PAPERS.md) studies the spectrum between that fully-adaptive extreme and
+// the non-adaptive one.  FeedbackModel makes the axis a first-class,
+// pluggable policy:
+//
+//  * full     — status quo.  Acceptance reveals the accepted node's whole
+//               incident edge realization immediately.
+//  * myopic   — only the accepted edge is revealed, never the
+//               neighborhood.  Observed mutual-friend counts stay 0, so
+//               the attacker must reason with *believed* (prior-weighted)
+//               estimates; see AttackerView::believed_mutual_friends.
+//  * delayed  — acceptance is visible immediately (the platform confirms
+//               the friendship), but the neighborhood revelation lands
+//               `param` rounds later, modeling crawl/API latency.
+//  * batched  — revelations land at batch boundaries: everything accepted
+//               inside batch b becomes visible when round b·param starts.
+//               Retroactively justifies BatchedAbmStrategy, whose decisions
+//               are stale by construction.
+//
+// Degenerate parameters collapse onto full by *definition*, not by
+// equivalence proof: delayed with d = 0 and batched with batch <= 1 are
+// normalized to kFull in is_full(), so they execute the identical code
+// path and are trivially bit-identical to the status quo.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace accu {
+
+enum class FeedbackKind : std::uint8_t {
+  kFull = 0,
+  kMyopic = 1,
+  kDelayed = 2,
+  kBatched = 3,
+};
+
+/// One point on the feedback axis.  `param` is the delay in rounds
+/// (delayed) or the batch size in rounds (batched); ignored for
+/// full/myopic.  Value-semantic and totally ordered by (kind, param) so it
+/// can sit in configs and checkpoint fingerprints.
+struct FeedbackModel {
+  FeedbackKind kind = FeedbackKind::kFull;
+  std::uint32_t param = 0;
+
+  /// True when this model behaves exactly like the paper's full feedback:
+  /// kFull itself, delayed(0), and batched(<=1).  Every consumer branches
+  /// on is_full() rather than kind so the degenerate parameters share the
+  /// status-quo code path byte-for-byte.
+  [[nodiscard]] bool is_full() const noexcept {
+    switch (kind) {
+      case FeedbackKind::kFull:
+      case FeedbackKind::kMyopic:
+        return kind == FeedbackKind::kFull;
+      case FeedbackKind::kDelayed:
+        return param == 0;
+      case FeedbackKind::kBatched:
+        return param <= 1;
+    }
+    return true;
+  }
+
+  /// Round at which the neighborhood of a node accepted in `round` becomes
+  /// visible.  Only meaningful for delayed/batched (myopic never delivers,
+  /// full delivers inline).  Rounds are the environment's clock — request
+  /// count for ReliableEnv, attacker actions for FaultyEnv.
+  [[nodiscard]] std::uint64_t due_round(std::uint64_t round) const noexcept {
+    if (kind == FeedbackKind::kDelayed) return round + param;
+    // Batched: the first boundary strictly after `round`.
+    return (round / param + 1) * static_cast<std::uint64_t>(param);
+  }
+
+  /// Canonical spec string: "full", "myopic", "delayed:3", "batched:10".
+  [[nodiscard]] std::string spec() const;
+
+  /// Parses a model name ("full" | "myopic" | "delayed" | "batched") plus
+  /// the separately-supplied parameter (--feedback-delay).  Unknown names
+  /// throw InvalidArgument with a did-you-mean hint; delayed/batched with
+  /// param == 0 throw (use --feedback=full to mean "no delay" explicitly
+  /// — a silent zero hides a forgotten --feedback-delay).  `spec` may also
+  /// carry an inline parameter ("delayed:3"), which wins over `param`.
+  [[nodiscard]] static FeedbackModel parse(const std::string& spec,
+                                           std::uint32_t param = 0);
+
+  friend bool operator==(const FeedbackModel& a,
+                         const FeedbackModel& b) noexcept {
+    // Normalize before comparing so delayed(0) == full == batched(1).
+    if (a.is_full() && b.is_full()) return true;
+    return a.kind == b.kind && a.param == b.param;
+  }
+  friend bool operator!=(const FeedbackModel& a,
+                         const FeedbackModel& b) noexcept {
+    return !(a == b);
+  }
+};
+
+}  // namespace accu

@@ -18,12 +18,30 @@
 //
 // The view never looks at unrevealed parts of the realization; the
 // simulator is the only component holding both.
+//
+// Feedback models (DESIGN.md §15).  Under the paper's *full* feedback the
+// reveal happens inline in record_acceptance — the status-quo code path,
+// byte-for-byte.  arm_feedback() with a non-full FeedbackModel switches the
+// view into *deferred* mode, which splits its state into two layers:
+//
+//   * the OBSERVED layer (request_state_/edge_state_/mutual_/benefit_) —
+//     what the attacker legally knows.  Acceptances update it immediately
+//     (the platform confirms the friendship) but neighborhood revelations
+//     queue in pending_ and only land when the environment calls
+//     deliver_next_revelation at a round boundary (never, for myopic).
+//   * the TRUE layer (true_mutual_/true_benefit_) — the realized ground
+//     truth of the attack, which the *platform* uses to resolve cautious
+//     acceptance (a cautious user counts their real mutual friends, not
+//     the attacker's stale picture) and which reports measure.  Exposed
+//     through true_* accessors that fall back to the observed layer under
+//     full feedback, where the two coincide.
 
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/feedback.hpp"
 #include "core/instance.hpp"
 #include "core/realization.hpp"
 #include "core/types.hpp"
@@ -73,6 +91,47 @@ class AttackerView {
   /// reused scratch object makes the reveal path allocation-free.
   void record_acceptance(NodeId v, const Realization& truth,
                          AcceptanceEffects& out);
+
+  // --- feedback model (deferred revelations) ------------------------------
+
+  /// Switches the view's feedback model; call right after reset().  A full
+  /// model (the default) keeps the status-quo inline reveal; a non-full
+  /// model defers neighborhood revelations into the pending queue (see the
+  /// header comment).  The pending queue is a pooled member, so re-arming
+  /// across sweep cells stays allocation-free.
+  void arm_feedback(const FeedbackModel& model);
+
+  [[nodiscard]] const FeedbackModel& feedback() const noexcept {
+    return feedback_;
+  }
+  /// True when revelations defer (non-full model armed).
+  [[nodiscard]] bool deferred_feedback() const noexcept { return deferred_; }
+
+  /// Advances the delivery clock; the environment calls this at each round
+  /// boundary with its round counter before draining due revelations.
+  void set_feedback_round(std::uint64_t round) noexcept {
+    feedback_round_ = round;
+  }
+
+  /// A queued revelation has come due at the current feedback round.
+  [[nodiscard]] bool has_due_revelation() const noexcept {
+    return next_pending_ < pending_.size() &&
+           pending_[next_pending_].due <= feedback_round_;
+  }
+
+  /// Delivers the oldest due revelation: reveals the accepted node's
+  /// incident edge realization into the observed layer (the exact loop
+  /// full feedback runs inline) and reports the observed-state deltas in
+  /// `effects` (was_fof is not meaningful for a late revelation and stays
+  /// false).  Returns the node whose neighborhood landed.
+  NodeId deliver_next_revelation(const Realization& truth,
+                                 AcceptanceEffects& effects);
+
+  /// Revelations still queued (undelivered at the end of an attack when
+  /// the budget runs out before their due round).
+  [[nodiscard]] std::size_t pending_revelations() const noexcept {
+    return pending_.size() - next_pending_;
+  }
 
   // --- request / friendship state ---------------------------------------
 
@@ -130,6 +189,53 @@ class AttackerView {
     return mutual_friends(v) >= instance_->threshold(v);
   }
 
+  // --- true layer (platform-side ground truth; == observed under full) ----
+
+  /// Realized |N(v) ∩ N(s)| counting *every* acceptance, delivered or not —
+  /// what the cautious user v actually sees on their own friend list.
+  [[nodiscard]] ACCU_ALWAYS_INLINE std::uint32_t true_mutual_friends(
+      NodeId v) const {
+    ACCU_ASSERT(v < mutual_.size());
+    return deferred_ ? true_mutual_[v] : mutual_[v];
+  }
+
+  /// The platform's acceptance test for a cautious user: realized mutual
+  /// count against θ_v.  Identical to cautious_would_accept under full
+  /// feedback; under deferred feedback the attacker's observed test may
+  /// lag this one — that lag is the adaptivity gap.
+  [[nodiscard]] ACCU_ALWAYS_INLINE bool true_cautious_would_accept(
+      NodeId v) const {
+    ACCU_ASSERT(instance_->is_cautious(v));
+    return true_mutual_friends(v) >= instance_->threshold(v);
+  }
+
+  /// Eq. (1) benefit of the realized attack state (what reports measure);
+  /// == current_benefit() under full feedback.
+  [[nodiscard]] double true_benefit() const noexcept {
+    return deferred_ ? true_benefit_ : benefit_;
+  }
+
+  // --- believed layer (attacker-side estimates under partial feedback) ----
+
+  /// The attacker's expected |N(v) ∩ N(s)| under the current observations:
+  /// Σ over v's potential edges to friends of edge_belief.  Under full
+  /// feedback every such edge is observed, so this equals mutual_friends
+  /// exactly; under myopic feedback it is the prior-weighted estimate the
+  /// attacker must plan with.
+  [[nodiscard]] double believed_mutual_friends(NodeId v) const;
+
+  /// Believed FOF test: positive believed mutual mass and not a friend.
+  [[nodiscard]] bool believed_is_fof(NodeId v) const {
+    return believed_mutual_friends(v) > 0.0 && !is_friend(v);
+  }
+
+  /// The attacker's best guess whether cautious v would accept now.
+  [[nodiscard]] bool believed_cautious_would_accept(NodeId v) const {
+    ACCU_ASSERT(instance_->is_cautious(v));
+    return believed_mutual_friends(v) >=
+           static_cast<double>(instance_->threshold(v));
+  }
+
   // --- flat spans (the score engine's batched kernels read these) ---------
 
   /// Per-node request states, indexed by NodeId.
@@ -163,6 +269,19 @@ class AttackerView {
   [[nodiscard]] std::size_t num_observed_edges() const noexcept;
 
  private:
+  /// Acceptance bookkeeping under a non-full model: observed layer gets
+  /// the acceptance only, true layer gets the realized neighborhood, the
+  /// revelation queues (unless myopic).
+  void record_acceptance_deferred(NodeId v, const Realization& truth,
+                                  AcceptanceEffects& effects);
+
+  /// One queued neighborhood revelation: the accepted node and the round
+  /// at which it becomes visible.
+  struct PendingRevelation {
+    NodeId node = kInvalidNode;
+    std::uint64_t due = 0;
+  };
+
   const AccuInstance* instance_;
   std::vector<RequestState> request_state_;
   std::vector<EdgeState> edge_state_;
@@ -171,6 +290,17 @@ class AttackerView {
   std::uint32_t num_requests_ = 0;
   std::uint32_t num_cautious_friends_ = 0;
   double benefit_ = 0.0;
+
+  // Deferred-feedback state; untouched (deferred_ == false) under full
+  // feedback so the status-quo path carries no extra work.  All vectors are
+  // pooled members — reset/arm reuse their capacity.
+  FeedbackModel feedback_{};
+  bool deferred_ = false;
+  std::uint64_t feedback_round_ = 0;
+  std::vector<PendingRevelation> pending_;
+  std::size_t next_pending_ = 0;
+  std::vector<std::uint32_t> true_mutual_;
+  double true_benefit_ = 0.0;
 };
 
 /// The social network as the attacker currently *knows* it: exactly the

@@ -13,7 +13,13 @@ void write_markdown_report(const ExperimentResult& result,
   os << "- budget k = " << config.budget << "\n";
   os << "- sample networks = " << config.samples << ", runs per network = "
      << config.runs << "\n";
-  os << "- seed = " << config.seed << "\n\n";
+  os << "- seed = " << config.seed << "\n";
+  // Emitted only under a non-full model so full-feedback reports stay
+  // byte-identical to the pre-feedback-axis format.
+  if (!config.feedback.is_full()) {
+    os << "- feedback = " << config.feedback.spec() << "\n";
+  }
+  os << "\n";
 
   os << "## Summary\n\n";
   os << "| policy | benefit | ±95% | accepted | cautious friends |\n";

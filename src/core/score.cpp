@@ -289,6 +289,54 @@ void ScoreEngine::apply_acceptance(
   }
 }
 
+void ScoreEngine::apply_revelation(
+    const AttackerView::AcceptanceEffects& effects) {
+  const ScorePack& pack = *pack_;
+  ++eager_round_;
+  eager_.clear();
+
+  // Cases (2) and (3) of apply_acceptance, verbatim: the revelation's
+  // new-FOF entries and mutual advances.  Case (1) — deactivating the
+  // accepted target's own slots — ran when the acceptance was observed.
+  for (const NodeId w : effects.new_fof) {
+    fof_[w] = 1;
+    mark_dirty(w);
+    const std::uint32_t s0 = pack.row_begin(w);
+    const std::uint32_t s1 = pack.row_begin(w + 1);
+    for (std::uint32_t s = s0; s < s1; ++s) {
+      contrib_d_[pack.mirror(s)] = 0.0;
+      mark_dirty(pack.slot_node(s));
+    }
+  }
+
+  for (const NodeId v : effects.mutual_increased) {
+    ++mutual_[v];
+    if (requested_[v] != 0 || !pack.is_cautious(v)) continue;
+    const std::uint32_t theta = pack.theta(v);
+    const std::uint32_t m = mutual_[v];
+    if (m == theta) {
+      add_eager(v);
+      if (maintain_indirect_) {
+        const std::uint32_t s0 = pack.row_begin(v);
+        const std::uint32_t s1 = pack.row_begin(v + 1);
+        for (std::uint32_t s = s0; s < s1; ++s) {
+          contrib_i_[pack.mirror(s)] = 0.0;
+          mark_dirty(pack.slot_node(s));
+        }
+      }
+    } else if (m < theta && maintain_indirect_) {
+      const double denom = static_cast<double>(theta - m);
+      const std::uint32_t s0 = pack.row_begin(v);
+      const std::uint32_t s1 = pack.row_begin(v + 1);
+      for (std::uint32_t s = s0; s < s1; ++s) {
+        const std::uint32_t ms = pack.mirror(s);
+        contrib_i_[ms] = pack.i_gain(ms) / denom;
+        add_eager(pack.slot_node(s));
+      }
+    }
+  }
+}
+
 void ScoreEngine::apply_rejection(NodeId target) {
   const ScorePack& pack = *pack_;
   ++eager_round_;

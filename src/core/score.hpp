@@ -198,6 +198,17 @@ class ScoreEngine {
   /// Folds a rejected request into the caches.
   void apply_rejection(NodeId target);
 
+  /// Folds a late neighborhood revelation (deferred FeedbackModel) into
+  /// the caches; effects must be the ones
+  /// AttackerView::deliver_next_revelation produced.  This is exactly the
+  /// new_fof / mutual_increased half of apply_acceptance — the
+  /// target-deactivation half already ran at acceptance time (the
+  /// acceptance itself is immediate feedback in every model), which is
+  /// what keeps the engine's mirrors in lockstep with the *observed* view
+  /// and preserves the bit-exactness invariant: an edge is observed and
+  /// its terms deactivated in the same delivery event.
+  void apply_revelation(const AttackerView::AcceptanceEffects& effects);
+
   /// Nodes whose potential may have increased in the latest apply_* call;
   /// the caller must re-score these eagerly (heap re-push) before the next
   /// selection.  Valid until the next apply_* call.

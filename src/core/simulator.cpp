@@ -15,21 +15,23 @@ SimulationResult simulate_with_view(const AccuInstance& instance,
                                     const Realization& truth,
                                     Strategy& strategy, std::uint32_t budget,
                                     util::Rng& rng, AttackerView& view,
-                                    const util::CancelToken* cancel) {
+                                    const util::CancelToken* cancel,
+                                    const FeedbackModel& feedback) {
   SimWorkspace ws;
   SimulationResult result;
   simulate_into(instance, truth, strategy, budget, rng, view, ws, result,
-                cancel);
+                cancel, feedback);
   return result;
 }
 
 SimulationResult simulate(const AccuInstance& instance,
                           const Realization& truth, Strategy& strategy,
                           std::uint32_t budget, util::Rng& rng,
-                          const util::CancelToken* cancel) {
+                          const util::CancelToken* cancel,
+                          const FeedbackModel& feedback) {
   AttackerView view(instance);
   return simulate_with_view(instance, truth, strategy, budget, rng, view,
-                            cancel);
+                            cancel, feedback);
 }
 
 SimulationResult simulate_with_faults(const AccuInstance& instance,
@@ -37,11 +39,12 @@ SimulationResult simulate_with_faults(const AccuInstance& instance,
                                       Strategy& strategy, std::uint32_t budget,
                                       util::Rng& rng, FaultModel& faults,
                                       AttackerView& view,
-                                      const util::CancelToken* cancel) {
+                                      const util::CancelToken* cancel,
+                                      const FeedbackModel& feedback) {
   SimWorkspace ws;
   SimulationResult result;
   simulate_with_faults_into(instance, truth, strategy, budget, rng, faults,
-                            view, ws, result, cancel);
+                            view, ws, result, cancel, feedback);
   return result;
 }
 
@@ -49,10 +52,11 @@ SimulationResult simulate_with_faults(const AccuInstance& instance,
                                       const Realization& truth,
                                       Strategy& strategy, std::uint32_t budget,
                                       util::Rng& rng, FaultModel& faults,
-                                      const util::CancelToken* cancel) {
+                                      const util::CancelToken* cancel,
+                                      const FeedbackModel& feedback) {
   AttackerView view(instance);
   return simulate_with_faults(instance, truth, strategy, budget, rng, faults,
-                              view, cancel);
+                              view, cancel, feedback);
 }
 
 }  // namespace accu

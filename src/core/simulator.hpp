@@ -107,12 +107,30 @@ class Strategy {
   virtual NodeId select(const AttackerView& view, util::Rng& rng) = 0;
 
   /// Notified after the outcome of the previous selection is folded into
-  /// the view.  `effects` is non-null iff the request was accepted.
+  /// the view.  `effects` is non-null iff the request was accepted.  Under
+  /// a deferred FeedbackModel an accepted request's effects carry only the
+  /// acceptance itself (empty new_fof/mutual_increased) — the neighborhood
+  /// deltas arrive later through observe_revelation.
   virtual void observe(NodeId target, bool accepted,
                        const AttackerView& view,
                        const AttackerView::AcceptanceEffects* effects) {
     (void)target;
     (void)accepted;
+    (void)view;
+    (void)effects;
+  }
+
+  /// Notified when a queued neighborhood revelation lands (deferred
+  /// FeedbackModel only; never called under full feedback).  `source` is
+  /// the previously-accepted node whose neighborhood just became visible;
+  /// `effects` carries the observed-state deltas (new_fof /
+  /// mutual_increased; was_fof is meaningless here).  The default is a
+  /// no-op: strategies that rescore from the view pick the new information
+  /// up automatically, only incremental-cache strategies (ABM) must react.
+  virtual void observe_revelation(NodeId source, const AttackerView& view,
+                                  const AttackerView::AcceptanceEffects&
+                                      effects) {
+    (void)source;
     (void)view;
     (void)effects;
   }
@@ -144,17 +162,25 @@ class Strategy {
 /// so no partial trace ever escapes — the caller sees either a complete
 /// result or the exception.  Polling consumes no randomness: passing a
 /// token that never fires leaves every outcome byte-identical.
+///
+/// Feedback: `feedback` selects the revelation model (core/feedback.hpp).
+/// The default (full) is the paper's semantics and the status-quo code
+/// path; non-full models defer neighborhood revelations per DESIGN.md §15.
+/// Trace benefits always measure the realized attack state, so results are
+/// comparable across models.
 [[nodiscard]] SimulationResult simulate(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr,
+    const FeedbackModel& feedback = {});
 
 /// As `simulate`, but also exposes the final view (integration tests and
 /// the examples' reporting use it).
 [[nodiscard]] SimulationResult simulate_with_view(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
-    AttackerView& view_out, const util::CancelToken* cancel = nullptr);
+    AttackerView& view_out, const util::CancelToken* cancel = nullptr,
+    const FeedbackModel& feedback = {});
 
 /// As `simulate`, but runs against an unreliable platform: each request
 /// attempt may fault per `faults` (core/faults.hpp).  The budget counts
@@ -174,13 +200,15 @@ class Strategy {
 [[nodiscard]] SimulationResult simulate_with_faults(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
-    FaultModel& faults, const util::CancelToken* cancel = nullptr);
+    FaultModel& faults, const util::CancelToken* cancel = nullptr,
+    const FeedbackModel& feedback = {});
 
 /// As `simulate_with_faults`, but exposes the final view.
 [[nodiscard]] SimulationResult simulate_with_faults(
     const AccuInstance& instance, const Realization& truth,
     Strategy& strategy, std::uint32_t budget, util::Rng& rng,
     FaultModel& faults, AttackerView& view_out,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr,
+    const FeedbackModel& feedback = {});
 
 }  // namespace accu

@@ -218,6 +218,22 @@ void AbmStrategy::observe(NodeId target, bool accepted,
   }
 }
 
+void AbmStrategy::observe_revelation(
+    NodeId source, const AttackerView& view,
+    const AttackerView::AcceptanceEffects& effects) {
+  (void)source;
+  (void)view;
+  if (!config_.incremental) return;  // the reference rescans the view
+  // A late revelation is the new_fof/mutual_increased half of an
+  // acceptance (the source's own slots were deactivated when its
+  // acceptance was observed); fold the deltas and re-push potentials that
+  // may have increased, exactly as observe() does.
+  engine_.apply_revelation(effects);
+  if (heap_seeded_) {
+    for (const NodeId u : engine_.pending_eager()) refresh(u);
+  }
+}
+
 AbmStrategy make_classic_greedy() {
   return AbmStrategy(AbmStrategy::Config{{1.0, 0.0}, /*incremental=*/true});
 }

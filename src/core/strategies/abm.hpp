@@ -67,6 +67,9 @@ class AbmStrategy final : public Strategy {
   NodeId select(const AttackerView& view, util::Rng& rng) override;
   void observe(NodeId target, bool accepted, const AttackerView& view,
                const AttackerView::AcceptanceEffects* effects) override;
+  void observe_revelation(NodeId source, const AttackerView& view,
+                          const AttackerView::AcceptanceEffects& effects)
+      override;
   [[nodiscard]] bool wants_score_pack() const override {
     return config_.incremental;
   }

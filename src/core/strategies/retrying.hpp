@@ -35,6 +35,13 @@ class RetryingStrategy final : public Strategy, public FaultObserver {
   NodeId select(const AttackerView& view, util::Rng& rng) override;
   void observe(NodeId target, bool accepted, const AttackerView& view,
                const AttackerView::AcceptanceEffects* effects) override;
+  // Late revelations (deferred FeedbackModel) carry no fault information —
+  // they pass straight through to the wrapped policy.
+  void observe_revelation(NodeId source, const AttackerView& view,
+                          const AttackerView::AcceptanceEffects& effects)
+      override {
+    inner_->observe_revelation(source, view, effects);
+  }
   FaultResponse observe_fault(NodeId target, FaultFeedback feedback,
                               const AttackerView& view) override;
   [[nodiscard]] FaultObserver* as_fault_observer() override { return this; }

@@ -110,6 +110,13 @@ class TemporalView {
 
   [[nodiscard]] bool cautious_would_accept(NodeId v) const;
 
+  /// Temporal runs are full-feedback only (the temporal entry point never
+  /// takes a FeedbackModel), so the platform's test and the attacker's
+  /// observed test coincide; resolve_acceptance calls this alias.
+  [[nodiscard]] bool true_cautious_would_accept(NodeId v) const {
+    return cautious_would_accept(v);
+  }
+
   /// Eq.-(1) benefit over active users.
   [[nodiscard]] double current_benefit() const noexcept { return benefit_; }
   [[nodiscard]] double recompute_benefit() const;

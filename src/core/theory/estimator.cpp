@@ -53,16 +53,52 @@ double sampled_policy_value(
     const AccuInstance& instance,
     const std::function<std::unique_ptr<Strategy>()>& make,
     std::uint32_t budget, std::size_t trials, util::Rng& rng) {
+  return sampled_policy_value(instance, make, budget, trials, rng,
+                              FeedbackModel{});
+}
+
+double sampled_policy_value(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget, std::size_t trials, util::Rng& rng,
+    const FeedbackModel& feedback) {
   ACCU_ASSERT(trials > 0);
   double total = 0.0;
   for (std::size_t t = 0; t < trials; ++t) {
     const Realization truth = Realization::sample(instance, rng);
     const std::unique_ptr<Strategy> strategy = make();
     util::Rng policy_rng = rng.split(t + 1);
-    total +=
-        simulate(instance, truth, *strategy, budget, policy_rng).total_benefit;
+    total += simulate(instance, truth, *strategy, budget, policy_rng,
+                      /*cancel=*/nullptr, feedback)
+                 .total_benefit;
   }
   return total / static_cast<double>(trials);
+}
+
+double empirical_adaptivity_gap(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget, std::size_t trials, util::Rng& rng,
+    const FeedbackModel& feedback) {
+  ACCU_ASSERT(trials > 0);
+  double restricted = 0.0;
+  double full = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Common random numbers: both runs see the same realization and the
+    // same policy seed stream, so only the feedback model differs.
+    const Realization truth = Realization::sample(instance, rng);
+    util::Rng restricted_rng = rng.split(2 * t + 1);
+    util::Rng full_rng = restricted_rng;
+    const std::unique_ptr<Strategy> under_feedback = make();
+    restricted += simulate(instance, truth, *under_feedback, budget,
+                           restricted_rng, /*cancel=*/nullptr, feedback)
+                      .total_benefit;
+    const std::unique_ptr<Strategy> under_full = make();
+    full += simulate(instance, truth, *under_full, budget, full_rng)
+                .total_benefit;
+  }
+  if (full == 0.0) return 1.0;
+  return restricted / full;
 }
 
 }  // namespace accu

@@ -34,4 +34,28 @@ namespace accu {
     const std::function<std::unique_ptr<Strategy>()>& make,
     std::uint32_t budget, std::size_t trials, util::Rng& rng);
 
+/// As above, with the policy running under `feedback` (core/feedback.hpp).
+/// The value is the *realized* benefit f(π, Φ) — what the attacker truly
+/// harvested — even when the model hides part of it from the view.
+[[nodiscard]] double sampled_policy_value(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget, std::size_t trials, util::Rng& rng,
+    const FeedbackModel& feedback);
+
+/// Empirical adaptivity gap of a feedback model: the ratio
+///
+///     E[f(π, Φ) | feedback] / E[f(π, Φ) | full]
+///
+/// estimated with common random numbers (the same realization and policy
+/// seed stream feed both runs, so the ratio's variance collapses).  1.0
+/// means the restricted feedback costs the policy nothing; the theory
+/// (Golovin–Krause adaptive submodularity) bounds how far below 1 a greedy
+/// policy can fall.  Returns 1.0 when the full-feedback value is 0.
+[[nodiscard]] double empirical_adaptivity_gap(
+    const AccuInstance& instance,
+    const std::function<std::unique_ptr<Strategy>()>& make,
+    std::uint32_t budget, std::size_t trials, util::Rng& rng,
+    const FeedbackModel& feedback);
+
 }  // namespace accu

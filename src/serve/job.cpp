@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/feedback.hpp"
 #include "core/instance_io.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
@@ -39,6 +40,8 @@ const std::vector<std::pair<const char*, const char*>>& job_keys() {
       {"fault-rate", "total platform fault rate"},
       {"suspension-rounds", "suspension length in rounds"},
       {"retry", "retry policy spec (none|fixed|exp)"},
+      {"feedback", "feedback model: full | myopic | delayed | batched"},
+      {"feedback-delay", "delayed: rounds late; batched: batch period"},
       {"cell-deadline-ms", "per-cell wall-clock budget"},
       {"max-cell-retries", "re-runs after a blown cell deadline"},
       {"deadline-ms", "whole-job wall-clock deadline"},
@@ -89,6 +92,9 @@ std::string serialize_job(const JobSpec& spec) {
   std::snprintf(num, sizeof num, "%u", spec.suspension_rounds);
   append_kv(body, "suspension-rounds", num);
   append_kv(body, "retry", spec.retry);
+  append_kv(body, "feedback", spec.feedback);
+  std::snprintf(num, sizeof num, "%u", spec.feedback_delay);
+  append_kv(body, "feedback-delay", num);
   std::snprintf(num, sizeof num, "%u", spec.cell_deadline_ms);
   append_kv(body, "cell-deadline-ms", num);
   std::snprintf(num, sizeof num, "%u", spec.max_cell_retries);
@@ -172,6 +178,12 @@ JobSpec parse_job(const std::string& text) {
       opts.get_int("suspension-rounds", spec.suspension_rounds));
   spec.retry = opts.get("retry", spec.retry);
   (void)util::RetryPolicy::parse(spec.retry);  // validate eagerly
+  spec.feedback = opts.get("feedback", spec.feedback);
+  spec.feedback_delay = static_cast<std::uint32_t>(
+      opts.get_int("feedback-delay", spec.feedback_delay));
+  // Validate eagerly: a bad feedback spec is rejected at admission, not
+  // after the job's workers have forked.
+  (void)FeedbackModel::parse(spec.feedback, spec.feedback_delay);
   spec.cell_deadline_ms = static_cast<std::uint32_t>(
       opts.get_int("cell-deadline-ms", spec.cell_deadline_ms));
   spec.max_cell_retries = static_cast<std::uint32_t>(
@@ -245,6 +257,7 @@ ExperimentConfig shard_config(const JobSpec& spec, std::uint32_t shard,
   config.faults = FaultConfig::uniform(spec.fault_rate,
                                        spec.suspension_rounds);
   config.retry = util::RetryPolicy::parse(spec.retry);
+  config.feedback = FeedbackModel::parse(spec.feedback, spec.feedback_delay);
   config.checkpoint_path = checkpoint_path;
   config.cell_deadline_ms = spec.cell_deadline_ms;
   config.max_cell_retries = spec.max_cell_retries;

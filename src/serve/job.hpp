@@ -45,6 +45,10 @@ struct JobSpec {
   double fault_rate = 0.0;            ///< spread over the four fault kinds
   std::uint32_t suspension_rounds = 3;
   std::string retry = "none";         ///< RetryPolicy::parse spec
+  /// FeedbackModel spec: "full" | "myopic" | "delayed" | "batched"
+  /// (see core/feedback.hpp).  Non-full models take `feedback_delay`.
+  std::string feedback = "full";
+  std::uint32_t feedback_delay = 0;   ///< delayed: d rounds; batched: period
   std::uint32_t cell_deadline_ms = 0;
   std::uint32_t max_cell_retries = 0;
   /// Whole-job wall-clock deadline enforced by the daemon; 0 = none.

@@ -239,6 +239,8 @@ JobSpec sample_spec() {
   spec.fault_rate = 0.125;
   spec.suspension_rounds = 4;
   spec.retry = "exp";
+  spec.feedback = "batched";
+  spec.feedback_delay = 6;
   spec.cell_deadline_ms = 1500;
   spec.max_cell_retries = 2;
   spec.deadline_ms = 60000;
@@ -278,6 +280,8 @@ TEST(ServeJobTest, DescriptorRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(parsed.fault_rate, spec.fault_rate);
   EXPECT_EQ(parsed.suspension_rounds, spec.suspension_rounds);
   EXPECT_EQ(parsed.retry, spec.retry);
+  EXPECT_EQ(parsed.feedback, spec.feedback);
+  EXPECT_EQ(parsed.feedback_delay, spec.feedback_delay);
   EXPECT_EQ(parsed.cell_deadline_ms, spec.cell_deadline_ms);
   EXPECT_EQ(parsed.max_cell_retries, spec.max_cell_retries);
   EXPECT_EQ(parsed.deadline_ms, spec.deadline_ms);
@@ -354,6 +358,35 @@ TEST(ServeJobTest, OutOfRangeGroupKnobsAreRejected) {
       (void)parse_job(restamp(serialize_job(sample_spec()), "group-cells=9",
                               "group-cells=99999999999999999999999")),
       InvalidArgument);
+}
+
+TEST(ServeJobTest, FeedbackModelIsValidatedAtAdmission) {
+  // A misspelled model name fails at parse time with a did-you-mean hint —
+  // before the job reaches the daemon's queue.
+  try {
+    (void)parse_job(restamp(serialize_job(sample_spec()), "feedback=batched",
+                            "feedback=bathced"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'batched'"),
+              std::string::npos)
+        << e.what();
+  }
+  // Out-of-range parameters are equally eager errors: a non-full model
+  // with a zero delay, and a delay on a model that takes none.
+  EXPECT_THROW((void)parse_job(restamp(serialize_job(sample_spec()),
+                                       "feedback-delay=6",
+                                       "feedback-delay=0")),
+               InvalidArgument);
+  JobSpec full_with_delay = sample_spec();
+  full_with_delay.feedback = "full";
+  EXPECT_THROW((void)parse_job(serialize_job(full_with_delay)),
+               InvalidArgument);
+  // shard_config forwards the model into the experiment config.
+  const ExperimentConfig config =
+      shard_config(sample_spec(), 0, 1, "unused.ckpt");
+  EXPECT_TRUE(config.feedback ==
+              (FeedbackModel{FeedbackKind::kBatched, 6}));
 }
 
 TEST(ServeJobTest, SubmitWritesAParseableSpoolFile) {

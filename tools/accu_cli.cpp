@@ -23,6 +23,7 @@
 
 #include "core/defense.hpp"
 #include "core/experiment.hpp"
+#include "core/feedback.hpp"
 #include "core/instance_io.hpp"
 #include "core/report.hpp"
 #include "core/strategies/abm.hpp"
@@ -69,12 +70,13 @@ constexpr const char* kUsage =
     "  attack     run one policy (--in=FILE, --policy=abm|greedy|maxdegree|\n"
     "             pagerank|random|batched, --k, --wd, --wi, --batch, --seed,\n"
     "             --trace, --fault-rate, --retry, --deadline-ms,\n"
-    "             --max-cell-retries)\n"
+    "             --max-cell-retries, --feedback=full|myopic|delayed|\n"
+    "             batched, --feedback-delay=d)\n"
     "  compare    compare the paper's policy roster (--in=FILE, --k, --runs,\n"
     "             --seed, --fault-rate, --retry, --resume=CHECKPOINT,\n"
-    "             --deadline-ms, --max-cell-retries, --shard=i/n; Ctrl-C\n"
-    "             stops at cell granularity and a checkpointed sweep\n"
-    "             resumes)\n"
+    "             --deadline-ms, --max-cell-retries, --shard=i/n,\n"
+    "             --feedback, --feedback-delay; Ctrl-C stops at cell\n"
+    "             granularity and a checkpointed sweep resumes)\n"
     "  merge      combine shard checkpoints into one result (--out=MERGED,\n"
     "             --report, --curves, --allow-missing, positional shard\n"
     "             checkpoint files)\n"
@@ -87,7 +89,8 @@ constexpr const char* kUsage =
     "             stop> --root=DIR; run: --workers, --max-queued, --rate,\n"
     "             --burst, --crash-budget, --poll-ms, --exit-when-idle;\n"
     "             submit: --kind=compare|simulate|sweep plus the compare/\n"
-    "             generate knobs, --name, --job-deadline-ms)\n";
+    "             generate knobs, --feedback, --feedback-delay, --name,\n"
+    "             --job-deadline-ms)\n";
 
 AccuInstance load_instance(const util::Options& opts) {
   const std::string path = opts.get("in", "");
@@ -109,6 +112,13 @@ FaultConfig fault_config(const util::Options& opts) {
 
 util::RetryPolicy retry_policy(const util::Options& opts) {
   return util::RetryPolicy::parse(opts.get("retry", "none"));
+}
+
+/// `--feedback` / `--feedback-delay` → FeedbackModel (attack, compare).
+FeedbackModel feedback_model(const util::Options& opts) {
+  return FeedbackModel::parse(
+      opts.get("feedback", "full"),
+      static_cast<std::uint32_t>(opts.get_int("feedback-delay", 0)));
 }
 
 std::unique_ptr<Strategy> make_policy(const util::Options& opts) {
@@ -191,6 +201,7 @@ int cmd_attack(const util::Options& opts) {
     policy = make_policy(opts);
   }
   const FaultConfig faults_config = fault_config(opts);
+  const FeedbackModel feedback = feedback_model(opts);
   const util::RetryPolicy retry = retry_policy(opts);
   if (retry.kind != util::RetryKind::kNone) {
     policy = std::make_unique<RetryingStrategy>(std::move(policy), retry);
@@ -219,10 +230,10 @@ int cmd_attack(const util::Options& opts) {
       if (faults_config.total_rate() > 0.0) {
         FaultModel faults(faults_config, attempt_rng.split(2)());
         result = simulate_with_faults(instance, truth, *policy, k, policy_rng,
-                                      faults, view, &token);
+                                      faults, view, &token, feedback);
       } else {
         result = simulate_with_view(instance, truth, *policy, k, policy_rng,
-                                    view, &token);
+                                    view, &token, feedback);
       }
       finished = true;
       break;
@@ -303,6 +314,7 @@ int cmd_compare(const util::Options& opts) {
   config.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
   config.faults = fault_config(opts);
   config.retry = retry_policy(opts);
+  config.feedback = feedback_model(opts);
   config.checkpoint_path = opts.get("resume", "");
   config.cell_deadline_ms =
       static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
@@ -625,6 +637,9 @@ int cmd_serve(const util::Options& opts) {
     spec.suspension_rounds =
         static_cast<std::uint32_t>(opts.get_int("suspension-rounds", 3));
     spec.retry = opts.get("retry", "none");
+    spec.feedback = opts.get("feedback", spec.feedback);
+    spec.feedback_delay = static_cast<std::uint32_t>(
+        opts.get_int("feedback-delay", spec.feedback_delay));
     spec.cell_deadline_ms =
         static_cast<std::uint32_t>(opts.get_int("deadline-ms", 0));
     spec.max_cell_retries =
@@ -719,6 +734,12 @@ int dispatch(int argc, char** argv) {
       .declare("suspension-rounds",
                "rounds lost per rate-limit suspension (default 3)")
       .declare("retry", "retry policy: none|fixed|exp (attack, compare)")
+      .declare("feedback",
+               "feedback model: full|myopic|delayed|batched (attack, "
+               "compare, serve submit)")
+      .declare("feedback-delay",
+               "rounds late for --feedback=delayed, batch period for "
+               "--feedback=batched")
       .declare("resume",
                "checkpoint file: load completed cells and append new ones "
                "(compare)")

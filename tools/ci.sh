@@ -11,7 +11,9 @@
 #   5. serve drill                      — the real `accu serve` daemon is
 #      SIGKILLed mid-job, restarted, SIGTERM-drained, and restarted again;
 #      the finished report must match the direct sweep byte-for-byte.
-#      Run once per durability mode (strict, grouped)
+#      Run once per durability mode (strict, grouped), plus a
+#      batched-feedback pass (the pending-revelation queue and the
+#      checkpoint `feedback` header must survive the same abuse)
 #   6. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
 #      appends, cancellation, serve journal/daemon)
@@ -45,7 +47,7 @@ echo "=== engine + score-engine equivalence under ASan + allocation budget ==="
 # recorded allocations-per-cell ceiling (the O(1)-allocations property of
 # SimWorkspace).
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Engine|Score|Shard|Merge|Serve|IoEnv|GroupCommit|CrashPoint'
+  -R 'Engine|Score|Shard|Merge|Serve|IoEnv|GroupCommit|CrashPoint|Feedback'
 ./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
 ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
   build-ci/BENCH_micro_core.json)"
@@ -136,10 +138,40 @@ for MODE in strict grouped; do
   echo "serve drill (${MODE}) OK: survived kill -9 and drained cleanly"
 done
 
+echo "=== serve drill: batched feedback survives kill -9 resume ==="
+# A non-full feedback model (DESIGN.md §15) adds a pending-revelation
+# queue to every simulation and a `feedback` header line to shard
+# checkpoints (part of the resume fingerprint); this pass pins that a
+# restricted-feedback job recovers from kill -9 to the same report
+# bytes as the direct restricted-feedback sweep.
+./build-ci/tools/accu compare "--in=${SV}/net.accu" --k=8 --runs=6000 \
+  --seed=11 --threads=1 --feedback=batched --feedback-delay=4 \
+  "--report=${SV}/reference-batched.md" > /dev/null
+ROOT="${SV}/root-feedback"
+./build-ci/tools/accu serve submit "--root=${ROOT}" --kind=compare \
+  "--in=${SV}/net.accu" --k=8 --runs=6000 --seed=11 \
+  --feedback=batched --feedback-delay=4 --durability=grouped \
+  --group-cells=64 --group-ms=50 --name=drill > /dev/null
+SERVE=(./build-ci/tools/accu serve run "--root=${ROOT}" --workers=3 \
+  --poll-ms=10 --crash-budget=9 --exit-when-idle)
+"${SERVE[@]}" > /dev/null 2>&1 &
+DAEMON=$!
+sleep 0.35
+kill -9 "${DAEMON}" 2> /dev/null || true
+wait "${DAEMON}" 2> /dev/null || true
+"${SERVE[@]}" > /dev/null
+./build-ci/tools/accu serve status "--root=${ROOT}"
+diff <(tail -n +2 "${SV}/reference-batched.md") \
+  <(tail -n +2 "${ROOT}/jobs/job0001/report.md") || {
+  echo "FAIL(feedback): batched-feedback serve report differs from direct" >&2
+  exit 1
+}
+echo "serve drill (batched feedback) OK: queue state survived kill -9"
+
 echo "=== sanitized build (Debug, thread) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}"
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint'
+  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint|Feedback'
 
 echo "=== CI OK ==="
