@@ -12,12 +12,15 @@
 // persistent strategy (what run_experiment does per worker since PR 3) —
 // counting every operator-new call via the replaced global allocator — then
 // times every hot kernel of the simulation stack (realization sampling,
-// observation update, scalar potential, batched rescore, full ABM round),
-// and writes the numbers as JSON (default BENCH_micro_core.json).  The
-// repo-root BENCH_micro_core.json is the committed per-PR snapshot of these
-// numbers; tools/ci.sh gates pooled allocs/cell against
-// bench/micro_core_allocs.baseline so the O(1)-allocations-per-cell
-// property cannot silently regress.
+// observation update, scalar potential, batched rescore, full ABM round,
+// isolated deferred-revelation drain), re-times the score_simd kernels
+// under every ISA table the host supports, and writes the numbers as JSON
+// (default BENCH_micro_core.json).  The repo-root BENCH_micro_core.json is
+// the committed per-PR snapshot of these numbers; tools/ci.sh gates pooled
+// allocs/cell against bench/micro_core_allocs.baseline and the rest of the
+// keys against the committed snapshot via tools/accu_bench_diff, so
+// neither the O(1)-allocations-per-cell property nor a kernel speedup can
+// silently regress.
 
 // GCC cannot see that the replaced operator new below is malloc-backed and
 // flags every inlined new/delete pair as mismatched; the pairing is correct
@@ -31,6 +34,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +43,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/score_simd.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "datasets/datasets.hpp"
@@ -175,15 +180,17 @@ BENCHMARK(BM_ObservationUpdate);
 
 void BM_BatchedRescore(benchmark::State& state) {
   // The flat full-population rescore (core/score.hpp) that BatchedABM and
-  // lookahead ranking run per round; items = candidates scored.
+  // lookahead ranking run per round, through the pooled prepare + ranged
+  // path the strategies actually use; items = candidates scored.
   const AccuInstance& instance = twitter_instance();
   const AttackerView view(instance);
   ScorePack pack;
   pack.build(instance);
   const PotentialWeights weights{0.5, 0.5};
+  ScoreBatchScratch scratch;
   std::vector<double> scores(instance.num_nodes());
   for (auto _ : state) {
-    score_batch(pack, view, weights, 0, instance.num_nodes(), scores.data());
+    score_batch_all(pack, view, weights, scratch, nullptr, scores.data());
     benchmark::DoNotOptimize(scores.data());
     benchmark::ClobberMemory();
   }
@@ -382,28 +389,55 @@ double measure_seconds(std::uint64_t warmup, std::uint64_t iters, F&& body) {
 
 /// Per-op nanoseconds for every hot kernel of the simulation stack, on the
 /// same twitter-0.03 instance as the cell workload.  These are the numbers
-/// the per-PR BENCH_micro_core.json snapshots track over time.
+/// the per-PR BENCH_micro_core.json snapshots track over time
+/// (tools/accu_bench_diff compares a fresh run against the committed
+/// snapshot in CI).
 struct KernelTimings {
-  double realization_sample_ns = 0.0;   // per edge+node resample
+  double realization_sample_ns = 0.0;   // per pooled full resample
   double observation_update_ns = 0.0;   // per accepted request folded in
   double potential_scalar_ns = 0.0;     // per scalar potential() call
-  double batched_rescore_ns = 0.0;      // per candidate in score_batch
+  double batched_rescore_ns = 0.0;      // per candidate, prepare + ranged
   double abm_round_ns = 0.0;            // per round of a pooled ABM attack
-  double deferred_delivery_ns = 0.0;    // per round, ABM under delayed:5
+  double deferred_delivery_ns = 0.0;    // per delivered revelation (drain
+                                        // only, delayed:5 queue of 64)
 };
+
+/// Pooled full-population rescore (prepare + ranged through reused
+/// scratch — the exact path BatchedABM / lookahead ranking run per round).
+/// Returns ns per candidate scored.
+double measure_rescore_ns(const AccuInstance& instance) {
+  const NodeId n = instance.num_nodes();
+  const AttackerView view(instance);
+  ScorePack pack;
+  pack.build(instance);
+  const PotentialWeights weights{0.5, 0.5};
+  ScoreBatchScratch scratch;
+  std::vector<double> scores(n);
+  const std::uint64_t iters = 400;
+  const double s = measure_seconds(8, iters, [&](std::uint64_t) {
+    score_batch_all(pack, view, weights, scratch, nullptr, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+    benchmark::ClobberMemory();
+  });
+  return s * 1e9 / static_cast<double>(iters * n);
+}
+
+/// Pooled realization resample (the sweep truth path).  Returns ns per
+/// full resample call.
+double measure_resample_ns(const AccuInstance& instance) {
+  util::Rng rng(11);
+  Realization truth = Realization::sample(instance, rng);
+  const std::uint64_t iters = 200;
+  const double s = measure_seconds(
+      8, iters, [&](std::uint64_t) { truth.resample(instance, rng); });
+  return s * 1e9 / static_cast<double>(iters);
+}
 
 KernelTimings measure_kernels(const AccuInstance& instance) {
   KernelTimings t;
   const NodeId n = instance.num_nodes();
 
-  {  // Realization sampling (pooled resample — the sweep path).
-    util::Rng rng(11);
-    Realization truth = Realization::sample(instance, rng);
-    const std::uint64_t iters = 200;
-    const double s = measure_seconds(
-        8, iters, [&](std::uint64_t) { truth.resample(instance, rng); });
-    t.realization_sample_ns = s * 1e9 / static_cast<double>(iters);
-  }
+  t.realization_sample_ns = measure_resample_ns(instance);
   {  // Observation update: 64 acceptances folded into a reused view.
     util::Rng rng(12);
     const Realization truth = Realization::sample(instance, rng);
@@ -429,20 +463,7 @@ KernelTimings measure_kernels(const AccuInstance& instance) {
     benchmark::DoNotOptimize(sink);
     t.potential_scalar_ns = s * 1e9 / static_cast<double>(iters);
   }
-  {  // Batched rescore over the whole population.
-    const AttackerView view(instance);
-    ScorePack pack;
-    pack.build(instance);
-    const PotentialWeights weights{0.5, 0.5};
-    std::vector<double> scores(n);
-    const std::uint64_t iters = 400;
-    const double s = measure_seconds(8, iters, [&](std::uint64_t) {
-      score_batch(pack, view, weights, 0, n, scores.data());
-      benchmark::DoNotOptimize(scores.data());
-      benchmark::ClobberMemory();
-    });
-    t.batched_rescore_ns = s * 1e9 / static_cast<double>(iters * n);
-  }
+  t.batched_rescore_ns = measure_rescore_ns(instance);
   {  // Full ABM round through the pooled engine path.
     util::Rng rng(13);
     const Realization truth = Realization::sample(instance, rng);
@@ -461,29 +482,123 @@ KernelTimings measure_kernels(const AccuInstance& instance) {
     benchmark::DoNotOptimize(sink);
     t.abm_round_ns = s * 1e9 / static_cast<double>(iters * budget);
   }
-  {  // The same pooled ABM attack under delayed-by-5 feedback: the delta vs
-     // abm_round_ns is the cost of the pending-revelation queue plus the
-     // round-boundary delivery drain (core/feedback.hpp).
+  {  // Isolated deferred-revelation drain (core/feedback.hpp).  Queue 64
+     // acceptances under delayed:5, advance the clock past every due round,
+     // then time *only* the deliver_next_revelation loop — the setup
+     // (reset, arm, record) runs off the clock, so this is the per-delivery
+     // cost of landing a queued neighborhood revelation, not the cost of a
+     // whole delayed round.
     util::Rng rng(13);
     const Realization truth = Realization::sample(instance, rng);
-    const std::uint32_t budget = 50;
-    const FeedbackModel delayed{FeedbackKind::kDelayed, 5};
-    SimWorkspace ws;
-    AbmStrategy abm(0.5, 0.5);
-    SimulationResult out;
-    const std::uint64_t iters = 50;
-    double sink = 0.0;
-    const double s = measure_seconds(4, iters, [&](std::uint64_t) {
-      util::Rng srng(14);
-      AttackerView& view = ws.reset_view(instance);
-      simulate_into(instance, truth, abm, budget, srng, view, ws, out,
-                    nullptr, delayed);
-      sink += out.total_benefit;
-    });
-    benchmark::DoNotOptimize(sink);
-    t.deferred_delivery_ns = s * 1e9 / static_cast<double>(iters * budget);
+    const NodeId accepted = 64;
+    AttackerView view(instance);
+    AttackerView::AcceptanceEffects effects;
+    const std::uint64_t warmup = 4;
+    const std::uint64_t iters = 200;
+    double drain_seconds = 0.0;
+    for (std::uint64_t i = 0; i < warmup + iters; ++i) {
+      view.reset(instance);
+      view.arm_feedback(FeedbackModel{FeedbackKind::kDelayed, 5});
+      for (NodeId v = 0; v < accepted; ++v) {
+        view.set_feedback_round(v);
+        view.record_acceptance(v, truth, effects);
+      }
+      view.set_feedback_round(accepted + 5);
+      const auto start = std::chrono::steady_clock::now();
+      while (view.has_due_revelation()) {
+        benchmark::DoNotOptimize(view.deliver_next_revelation(truth, effects));
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (i >= warmup) drain_seconds += elapsed.count();
+    }
+    t.deferred_delivery_ns =
+        drain_seconds * 1e9 / static_cast<double>(iters * accepted);
   }
   return t;
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISA kernel timings: the three raw score_simd kernels plus the two
+// composite paths built on them, re-measured under each supported kernel
+// table.  All tables are bit-identical by contract (score_simd.hpp), so
+// these rows differ only in speed.
+// ---------------------------------------------------------------------------
+
+struct IsaKernelTimings {
+  const char* isa = "";
+  double row_gather_mul_ns = 0.0;     // per slot, 4096-slot synthetic row
+  double row_sum_ns = 0.0;            // per slot, 4096-slot synthetic row
+  double bernoulli_pack_ns = 0.0;     // per draw, 32768-draw batch
+  double batched_rescore_ns = 0.0;    // per candidate (prepare + ranged)
+  double realization_sample_ns = 0.0; // per pooled full resample
+};
+
+IsaKernelTimings measure_isa_kernels(const AccuInstance& instance,
+                                     simd::Isa isa) {
+  simd::select_isa(isa);
+  const simd::ScoreKernels& k = simd::kernels();
+  IsaKernelTimings t;
+  t.isa = simd::isa_name(isa);
+
+  const std::uint32_t slots = 4096;
+  util::Rng rng(21);
+  std::vector<double> values(slots);
+  std::vector<double> table(slots);
+  std::vector<NodeId> nodes(slots);
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    values[s] = static_cast<double>(rng() >> 11) * 0x1p-53;
+    table[s] = static_cast<double>(rng() >> 11) * 0x1p-53;
+    nodes[s] = static_cast<NodeId>(rng() % slots);
+  }
+  {
+    double sink = 0.0;
+    const std::uint64_t iters = 20000;
+    const double s = measure_seconds(500, iters, [&](std::uint64_t) {
+      sink += k.row_gather_mul(values.data(), nodes.data(), table.data(), 0,
+                               slots);
+    });
+    benchmark::DoNotOptimize(sink);
+    t.row_gather_mul_ns = s * 1e9 / static_cast<double>(iters * slots);
+  }
+  {
+    double sink = 0.0;
+    const std::uint64_t iters = 40000;
+    const double s = measure_seconds(500, iters, [&](std::uint64_t) {
+      sink += k.row_sum(values.data(), 0, slots);
+    });
+    benchmark::DoNotOptimize(sink);
+    t.row_sum_ns = s * 1e9 / static_cast<double>(iters * slots);
+  }
+  {
+    const std::size_t draws = 32768;
+    std::vector<std::uint64_t> raw(draws);
+    std::vector<std::uint64_t> thr(draws);
+    std::vector<std::uint64_t> out((draws + 63) / 64);
+    for (std::size_t i = 0; i < draws; ++i) {
+      raw[i] = rng();
+      thr[i] = rng() >> 11;
+    }
+    const std::uint64_t iters = 4000;
+    const double s = measure_seconds(100, iters, [&](std::uint64_t) {
+      k.bernoulli_pack(raw.data(), thr.data(), draws, out.data());
+      benchmark::DoNotOptimize(out.data());
+      benchmark::ClobberMemory();
+    });
+    t.bernoulli_pack_ns = s * 1e9 / static_cast<double>(iters * draws);
+  }
+  t.batched_rescore_ns = measure_rescore_ns(instance);
+  t.realization_sample_ns = measure_resample_ns(instance);
+  return t;
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char line[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof line, fmt, args);
+  va_end(args);
+  out += line;
 }
 
 int run_json_mode(const char* path) {
@@ -495,43 +610,77 @@ int run_json_mode(const char* path) {
   const double reduction =
       fresh.allocs_per_cell /
       (pooled.allocs_per_cell > 0.0 ? pooled.allocs_per_cell : 1.0);
-  const KernelTimings kernels = measure_kernels(instance);
 
-  char json[2048];
-  std::snprintf(
-      json, sizeof json,
-      "{\n"
-      "  \"workload\": \"twitter-0.03 ABM sweep cell\",\n"
-      "  \"cells\": %llu,\n"
-      "  \"budget\": %u,\n"
-      "  \"fresh_cells_per_sec\": %.1f,\n"
-      "  \"fresh_allocs_per_cell\": %.2f,\n"
-      "  \"pooled_cells_per_sec\": %.1f,\n"
-      "  \"pooled_allocs_per_cell\": %.2f,\n"
-      "  \"alloc_reduction_factor\": %.1f,\n"
-      "  \"kernels\": {\n"
-      "    \"realization_sample_ns\": %.1f,\n"
-      "    \"observation_update_ns\": %.1f,\n"
-      "    \"potential_scalar_ns\": %.1f,\n"
-      "    \"batched_rescore_ns_per_candidate\": %.2f,\n"
-      "    \"abm_round_ns\": %.1f,\n"
-      "    \"deferred_delivery_ns\": %.1f\n"
-      "  }\n"
-      "}\n",
-      static_cast<unsigned long long>(cells), budget, fresh.cells_per_sec,
-      fresh.allocs_per_cell, pooled.cells_per_sec, pooled.allocs_per_cell,
-      reduction, kernels.realization_sample_ns, kernels.observation_update_ns,
-      kernels.potential_scalar_ns, kernels.batched_rescore_ns,
-      kernels.abm_round_ns, kernels.deferred_delivery_ns);
+  // Headline kernels run under the automatic (best supported) table — the
+  // same one run_experiment picks by default.
+  simd::select_auto();
+  const KernelTimings kernels = measure_kernels(instance);
+  const char* active = simd::isa_name(simd::active_isa());
+
+  // Then each supported table in turn, scalar first (the oracle row).
+  std::vector<IsaKernelTimings> per_isa;
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::isa_supported(isa)) {
+      per_isa.push_back(measure_isa_kernels(instance, isa));
+    }
+  }
+  simd::select_auto();
+
+  std::string json;
+  json += "{\n";
+  json += "  \"workload\": \"twitter-0.03 ABM sweep cell\",\n";
+  append_fmt(json, "  \"cells\": %llu,\n",
+             static_cast<unsigned long long>(cells));
+  append_fmt(json, "  \"budget\": %u,\n", budget);
+  append_fmt(json, "  \"fresh_cells_per_sec\": %.1f,\n", fresh.cells_per_sec);
+  append_fmt(json, "  \"fresh_allocs_per_cell\": %.2f,\n",
+             fresh.allocs_per_cell);
+  append_fmt(json, "  \"pooled_cells_per_sec\": %.1f,\n",
+             pooled.cells_per_sec);
+  append_fmt(json, "  \"pooled_allocs_per_cell\": %.2f,\n",
+             pooled.allocs_per_cell);
+  append_fmt(json, "  \"alloc_reduction_factor\": %.1f,\n", reduction);
+  json += "  \"kernels\": {\n";
+  append_fmt(json, "    \"realization_sample_ns\": %.1f,\n",
+             kernels.realization_sample_ns);
+  append_fmt(json, "    \"observation_update_ns\": %.1f,\n",
+             kernels.observation_update_ns);
+  append_fmt(json, "    \"potential_scalar_ns\": %.1f,\n",
+             kernels.potential_scalar_ns);
+  append_fmt(json, "    \"batched_rescore_ns_per_candidate\": %.2f,\n",
+             kernels.batched_rescore_ns);
+  append_fmt(json, "    \"abm_round_ns\": %.1f,\n", kernels.abm_round_ns);
+  append_fmt(json, "    \"deferred_delivery_ns\": %.1f\n",
+             kernels.deferred_delivery_ns);
+  json += "  },\n";
+  json += "  \"simd\": {\n";
+  append_fmt(json, "    \"active\": \"%s\",\n", active);
+  for (std::size_t i = 0; i < per_isa.size(); ++i) {
+    const IsaKernelTimings& t = per_isa[i];
+    append_fmt(json, "    \"%s\": {\n", t.isa);
+    append_fmt(json, "      \"row_gather_mul_ns\": %.3f,\n",
+               t.row_gather_mul_ns);
+    append_fmt(json, "      \"row_sum_ns\": %.3f,\n", t.row_sum_ns);
+    append_fmt(json, "      \"bernoulli_pack_ns\": %.3f,\n",
+               t.bernoulli_pack_ns);
+    append_fmt(json, "      \"batched_rescore_ns_per_candidate\": %.2f,\n",
+               t.batched_rescore_ns);
+    append_fmt(json, "      \"realization_sample_ns\": %.1f\n",
+               t.realization_sample_ns);
+    json += (i + 1 < per_isa.size()) ? "    },\n" : "    }\n";
+  }
+  json += "  }\n";
+  json += "}\n";
 
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "micro_core: cannot write %s\n", path);
     return 1;
   }
-  std::fputs(json, out);
+  std::fputs(json.c_str(), out);
   std::fclose(out);
-  std::fputs(json, stdout);
+  std::fputs(json.c_str(), stdout);
   return 0;
 }
 

@@ -26,6 +26,18 @@ const ScorePack& SimWorkspace::score_pack(const AccuInstance& instance) {
   return score_pack_;
 }
 
+void SimWorkspace::set_cell_threads(unsigned threads) {
+  const unsigned width = threads == 0 ? 1 : threads;
+  if (width == cell_threads_) return;
+  cell_threads_ = width;
+  task_pool_.reset();  // respawned at the new width on next use
+}
+
+TaskPool& SimWorkspace::task_pool() {
+  if (!task_pool_.has_value()) task_pool_.emplace(cell_threads_);
+  return *task_pool_;
+}
+
 namespace {
 
 /// Hands the workspace-pooled score pack to strategies that score through
@@ -35,6 +47,12 @@ void offer_score_pack(const AccuInstance& instance, Strategy& strategy,
   if (strategy.wants_score_pack()) {
     strategy.adopt_score_pack(ws.score_pack(instance));
   }
+}
+
+/// Hands the workspace-pooled task pool to strategies with parallel inner
+/// loops; like the pack offer, valid only for the simulation that follows.
+void offer_task_pool(Strategy& strategy, SimWorkspace& ws) {
+  strategy.adopt_task_pool(&ws.task_pool());
 }
 
 }  // namespace
@@ -50,6 +68,7 @@ void simulate_into(const AccuInstance& instance, const Realization& truth,
   out.trace.reserve(budget);
   view.arm_feedback(feedback);
   offer_score_pack(instance, strategy, ws);
+  offer_task_pool(strategy, ws);
   strategy.reset(instance, rng);
   engine::ReliableEnv env(instance, truth, strategy, budget, rng, view, ws,
                           out, cancel);
@@ -69,6 +88,7 @@ void simulate_with_faults_into(const AccuInstance& instance,
   out.trace.reserve(budget);
   view.arm_feedback(feedback);
   offer_score_pack(instance, strategy, ws);
+  offer_task_pool(strategy, ws);
   strategy.reset(instance, rng);
   engine::FaultyEnv env(instance, truth, strategy, budget, rng, faults, view,
                         ws, out, cancel);

@@ -47,6 +47,7 @@
 #include "core/realization.hpp"
 #include "core/score.hpp"
 #include "core/simulator.hpp"
+#include "core/task_pool.hpp"
 #include "core/temporal/temporal.hpp"
 #include "core/types.hpp"
 #include "util/cancel.hpp"
@@ -78,6 +79,16 @@ class SimWorkspace {
   /// Strategy::adopt_score_pack.
   [[nodiscard]] const ScorePack& score_pack(const AccuInstance& instance);
 
+  /// Configures the width of the intra-cell task pool offered to strategies
+  /// (total concurrency including the simulating thread; default 1 =
+  /// sequential).  Changing the width tears the pool down and respawns it
+  /// on next use, so call this once per sweep, not per cell.
+  void set_cell_threads(unsigned threads);
+
+  /// The workspace's task pool, spawned lazily at the configured width and
+  /// parked between cells.  Width 1 pools run inline on the caller.
+  [[nodiscard]] TaskPool& task_pool();
+
   /// Acceptance-effects scratch shared by the engine's reveal path.
   AttackerView::AcceptanceEffects effects;
   /// Per-target prior faulted attempts (FaultyEnv's retry accounting).
@@ -87,6 +98,8 @@ class SimWorkspace {
   std::optional<AttackerView> view_;
   std::optional<Realization> truth_;
   ScorePack score_pack_;
+  unsigned cell_threads_ = 1;
+  std::optional<TaskPool> task_pool_;
 };
 
 /// As `simulate_with_view` (simulator.hpp), but writes into a caller-owned

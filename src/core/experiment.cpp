@@ -606,6 +606,10 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
                                 const ExperimentConfig& config) {
   config.faults.validate();
   config.durability.validate();
+  // Kernel selection happens before any worker spins up (the table pointer
+  // is atomic, but selecting mid-sweep would be needless churn).  Explicit
+  // unsupported ISAs throw here, before any cell runs.
+  simd::select(config.simd);
   if (config.shard_count == 0 ||
       config.shard_index >= config.shard_count) {
     throw InvalidArgument(
@@ -804,6 +808,12 @@ ExperimentResult run_experiment(const InstanceFactory& make_instance,
     std::vector<SimulationResult> outcomes;
   };
   std::vector<WorkerState> worker_states(workers);
+  std::uint32_t cell_threads = config.cell_threads;
+  if (cell_threads == 0) cell_threads = std::thread::hardware_concurrency();
+  if (cell_threads == 0) cell_threads = 1;
+  for (WorkerState& worker : worker_states) {
+    worker.ws.set_cell_threads(cell_threads);
+  }
 
   const bool faulty = config.faults.total_rate() > 0.0;
   auto run_task = [&](std::size_t task, CellSlot& slot, WorkerState& worker) {

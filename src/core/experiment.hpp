@@ -30,11 +30,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/faults.hpp"
+#include "core/score_simd.hpp"
 #include "core/simulator.hpp"
 #include "util/atomic_file.hpp"
 #include "util/backoff.hpp"
@@ -150,6 +152,22 @@ struct ExperimentConfig {
   /// fixed order, so simulation outcomes are identical for any thread
   /// count (aggregate moments agree up to floating-point re-association).
   std::uint32_t threads = 1;
+  /// Intra-cell concurrency (core/task_pool.hpp): each worker's strategies
+  /// may fan independent work — lookahead beam candidates, batched-rescore
+  /// chunks — across a per-worker pool of this total width (1 = sequential,
+  /// 0 = one per hardware thread).  Traces are identical for any width
+  /// (the pool's determinism contract), so like `threads` this is not part
+  /// of the checkpoint fingerprint.  Total thread count is roughly
+  /// threads × cell_threads; prefer raising `threads` first — cell_threads
+  /// pays off when a single cell dominates wall-clock (deep lookahead).
+  std::uint32_t cell_threads = 1;
+  /// SIMD kernel table for the score/sampling hot loops
+  /// (core/score_simd.hpp), selected once at sweep start: nullopt = auto
+  /// (the best ISA this CPU supports, overridable by ACCU_SIMD); an
+  /// explicit ISA throws InvalidArgument when the host cannot run it.
+  /// Every table is bit-identical (canonical reduction order), so this is
+  /// not part of the checkpoint fingerprint either.
+  std::optional<simd::Isa> simd{};
   /// Platform fault injection (core/faults.hpp).  All-zero (the default)
   /// runs the paper's reliable platform through the unchanged `simulate`
   /// path.  Fault streams derive statelessly per (sample, run, strategy),

@@ -25,6 +25,7 @@
 
 #include "core/instance.hpp"
 #include "core/types.hpp"
+#include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
 namespace accu {
@@ -36,13 +37,34 @@ class Realization {
 
   /// Re-samples in place, reusing the coin/edge storage (the workspace
   /// path) — draw-for-draw identical to `sample`.
+  ///
+  /// This is the batched fast path: a cached per-instance *draw plan*
+  /// (rebuilt when the instance uid changes, allocation-free once the
+  /// pooled buffers have grown) lists every Bernoulli draw the reference
+  /// loop would make, in order, as an integer threshold
+  /// (util::Rng::bernoulli_threshold); resampling bulk-fills the raw
+  /// xoshiro outputs (Rng::fill_raw — same stream, same end state), packs
+  /// the compares 64 per word through the active SIMD kernel
+  /// (simd::ScoreKernels::bernoulli_pack), and scatters the packed runs
+  /// into the bit vectors over a template holding the deterministic
+  /// (p ≤ 0 / p ≥ 1, never-drawn) outcomes.  Bit-identical to
+  /// `resample_reference` — including the skipped draws — by the threshold
+  /// equivalence proven in util/rng.hpp.
   void resample(const AccuInstance& instance, util::Rng& rng);
+
+  /// The reference per-draw sampling loop the fast path is pinned against
+  /// (tests/realization_test.cpp compares bits and RNG end state).
+  void resample_reference(const AccuInstance& instance, util::Rng& rng);
 
   /// Rebuilds in place from explicit edge/coin vectors under the
   /// deterministic cautious model (cf. the two-argument constructor),
   /// reusing storage.
   void assign(const std::vector<bool>& edge_present,
               const std::vector<bool>& accepts);
+
+  /// As above, from word-backed bit vectors — the hot variant (word-granular
+  /// copies; lookahead rebuilds a scenario per sample through this).
+  void assign(const util::BitVec& edge_present, const util::BitVec& accepts);
 
   /// A realization in which every potential edge exists and every reckless
   /// user accepts — the deterministic "certain" world; handy for tests and
@@ -62,31 +84,33 @@ class Realization {
               std::vector<bool> cautious_below_accepts,
               std::vector<bool> cautious_above_accepts);
 
+  /// Word-backed variant of the two-argument constructor (deterministic
+  /// cautious model).  A named factory so brace-initialized vector<bool>
+  /// construction stays unambiguous.
+  [[nodiscard]] static Realization from_bits(const util::BitVec& edge_present,
+                                             const util::BitVec& accepts);
+
   [[nodiscard]] bool edge_present(EdgeId e) const {
-    ACCU_ASSERT(e < edge_present_.size());
-    return edge_present_[e];
+    return edge_present_.get(e);
   }
 
   /// Whether reckless user u's coin came up "accept".  Meaningless for
   /// cautious users (asserted against in the simulator, not here, so the
   /// theory code can enumerate uniformly).
   [[nodiscard]] bool reckless_accepts(NodeId u) const {
-    ACCU_ASSERT(u < accepts_.size());
-    return accepts_[u];
+    return accepts_.get(u);
   }
 
   /// Generalized-model coin of cautious user v for the below-threshold
   /// regime (accept with probability q1).
   [[nodiscard]] bool cautious_below_accepts(NodeId v) const {
-    ACCU_ASSERT(v < cautious_below_.size());
-    return cautious_below_[v];
+    return cautious_below_.get(v);
   }
 
   /// Generalized-model coin of cautious user v for the at/above-threshold
   /// regime (accept with probability q2).
   [[nodiscard]] bool cautious_above_accepts(NodeId v) const {
-    ACCU_ASSERT(v < cautious_above_.size());
-    return cautious_above_[v];
+    return cautious_above_.get(v);
   }
 
   [[nodiscard]] std::size_t num_edges() const noexcept {
@@ -108,10 +132,38 @@ class Realization {
   /// Shape-less; only `sample` uses it (resample fills every vector).
   Realization() = default;
 
-  std::vector<bool> edge_present_;    // per EdgeId
-  std::vector<bool> accepts_;         // per NodeId (reckless coins)
-  std::vector<bool> cautious_below_;  // per NodeId (generalized q1 coins)
-  std::vector<bool> cautious_above_;  // per NodeId (generalized q2 coins)
+  /// The cached draw schedule of one instance: which events the reference
+  /// loop draws (vs decides deterministically), their thresholds in draw
+  /// order, and how the drawn bits scatter into the four bit vectors.
+  struct DrawPlan {
+    /// A maximal stretch of consecutive draws landing on consecutive bits
+    /// of one destination array (most instances need only two: all edges,
+    /// then all acceptance coins).
+    struct Run {
+      std::size_t draw_begin;   // first draw index of the stretch
+      std::size_t count;        // number of draws
+      std::size_t dest_begin;   // first destination bit
+      std::uint8_t array;       // 0 edges, 1 accepts, 2 below, 3 above
+    };
+
+    std::uint64_t uid = 0;  // AccuInstance::uid the plan was built for
+    std::size_t num_draws = 0;
+    std::vector<std::uint64_t> thresholds;  // per draw, in draw order
+    std::vector<Run> runs;
+    // Per-array template words: deterministic outcomes set, drawn bits 0.
+    std::vector<std::uint64_t> tmpl_[4];
+
+    void build(const AccuInstance& instance);
+  };
+
+  DrawPlan plan_;
+  std::vector<std::uint64_t> raw_;     // pooled raw xoshiro outputs
+  std::vector<std::uint64_t> packed_;  // pooled packed compare bits
+
+  util::BitVec edge_present_;    // per EdgeId
+  util::BitVec accepts_;         // per NodeId (reckless coins)
+  util::BitVec cautious_below_;  // per NodeId (generalized q1 coins)
+  util::BitVec cautious_above_;  // per NodeId (generalized q2 coins)
 };
 
 /// The ground-truth network of a realization: exactly the present edges,

@@ -1,6 +1,11 @@
 #include "core/score.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
+
+#include "core/score_simd.hpp"
+#include "core/task_pool.hpp"
 
 namespace accu {
 
@@ -93,18 +98,66 @@ void ScorePack::build(const AccuInstance& instance) {
 // Batched rescore
 // ---------------------------------------------------------------------------
 
-void score_batch(const ScorePack& pack, const AttackerView& view,
-                 const PotentialWeights& weights, NodeId begin, NodeId end,
-                 double* out) {
+void score_batch_prepare(const ScorePack& pack, const AttackerView& view,
+                         bool want_indirect, ScoreBatchScratch& scratch) {
+  ACCU_ASSERT_MSG(pack.built_for(view.instance()),
+                  "score_batch_prepare: pack does not match the view");
+  const NodeId n = pack.num_nodes();
+  const RequestState* rs = view.request_states().data();
+  const std::uint32_t* mutual = view.mutual_counts().data();
+
+  // P_D mask: a neighbor term is live until its node is an accepted friend
+  // or a (believed) FOF.  Deactivated terms multiply to an exact +0.0,
+  // which is a bit-exact stand-in for the scalar reference's skip.
+  scratch.active.resize(n);
+  double* active = scratch.active.data();
+  for (NodeId v = 0; v < n; ++v) {
+    active[v] = static_cast<double>(
+        (rs[v] != RequestState::kAccepted) & (mutual[v] == 0));
+  }
+
+  // P_I reciprocal gaps: only cautious nodes can carry one, so walk the
+  // cautious bitset words instead of all n nodes.
+  if (want_indirect) {
+    scratch.inv_gap.assign(n, 0.0);
+    double* inv_gap = scratch.inv_gap.data();
+    const std::span<const std::uint64_t> words = pack.cautious_words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const NodeId v = static_cast<NodeId>(
+            (w << 6) + static_cast<unsigned>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        if (rs[v] != RequestState::kUnknown) continue;  // spent or rejected
+        const std::uint32_t theta = pack.theta(v);
+        const std::uint32_t m = mutual[v];
+        if (m < theta) {
+          inv_gap[v] = 1.0 / static_cast<double>(theta - m);
+        }
+      }
+    }
+  } else {
+    scratch.inv_gap.resize(n);  // keep sized for the ranged call's pointers
+  }
+}
+
+void score_batch_ranged(const ScorePack& pack, const AttackerView& view,
+                        const PotentialWeights& weights,
+                        const ScoreBatchScratch& scratch, NodeId begin,
+                        NodeId end, double* out) {
   ACCU_ASSERT_MSG(pack.built_for(view.instance()),
                   "score_batch: pack does not match the view's instance");
   ACCU_ASSERT(begin <= end && end <= pack.num_nodes());
+  ACCU_ASSERT(scratch.active.size() >= pack.num_nodes());
   const RequestState* rs = view.request_states().data();
   const std::uint32_t* mutual = view.mutual_counts().data();
   const double* d_init = pack.d_init_all().data();
   const double* i_gain = pack.i_gain_all().data();
-  const std::uint32_t* slot_theta = pack.slot_theta_all().data();
+  const NodeId* nodes = pack.slot_nodes_all().data();
+  const double* active = scratch.active.data();
+  const double* inv_gap = scratch.inv_gap.data();
   const bool want_indirect = weights.indirect > 0.0;
+  const simd::ScoreKernels& kernels = simd::kernels();
 
   for (NodeId u = begin; u < end; ++u) {
     double& result = out[u - begin];
@@ -122,36 +175,55 @@ void score_batch(const ScorePack& pack, const AttackerView& view,
     }
     const std::uint32_t s0 = pack.row_begin(u);
     const std::uint32_t s1 = pack.row_begin(u + 1);
-    // P_D: branchless mask-multiply — a deactivated term (friend or FOF
-    // neighbor) contributes an exact 0.0, which leaves the CSR-order sum
-    // bit-identical to the scalar loop that skips it.
+    // P_D: mask-multiply gather in the canonical lane order; a deactivated
+    // term (friend or FOF neighbor) contributes an exact +0.0, matching the
+    // scalar reference's skip bit for bit.
     double direct = pack.friend_benefit(u);
     if (mutual[u] > 0) direct -= pack.fof_benefit(u);  // u un-requested ⇒ FOF
-    for (std::uint32_t s = s0; s < s1; ++s) {
-      const NodeId v = pack.slot_node(s);
-      const double active = static_cast<double>(
-          (rs[v] != RequestState::kAccepted) & (mutual[v] == 0));
-      direct += d_init[s] * active;
-    }
+    direct += kernels.row_gather_mul(d_init, nodes, active, s0, s1);
     double value = weights.direct * direct;
-    if (want_indirect) {
-      double indirect = 0.0;
-      if (!cautious) {
-        for (std::uint32_t s = s0; s < s1; ++s) {
-          const double numerator = i_gain[s];
-          if (numerator == 0.0) continue;  // reckless neighbor (or p_e = 0)
-          const NodeId v = pack.slot_node(s);
-          const std::uint32_t m = mutual[v];
-          const std::uint32_t th = slot_theta[s];
-          if (rs[v] == RequestState::kUnknown && m < th) {
-            indirect += numerator / static_cast<double>(th - m);
-          }
-        }
-      }
-      value += weights.indirect * indirect;
+    if (want_indirect && !cautious) {
+      // P_I: slots with a reckless neighbor carry i_gain = 0.0; neighbors
+      // with no indirect value left carry inv_gap = 0.0 — either factor
+      // zeroes the term exactly, so the full-row gather matches the scalar
+      // reference's conditional loop.  (Cautious u: indirect ≡ 0, and
+      // adding weights.indirect * 0.0 is a no-op — skip the row entirely.)
+      value +=
+          weights.indirect * kernels.row_gather_mul(i_gain, nodes, inv_gap,
+                                                    s0, s1);
     }
     result = q * value;
   }
+}
+
+void score_batch(const ScorePack& pack, const AttackerView& view,
+                 const PotentialWeights& weights, NodeId begin, NodeId end,
+                 double* out) {
+  ScoreBatchScratch scratch;
+  score_batch_prepare(pack, view, weights.indirect > 0.0, scratch);
+  score_batch_ranged(pack, view, weights, scratch, begin, end, out);
+}
+
+void score_batch_all(const ScorePack& pack, const AttackerView& view,
+                     const PotentialWeights& weights,
+                     ScoreBatchScratch& scratch, TaskPool* pool, double* out) {
+  score_batch_prepare(pack, view, weights.indirect > 0.0, scratch);
+  const NodeId n = pack.num_nodes();
+  // Below this many candidates per chunk the fan-out/join overhead beats
+  // the row work; chunking never changes values, only wall-clock.
+  constexpr NodeId kMinChunk = 256;
+  const unsigned threads = pool != nullptr ? pool->threads() : 1;
+  if (threads <= 1 || n < 2 * kMinChunk) {
+    score_batch_ranged(pack, view, weights, scratch, 0, n, out);
+    return;
+  }
+  const NodeId chunk = std::max(kMinChunk, (n + threads - 1) / threads);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  pool->run(num_chunks, [&](std::size_t c) {
+    const NodeId begin = static_cast<NodeId>(c) * chunk;
+    const NodeId end = std::min<NodeId>(begin + chunk, n);
+    score_batch_ranged(pack, view, weights, scratch, begin, end, out + begin);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -171,9 +243,12 @@ void ScoreEngine::reset(const ScorePack& pack,
     const std::span<const std::uint32_t> theta = pack.slot_theta_all();
     contrib_i_.resize(i_gain.size());
     for (std::size_t s = 0; s < i_gain.size(); ++s) {
-      // Blank state: mutual = 0, denominator = θ_v.
-      contrib_i_[s] =
-          i_gain[s] == 0.0 ? 0.0 : i_gain[s] / static_cast<double>(theta[s]);
+      // Blank state: mutual = 0, denominator = θ_v.  Reciprocal form
+      // (numerator · 1/gap) — the canonical P_I operation order shared
+      // with score_batch and the scalar reference.
+      contrib_i_[s] = i_gain[s] == 0.0
+                          ? 0.0
+                          : i_gain[s] * (1.0 / static_cast<double>(theta[s]));
     }
   } else {
     contrib_i_.clear();
@@ -200,16 +275,16 @@ double ScoreEngine::score(NodeId u) const {
   if (q <= 0.0) return 0.0;
   const std::uint32_t s0 = pack.row_begin(u);
   const std::uint32_t s1 = pack.row_begin(u + 1);
+  // Canonical lane-order row sums (score_simd.hpp): contrib_d_[s] is
+  // exactly d_init[s]·mask and contrib_i_[s] exactly i_gain[s]·inv_gap, so
+  // these reductions are bit-identical to score_batch's gathers.
+  const simd::ScoreKernels& kernels = simd::kernels();
   double direct = pack.friend_benefit(u);
   if (fof_[u] != 0) direct -= pack.fof_benefit(u);
-  for (std::uint32_t s = s0; s < s1; ++s) direct += contrib_d_[s];
+  direct += kernels.row_sum(contrib_d_.data(), s0, s1);
   double value = weights_.direct * direct;
-  if (weights_.indirect > 0.0) {
-    double indirect = 0.0;
-    if (!cautious) {
-      for (std::uint32_t s = s0; s < s1; ++s) indirect += contrib_i_[s];
-    }
-    value += weights_.indirect * indirect;
+  if (weights_.indirect > 0.0 && !cautious) {
+    value += weights_.indirect * kernels.row_sum(contrib_i_.data(), s0, s1);
   }
   return q * value;
 }
@@ -276,12 +351,12 @@ void ScoreEngine::apply_acceptance(
     } else if (m < theta && maintain_indirect_) {
       // Denominator θ_v − m shrank: every neighbor's P_I term for v grows —
       // recompute those terms and re-score the owners eagerly.
-      const double denom = static_cast<double>(theta - m);
+      const double inv_gap = 1.0 / static_cast<double>(theta - m);
       const std::uint32_t s0 = pack.row_begin(v);
       const std::uint32_t s1 = pack.row_begin(v + 1);
       for (std::uint32_t s = s0; s < s1; ++s) {
         const std::uint32_t ms = pack.mirror(s);
-        contrib_i_[ms] = pack.i_gain(ms) / denom;
+        contrib_i_[ms] = pack.i_gain(ms) * inv_gap;
         add_eager(pack.slot_node(s));
       }
     }
@@ -325,12 +400,12 @@ void ScoreEngine::apply_revelation(
         }
       }
     } else if (m < theta && maintain_indirect_) {
-      const double denom = static_cast<double>(theta - m);
+      const double inv_gap = 1.0 / static_cast<double>(theta - m);
       const std::uint32_t s0 = pack.row_begin(v);
       const std::uint32_t s1 = pack.row_begin(v + 1);
       for (std::uint32_t s = s0; s < s1; ++s) {
         const std::uint32_t ms = pack.mirror(s);
-        contrib_i_[ms] = pack.i_gain(ms) / denom;
+        contrib_i_[ms] = pack.i_gain(ms) * inv_gap;
         add_eager(pack.slot_node(s));
       }
     }

@@ -32,10 +32,13 @@
 // prior p_e — an edge is only ever observed through an accepting endpoint,
 // and an accepted endpoint deactivates every term over that edge (the
 // friend skip for P_D, the requested skip for P_I).  Deactivated terms are
-// stored as exactly 0.0, and adding 0.0 is an exact floating-point no-op,
-// so summing a row in CSR order reproduces the scalar loop's partial sums
-// bit for bit.  Property tests (tests/score_test.cpp) enforce this across
-// random instances, cautious/reckless mixes, and mid-simulation states.
+// stored as exactly 0.0, and adding +0.0 into a non-negative lane
+// accumulator is an exact floating-point no-op, so reducing a row in the
+// canonical stride-4 lane order (score_simd.hpp) reproduces the scalar
+// reference's lanes bit for bit — under any ISA, batch chunking, or thread
+// count.  Property tests (tests/score_test.cpp) enforce this across random
+// instances, cautious/reckless mixes, mid-simulation states, and every
+// supported kernel ISA.
 //
 // Precondition: views handed to these kernels must have evolved through
 // record_acceptance/record_rejection only (every view in this codebase
@@ -130,6 +133,13 @@ class ScorePack {
   [[nodiscard]] std::span<const std::uint32_t> slot_theta_all() const noexcept {
     return slot_theta_;
   }
+  [[nodiscard]] std::span<const NodeId> slot_nodes_all() const noexcept {
+    return adj_node_;
+  }
+  /// The cautious flags as LSB-first 64-bit words (bit u of word u/64).
+  [[nodiscard]] std::span<const std::uint64_t> cautious_words() const noexcept {
+    return cautious_bits_;
+  }
 
  private:
   const AccuInstance* instance_ = nullptr;
@@ -149,13 +159,54 @@ class ScorePack {
   std::vector<std::uint32_t> edge_slot_;  // size E; build scratch
 };
 
+/// Reusable per-node tables for the batched rescore.  Pool this in the
+/// owning strategy: after the first few cells the vectors reach the largest
+/// instance size seen and `score_batch_prepare` becomes allocation-free.
+struct ScoreBatchScratch {
+  std::vector<double> active;   // P_D mask per node: 1.0 while the neighbor
+                                // term is live, 0.0 once deactivated
+  std::vector<double> inv_gap;  // P_I reciprocal gap per node: 1/(θ_v − m_v)
+                                // while indirect-live, exactly 0.0 otherwise
+};
+
+/// Builds `scratch`'s tables for the view's current state (O(n); the
+/// inv_gap pass walks only the cautious bitset words).  `want_indirect`
+/// mirrors `weights.indirect > 0` — callers that never read P_I skip the
+/// second table.
+void score_batch_prepare(const ScorePack& pack, const AttackerView& view,
+                         bool want_indirect, ScoreBatchScratch& scratch);
+
+/// Scores candidates [begin, end) into out[u - begin] using tables built by
+/// score_batch_prepare on the same (pack, view) state.  Pure read of pack /
+/// view / scratch — disjoint ranges may run on different threads, and
+/// chunking cannot change a single bit (each candidate's reduction is
+/// independent and in the canonical order, see score_simd.hpp).
+void score_batch_ranged(const ScorePack& pack, const AttackerView& view,
+                        const PotentialWeights& weights,
+                        const ScoreBatchScratch& scratch, NodeId begin,
+                        NodeId end, double* out);
+
 /// Batched rescore: writes P(u|ω) for every u in [begin, end) into
 /// out[u - begin], reading the view's flat spans only.  Already-requested
 /// candidates score 0.0 (they are never selectable).  Bit-exact against
 /// AbmStrategy's scalar potential() under the same weights.
+///
+/// Convenience wrapper over prepare + ranged with local scratch; hot paths
+/// pool a ScoreBatchScratch and call the split form instead.
 void score_batch(const ScorePack& pack, const AttackerView& view,
                  const PotentialWeights& weights, NodeId begin, NodeId end,
                  double* out);
+
+class TaskPool;
+
+/// Full-population rescore through pooled scratch: prepare + ranged over
+/// [0, num_nodes) into out.  When `pool` has more than one thread the range
+/// is chunked across it — bit-identical to the single-call form because
+/// chunking cannot change a candidate's reduction (see score_batch_ranged).
+/// `pool` may be nullptr (sequential).
+void score_batch_all(const ScorePack& pack, const AttackerView& view,
+                     const PotentialWeights& weights, ScoreBatchScratch& scratch,
+                     TaskPool* pool, double* out);
 
 /// Incremental potential cache for one running simulation.
 ///

@@ -30,6 +30,7 @@
 namespace accu {
 
 class ScorePack;  // core/score.hpp
+class TaskPool;   // core/task_pool.hpp
 
 /// One simulated round: a friend request, or (under the fault layer) a
 /// round lost to a rate-limit suspension (`fault == kSuspensionStall`,
@@ -149,6 +150,15 @@ class Strategy {
   /// reset() follows; strategies without an offer build their own.
   [[nodiscard]] virtual bool wants_score_pack() const { return false; }
   virtual void adopt_score_pack(const ScorePack& pack) { (void)pack; }
+
+  /// Intra-cell parallelism (core/task_pool.hpp).  The engine entry points
+  /// offer the workspace-pooled task pool immediately before reset();
+  /// strategies with parallel-friendly inner loops (lookahead branch
+  /// evaluation, batched rescore chunks) may keep the pointer for the
+  /// simulation whose reset() follows and fan independent tasks across it.
+  /// Results must be trace-identical for any pool width — see the
+  /// determinism contract in task_pool.hpp.  Default: ignore (sequential).
+  virtual void adopt_task_pool(TaskPool* pool) { (void)pool; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

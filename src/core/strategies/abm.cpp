@@ -34,20 +34,30 @@ double AbmStrategy::effective_accept_prob(const AttackerView& view,
   return instance.accept_prob(u);
 }
 
+// The two row reductions below ARE the scalar reference for the canonical
+// reduction order (score_simd.hpp): four stride-4 lane accumulators indexed
+// by the neighbor's *slot position* — the position counter advances on
+// skipped neighbors too, so a skip lands on the same lane as the exact
+// +0.0 the SoA kernels add for that slot — combined as (l0+l2)+(l1+l3).
+// score_batch and ScoreEngine reproduce these doubles bit for bit.
+
 double AbmStrategy::direct_gain(const AttackerView& view, NodeId u) {
   const AccuInstance& instance = view.instance();
   const BenefitModel& benefits = instance.benefits();
-  double gain = benefits.friend_benefit(u);
-  if (view.is_fof(u)) gain -= benefits.fof_benefit(u);
+  double head = benefits.friend_benefit(u);
+  if (view.is_fof(u)) head -= benefits.fof_benefit(u);
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::uint32_t pos = 0;
   for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const std::uint32_t lane = (pos++) & 3;
     const NodeId v = nb.node;
     if (view.is_friend(v)) continue;  // v ∈ N(s): already harvested as friend
     if (view.is_fof(v)) continue;     // (1 − 1_FOF(v)) = 0
     const double belief = view.edge_belief(nb.edge);
     if (belief <= 0.0) continue;      // observed absent
-    gain += belief * benefits.fof_benefit(v);
+    lanes[lane] += belief * benefits.fof_benefit(v);
   }
-  return gain;
+  return head + ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3]));
 }
 
 double AbmStrategy::indirect_gain(const AttackerView& view, NodeId u) {
@@ -56,8 +66,10 @@ double AbmStrategy::indirect_gain(const AttackerView& view, NodeId u) {
   // indirect gain is identically zero — the paper notes this explicitly.
   if (instance.is_cautious(u)) return 0.0;
   const BenefitModel& benefits = instance.benefits();
-  double gain = 0.0;
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::uint32_t pos = 0;
   for (const graph::Neighbor& nb : instance.graph().neighbors(u)) {
+    const std::uint32_t lane = (pos++) & 3;
     const NodeId v = nb.node;
     if (!instance.is_cautious(v)) continue;
     // A cautious user that was already requested is either a friend
@@ -68,10 +80,11 @@ double AbmStrategy::indirect_gain(const AttackerView& view, NodeId u) {
     if (mutual >= theta) continue;  // paper condition: θ_v > |N(s) ∩ N(v)|
     const double belief = view.edge_belief(nb.edge);
     if (belief <= 0.0) continue;
-    gain += belief * benefits.upgrade_gain(v) /
-            static_cast<double>(theta - mutual);
+    // Reciprocal form — numerator · (1/gap) — shared with the SoA kernels.
+    lanes[lane] += (belief * benefits.upgrade_gain(v)) *
+                   (1.0 / static_cast<double>(theta - mutual));
   }
-  return gain;
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
 }
 
 double AbmStrategy::potential(const AttackerView& view, NodeId u) const {

@@ -30,6 +30,11 @@ void BatchedAbmStrategy::adopt_score_pack(const ScorePack& pack) {
   adopt_fresh_ = true;
 }
 
+void BatchedAbmStrategy::adopt_task_pool(TaskPool* pool) {
+  task_pool_ = pool;
+  pool_fresh_ = true;
+}
+
 void BatchedAbmStrategy::reset(const AccuInstance& instance, util::Rng&) {
   instance_ = &instance;
   batch_.clear();
@@ -40,6 +45,8 @@ void BatchedAbmStrategy::reset(const AccuInstance& instance, util::Rng&) {
     adopted_pack_ = nullptr;  // stale handover — never dereference it
   }
   adopt_fresh_ = false;
+  if (!pool_fresh_) task_pool_ = nullptr;  // same staleness rule as the pack
+  pool_fresh_ = false;
 }
 
 const ScorePack* BatchedAbmStrategy::current_pack() {
@@ -54,11 +61,13 @@ void BatchedAbmStrategy::fill_batch(const AttackerView& view) {
   cursor_ = 0;
   scored_.clear();
   if (const ScorePack* pack = current_pack()) {
-    // Batched rescore over the flat arrays; bit-identical values to the
-    // scalar scorer below, so the resulting batch is the same.
+    // Batched rescore over the flat arrays, chunked across the intra-cell
+    // pool when one was offered; bit-identical values to the scalar scorer
+    // below (and for any pool width), so the resulting batch is the same.
     const NodeId n = instance_->num_nodes();
     scores_.resize(n);
-    score_batch(*pack, view, weights_, 0, n, scores_.data());
+    score_batch_all(*pack, view, weights_, batch_scratch_, task_pool_,
+                    scores_.data());
     for (NodeId u = 0; u < n; ++u) {
       if (view.is_requested(u)) continue;
       scored_.emplace_back(scores_[u], u);

@@ -39,6 +39,7 @@ class BatchedAbmStrategy final : public Strategy {
     return flat_scoring_;
   }
   void adopt_score_pack(const ScorePack& pack) override;
+  void adopt_task_pool(TaskPool* pool) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::uint32_t batch_size() const noexcept {
@@ -66,9 +67,14 @@ class BatchedAbmStrategy final : public Strategy {
   // Scoring scratch, pooled across fill_batch calls and resets.
   std::vector<std::pair<double, NodeId>> scored_;
   std::vector<double> scores_;
+  ScoreBatchScratch batch_scratch_;
   ScorePack own_pack_;
   const ScorePack* adopted_pack_ = nullptr;
   bool adopt_fresh_ = false;
+  // The engine-offered intra-cell pool; rescore chunks fan across it.
+  // Chunking never changes a value, so decisions are pool-width-invariant.
+  TaskPool* task_pool_ = nullptr;
+  bool pool_fresh_ = false;
 };
 
 }  // namespace accu

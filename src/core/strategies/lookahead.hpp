@@ -54,15 +54,40 @@ class LookaheadStrategy final : public Strategy {
     return config_.flat_scoring;
   }
   void adopt_score_pack(const ScorePack& pack) override;
+  void adopt_task_pool(TaskPool* pool) override;
   [[nodiscard]] std::string name() const override;
 
  private:
+  /// Private per-candidate branch scratch: slot c serves beam candidate c,
+  /// so the pool's tasks write disjoint state.  Pooled across select calls
+  /// — copy-assignment into the view/realization reuses their capacity.
+  struct BranchScratch {
+    std::optional<AttackerView> branch_view;
+    util::BitVec scenario_edges;
+    util::BitVec scenario_coins;
+    std::optional<Realization> scenario;
+    std::vector<double> scores;
+    ScoreBatchScratch batch;
+  };
+
   /// One-step score q(u)·(w_D·P_D + w_I·P_I).
   [[nodiscard]] double step_score(const AttackerView& view, NodeId u) const;
   /// Best one-step score over all un-requested users of `view` (including
   /// the hypothetical branch views, where the SoA pack stays valid — the
   /// scoring invariant survives record_acceptance on a copy).
-  [[nodiscard]] double best_step_score(const AttackerView& view);
+  [[nodiscard]] double best_step_score(const ScorePack* pack,
+                                       const AttackerView& view,
+                                       BranchScratch& s) const;
+
+  /// The two-step value of candidate u: the rejection continuation plus the
+  /// Monte Carlo acceptance continuation over `draws` (the candidate's
+  /// pre-drawn scenario coins, one per unknown incident edge per sample).
+  /// Pure function of its arguments and `s` — safe to fan across the pool.
+  [[nodiscard]] double evaluate_candidate(const ScorePack* pack,
+                                          const AttackerView& view, NodeId u,
+                                          double first_step,
+                                          const std::uint8_t* draws,
+                                          BranchScratch& s) const;
 
   /// The SoA pack for the current instance (adopted from the workspace or
   /// built locally); nullptr when flat scoring is off.
@@ -70,17 +95,20 @@ class LookaheadStrategy final : public Strategy {
 
   Config config_;
   const AccuInstance* instance_ = nullptr;
-  // Per-select scratch, pooled across calls and resets (copy-assignment
-  // into these reuses their vectors' capacity).
+  // Per-select scratch, pooled across calls and resets.
   std::vector<std::pair<double, NodeId>> ranked_;
-  std::vector<bool> scenario_edges_;
-  std::vector<bool> scenario_coins_;
-  std::optional<Realization> scenario_;
-  std::optional<AttackerView> branch_view_;
   std::vector<double> scores_;
+  ScoreBatchScratch batch_scratch_;
+  std::vector<BranchScratch> branch_scratch_;  // one slot per beam candidate
+  std::vector<double> values_;                 // per-candidate results
+  std::vector<std::uint8_t> draws_;            // pre-drawn scenario coins
+  std::vector<std::size_t> draw_offsets_;      // per-candidate draw spans
   ScorePack own_pack_;
   const ScorePack* adopted_pack_ = nullptr;
   bool adopt_fresh_ = false;
+  // The engine-offered intra-cell pool; beam candidates fan across it.
+  TaskPool* task_pool_ = nullptr;
+  bool pool_fresh_ = false;
 };
 
 }  // namespace accu

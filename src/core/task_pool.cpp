@@ -1,0 +1,69 @@
+#include "core/task_pool.hpp"
+
+namespace accu {
+
+TaskPool::TaskPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1) {
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+TaskPool::~TaskPool() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void TaskPool::claim_loop() noexcept {
+  for (std::size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n_;) {
+    fn_(ctx_, i);
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    claim_loop();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void TaskPool::run_raw(std::size_t n, TaskFn fn, void* ctx) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = fn;
+    ctx_ = ctx;
+    next_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  claim_loop();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
+}
+
+}  // namespace accu

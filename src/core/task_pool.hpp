@@ -1,0 +1,85 @@
+// Intra-cell task pool: a persistent team of worker threads that evaluates
+// independent per-candidate / per-realization tasks of ONE sweep cell
+// concurrently (DESIGN.md §16).
+//
+// Determinism.  The pool only ever runs index-addressed tasks that write to
+// disjoint, pre-sized slots; callers combine the slots in index order after
+// `run` returns.  Scheduling (which thread claims which index, in what
+// order) is free to vary — the combined result cannot, because every task is
+// a pure function of its index and its private scratch.  Together with the
+// canonical reduction order of the score kernels this makes runs
+// trace-identical for any `cell_threads`.
+//
+// Allocation discipline.  Threads are spawned once at construction and
+// parked on a condition variable between cells; `run` itself performs no
+// heap allocation (the callable is passed by reference through a void*
+// trampoline, never wrapped in std::function), so pooled steady-state
+// sweeps stay under the allocs-per-cell CI ceiling.
+//
+// A pool constructed with `threads <= 1` spawns nothing and runs every task
+// inline on the caller — the zero-overhead sequential mode.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace accu {
+
+class TaskPool {
+ public:
+  /// `threads` = total concurrency including the calling thread; the pool
+  /// spawns `threads - 1` workers (none when threads <= 1).
+  explicit TaskPool(unsigned threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total concurrency (>= 1).
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Runs `f(i)` for every i in [0, n), the caller participating alongside
+  /// the workers; returns once all n tasks completed.  Tasks must be
+  /// independent (disjoint writes).  Not reentrant: one `run` at a time.
+  template <typename F>
+  void run(std::size_t n, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run_raw(
+        n,
+        [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+ private:
+  using TaskFn = void (*)(void* ctx, std::size_t index);
+
+  void run_raw(std::size_t n, TaskFn fn, void* ctx);
+  void worker_loop();
+  void claim_loop() noexcept;
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per run; wakes parked workers
+  std::size_t pending_workers_ = 0;
+  bool stop_ = false;
+
+  // Current batch (valid while pending_workers_ > 0 or the caller claims).
+  std::atomic<std::size_t> next_{0};
+  std::size_t n_ = 0;
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+};
+
+}  // namespace accu

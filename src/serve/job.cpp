@@ -8,6 +8,7 @@
 
 #include "core/feedback.hpp"
 #include "core/instance_io.hpp"
+#include "core/score_simd.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "datasets/datasets.hpp"
@@ -46,6 +47,8 @@ const std::vector<std::pair<const char*, const char*>>& job_keys() {
       {"max-cell-retries", "re-runs after a blown cell deadline"},
       {"deadline-ms", "whole-job wall-clock deadline"},
       {"threads", "worker threads per shard process"},
+      {"cell-threads", "intra-cell task-pool width per worker"},
+      {"simd", "score kernel ISA: auto | scalar | avx2 | neon"},
       {"durability", "checkpoint fsync cadence: strict | grouped"},
       {"group-cells", "grouped durability: fsync every N cells"},
       {"group-ms", "grouped durability: fsync at least every T ms"},
@@ -103,6 +106,9 @@ std::string serialize_job(const JobSpec& spec) {
   append_kv(body, "deadline-ms", num);
   std::snprintf(num, sizeof num, "%u", spec.threads);
   append_kv(body, "threads", num);
+  std::snprintf(num, sizeof num, "%u", spec.cell_threads);
+  append_kv(body, "cell-threads", num);
+  append_kv(body, "simd", spec.simd);
   append_kv(body, "durability", spec.durability);
   std::snprintf(num, sizeof num, "%u", spec.group_cells);
   append_kv(body, "group-cells", num);
@@ -192,6 +198,12 @@ JobSpec parse_job(const std::string& text) {
       opts.get_int("deadline-ms", static_cast<std::int64_t>(spec.deadline_ms)));
   spec.threads =
       static_cast<std::uint32_t>(opts.get_int("threads", spec.threads));
+  spec.cell_threads = static_cast<std::uint32_t>(
+      opts.get_int("cell-threads", spec.cell_threads));
+  spec.simd = opts.get("simd", spec.simd);
+  // Validate the spelling eagerly; ISA *support* is a property of the
+  // executing host and is checked by run_experiment.
+  (void)simd::parse_isa(spec.simd);
   spec.durability = opts.get("durability", spec.durability);
   spec.group_cells = static_cast<std::uint32_t>(
       opts.get_int("group-cells", spec.group_cells));
@@ -254,6 +266,8 @@ ExperimentConfig shard_config(const JobSpec& spec, std::uint32_t shard,
   config.runs = spec.kind == "simulate" ? 1 : spec.runs;
   config.seed = spec.seed;
   config.threads = spec.threads;
+  config.cell_threads = spec.cell_threads;
+  config.simd = simd::parse_isa(spec.simd);
   config.faults = FaultConfig::uniform(spec.fault_rate,
                                        spec.suspension_rounds);
   config.retry = util::RetryPolicy::parse(spec.retry);

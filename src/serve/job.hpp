@@ -55,6 +55,15 @@ struct JobSpec {
   /// A job still running past it is terminated and journaled as failed.
   std::uint64_t deadline_ms = 0;
   std::uint32_t threads = 1;          ///< worker threads *per shard process*
+  /// Intra-cell task-pool width per worker (ExperimentConfig::cell_threads;
+  /// 1 = sequential, 0 = hardware).  Trace-invariant, so jobs may tune it
+  /// freely without changing results.
+  std::uint32_t cell_threads = 1;
+  /// SIMD kernel table: "auto" | "scalar" | "avx2" | "neon"
+  /// (core/score_simd.hpp).  Spelling is validated at admission on the
+  /// submitting host; *support* is checked on the executing host at sweep
+  /// start (descriptors travel between architectures).
+  std::string simd = "auto";
   /// Checkpoint fsync cadence per shard: "strict" | "grouped"
   /// (util::DurabilityPolicy).  grouped amortizes the per-cell fsync —
   /// the serve throughput ceiling — over group_cells / group_ms.

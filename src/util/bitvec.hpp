@@ -1,0 +1,98 @@
+// Word-backed bit vector.
+//
+// `std::vector<bool>` hides its words, which blocks the batch paths this
+// library leans on: the fast realization sampler writes 64 Bernoulli
+// outcomes per store, and the lookahead scenario scratch wants word-granular
+// copies instead of per-bit RMW.  BitVec is the minimal replacement: a flat
+// `uint64_t` array with LSB-first bit order inside each word (bit i lives at
+// words()[i >> 6], mask 1 << (i & 63)), explicit word access, and
+// capacity-reusing assignment.  Bits past `size()` in the last word are kept
+// zero by every mutator so whole-word comparisons and copies are safe.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace accu::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool value = false) { assign(n, value); }
+
+  /// Resizes to `n` bits, all set to `value`; reuses word capacity.
+  void assign(std::size_t n, bool value) {
+    size_ = n;
+    words_.assign(num_words(n), value ? ~0ull : 0ull);
+    trim();
+  }
+
+  /// Resizes to `n` bits, preserving the first min(n, old size) bits; new
+  /// bits are zero.
+  void resize(std::size_t n) {
+    size_ = n;
+    words_.resize(num_words(n), 0);
+    trim();
+  }
+
+  /// Word-granular copy; reuses capacity.
+  void copy_from(const BitVec& other) {
+    size_ = other.size_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  /// Bit-by-bit import from a `std::vector<bool>` (cold interop paths).
+  void copy_from(const std::vector<bool>& bits) {
+    assign(bits.size(), false);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) words_[i >> 6] |= 1ull << (i & 63);
+    }
+  }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    ACCU_ASSERT(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool value) {
+    ACCU_ASSERT(i < size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Number of 64-bit words covering `bits` bits.
+  [[nodiscard]] static std::size_t num_words(std::size_t bits) noexcept {
+    return (bits + 63) / 64;
+  }
+
+  /// Clears any bits past size() in the last word (mutators call this so
+  /// word-level consumers never see stale tail bits).
+  void trim() noexcept {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (~0ull) >> (64 - tail);
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace accu::util

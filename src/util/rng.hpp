@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -86,6 +87,28 @@ class Rng {
     return Rng{splitmix64_next(mix)};
   }
 
+  /// Fills `out[0..n)` with the next `n` raw outputs — exactly the sequence
+  /// n calls to operator() would produce, amortizing the state loads so
+  /// batch consumers (the realization sampler) pay ~1 ns/draw.
+  void fill_raw(std::uint64_t* out, std::size_t n) noexcept {
+    std::uint64_t s0 = state_[0], s1 = state_[1], s2 = state_[2],
+                  s3 = state_[3];
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rotl(s1 * 5, 7) * 9;
+      const std::uint64_t t = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= t;
+      s3 = rotl(s3, 45);
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
   /// Uniform double in [0, 1) with 53 random mantissa bits.
   double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
@@ -102,6 +125,21 @@ class Rng {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return uniform() < p;
+  }
+
+  /// Integer-threshold form of `bernoulli`'s interior case: for p in (0,1),
+  /// `uniform() < p` ⟺ `(draw >> 11) < bernoulli_threshold(p)` as a uint64
+  /// compare.  Proof: uniform() = (draw>>11)·2⁻⁵³ is exact (53-bit integer
+  /// scaled by a power of two), so the comparison is the real-number test
+  /// (draw>>11) < p·2⁵³ — and p·2⁵³ is itself exact for p < 1 (power-of-two
+  /// scaling never rounds).  An integer x is < a real y iff x < ⌈y⌉ when y
+  /// is fractional, and iff x < y when y is integral; ⌈·⌉ covers both.
+  /// This lets batch samplers precompute thresholds once and vectorize the
+  /// compare without touching floating point.
+  [[nodiscard]] static std::uint64_t bernoulli_threshold(double p) noexcept {
+    ACCU_ASSERT(p > 0.0 && p < 1.0);
+    const double scaled = p * 0x1.0p53;  // exact: power-of-two scaling
+    return static_cast<std::uint64_t>(std::ceil(scaled));
   }
 
   /// Uniform integer in [0, bound) via unbiased modulo rejection.
@@ -156,6 +194,46 @@ class Rng {
   }
 
   std::uint64_t state_[4];
+};
+
+/// Counter-based generator: output i is a pure function of (seed, i) — the
+/// SplitMix64 mix evaluated at state seed + (i+1)·γ, identical to what a
+/// sequential SplitMix64 stream seeded with `seed` would emit as its i-th
+/// output.  Because draws are independent of each other, any subrange can be
+/// produced out of order, in parallel, or vectorized (the fill loop is a
+/// pure map the auto-vectorizer handles; the 64×64 multiplies lower to
+/// vpmuludq triples under AVX2).  This is the RNG seam for out-of-core /
+/// sharded generation where a shared sequential stream would serialize the
+/// producers.  NOT stream-compatible with Rng (xoshiro); sequential
+/// simulation paths keep Rng.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// The i-th output of the stream (random access, stateless).
+  [[nodiscard]] std::uint64_t at(std::uint64_t i) const noexcept {
+    std::uint64_t z = seed_ + (i + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Fills out[0..n) with outputs `first..first+n` — equals calling at() per
+  /// index, written as a branch-free map so the compiler can vectorize it.
+  void fill(std::uint64_t first, std::uint64_t* out,
+            std::size_t n) const noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t z = seed_ + (first + i + 1) * 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      out[i] = z ^ (z >> 31);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
 };
 
 }  // namespace accu::util

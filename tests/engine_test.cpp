@@ -20,6 +20,7 @@
 
 #include "core/engine.hpp"
 #include "core/experiment.hpp"
+#include "core/score_simd.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "core/strategies/batched.hpp"
@@ -564,6 +565,79 @@ TEST(EngineEquivalenceTest, ScoreEngineBackedStrategiesMatchScalarScoring) {
       expect_same(a, b, pair.name + " world " + std::to_string(world));
     }
   }
+}
+
+TEST(EngineEquivalenceTest, WantsScorePackReflectsScoringMode) {
+  // The engine offers the workspace ScorePack — and with it the
+  // SIMD-dispatched batched rescore — exactly when wants_score_pack() is
+  // true.  Pin each strategy's answer so a scalar twin cannot silently
+  // drift onto (or off) the kernel seam.
+  EXPECT_TRUE(AbmStrategy(0.5, 0.5).wants_score_pack());
+  {
+    AbmStrategy::Config config;
+    config.incremental = false;
+    EXPECT_FALSE(AbmStrategy(config).wants_score_pack());
+  }
+  EXPECT_TRUE(BatchedAbmStrategy(PotentialWeights{0.5, 0.5}, 5,
+                                 /*flat_scoring=*/true)
+                  .wants_score_pack());
+  EXPECT_FALSE(BatchedAbmStrategy(PotentialWeights{0.5, 0.5}, 5,
+                                  /*flat_scoring=*/false)
+                   .wants_score_pack());
+  {
+    LookaheadStrategy::Config config;
+    EXPECT_TRUE(LookaheadStrategy(config).wants_score_pack());
+    config.flat_scoring = false;
+    EXPECT_FALSE(LookaheadStrategy(config).wants_score_pack());
+  }
+  // The retry decorator forwards the inner policy's answer verbatim.
+  EXPECT_TRUE(RetryingStrategy(std::make_unique<AbmStrategy>(0.5, 0.5),
+                               util::RetryPolicy::exponential_jitter(3))
+                  .wants_score_pack());
+  EXPECT_FALSE(RetryingStrategy(std::make_unique<RandomStrategy>(),
+                                util::RetryPolicy::exponential_jitter(3))
+                   .wants_score_pack());
+}
+
+TEST(EngineEquivalenceTest, ScalarTwinsMatchFlatUnderEveryForcedIsa) {
+  // The flat/scalar-twin equivalence above, re-pinned under every kernel
+  // table this host supports: forcing an ISA changes which vector code
+  // scores the flat side, and the twin (which never touches the seam)
+  // must still see byte-identical traces.
+  const AccuInstance instance = facebook_instance();
+  util::Rng truth_rng(912);
+  const Realization truth = Realization::sample(instance, truth_rng);
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) continue;
+    simd::select_isa(isa);
+    const std::string label = simd::isa_name(isa);
+    {
+      BatchedAbmStrategy flat(PotentialWeights{0.5, 0.5}, 5,
+                              /*flat_scoring=*/true);
+      BatchedAbmStrategy scalar(PotentialWeights{0.5, 0.5}, 5,
+                                /*flat_scoring=*/false);
+      util::Rng rng_a(77);
+      util::Rng rng_b(77);
+      expect_same(simulate(instance, truth, flat, 45, rng_a),
+                  simulate(instance, truth, scalar, 45, rng_b),
+                  "BatchedABM isa " + label);
+    }
+    {
+      LookaheadStrategy::Config config;
+      config.beam = 4;
+      config.scenario_samples = 2;
+      LookaheadStrategy flat(config);
+      config.flat_scoring = false;
+      LookaheadStrategy scalar(config);
+      util::Rng rng_a(78);
+      util::Rng rng_b(78);
+      expect_same(simulate(instance, truth, flat, 45, rng_a),
+                  simulate(instance, truth, scalar, 45, rng_b),
+                  "Lookahead isa " + label);
+    }
+  }
+  simd::select_auto();
 }
 
 // ---------------------------------------------------------------------------

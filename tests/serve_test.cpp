@@ -245,6 +245,8 @@ JobSpec sample_spec() {
   spec.max_cell_retries = 2;
   spec.deadline_ms = 60000;
   spec.threads = 2;
+  spec.cell_threads = 3;
+  spec.simd = "scalar";
   spec.durability = "grouped";
   spec.group_cells = 9;
   spec.group_ms = 250;
@@ -286,9 +288,22 @@ TEST(ServeJobTest, DescriptorRoundTripsEveryField) {
   EXPECT_EQ(parsed.max_cell_retries, spec.max_cell_retries);
   EXPECT_EQ(parsed.deadline_ms, spec.deadline_ms);
   EXPECT_EQ(parsed.threads, spec.threads);
+  EXPECT_EQ(parsed.cell_threads, spec.cell_threads);
+  EXPECT_EQ(parsed.simd, spec.simd);
   EXPECT_EQ(parsed.durability, spec.durability);
   EXPECT_EQ(parsed.group_cells, spec.group_cells);
   EXPECT_EQ(parsed.group_ms, spec.group_ms);
+}
+
+TEST(ServeJobTest, UnknownSimdSpellingIsRejectedAtAdmission) {
+  // Spelling is validated eagerly; foreign-but-known ISA names must pass
+  // (descriptors travel between architectures; support is checked by the
+  // executing host at sweep start).
+  const std::string body = serialize_job(sample_spec());
+  EXPECT_THROW((void)parse_job(restamp(body, "simd=scalar", "simd=sse9")),
+               InvalidArgument);
+  const JobSpec neon = parse_job(restamp(body, "simd=scalar", "simd=neon"));
+  EXPECT_EQ(neon.simd, "neon");
 }
 
 TEST(ServeJobTest, BitFlippedDescriptorIsRejected) {

@@ -13,6 +13,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/backoff.hpp"
+#include "util/bitvec.hpp"
 #include "util/cancel.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -159,6 +160,92 @@ TEST(RngTest, GeometricSkipsMeanMatches) {
 TEST(RngTest, GeometricSkipsCertainSuccess) {
   Rng rng(15);
   EXPECT_EQ(rng.geometric_skips(1.0), 0u);
+}
+
+TEST(RngTest, FillRawMatchesSequentialDraws) {
+  Rng a(77);
+  Rng b(77);
+  std::vector<std::uint64_t> bulk(1000);
+  a.fill_raw(bulk.data(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    ASSERT_EQ(bulk[i], b()) << "draw " << i;
+  }
+  // Both generators must land on the same state.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, BernoulliThresholdMatchesUniformCompare) {
+  // The integer-threshold compare must reproduce `uniform() < p` for every
+  // draw — including thresholds next to representability boundaries.
+  Rng prng(16);
+  std::vector<double> ps = {0.5, 0.25, 1e-9, 1.0 - 1e-9, 0x1.0p-53,
+                            1.0 - 0x1.0p-53};
+  for (int i = 0; i < 40; ++i) ps.push_back(prng.uniform());
+  for (const double p : ps) {
+    if (p <= 0.0 || p >= 1.0) continue;
+    const std::uint64_t thr = Rng::bernoulli_threshold(p);
+    Rng draws(17);
+    Rng oracle(17);
+    for (int i = 0; i < 2000; ++i) {
+      const bool fast = (draws() >> 11) < thr;
+      const bool ref = oracle.uniform() < p;
+      ASSERT_EQ(fast, ref) << "p=" << p << " draw " << i;
+    }
+  }
+}
+
+TEST(CounterRngTest, MatchesSplitmixStreamRandomAccess) {
+  const std::uint64_t seed = 0xfeed1234u;
+  CounterRng counter(seed);
+  std::uint64_t state = seed;
+  std::vector<std::uint64_t> stream(64);
+  for (auto& x : stream) x = splitmix64_next(state);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(counter.at(i), stream[i]) << i;
+  }
+  // Out-of-order and bulk access agree with random access.
+  EXPECT_EQ(counter.at(63), stream[63]);
+  EXPECT_EQ(counter.at(0), stream[0]);
+  std::vector<std::uint64_t> bulk(32);
+  counter.fill(16, bulk.data(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(bulk[i], stream[16 + i]) << i;
+  }
+}
+
+// --------------------------------------------------------------- BitVec ----
+
+TEST(BitVecTest, SetGetResizeAndTailInvariant) {
+  BitVec bits(70, false);
+  bits.set(0, true);
+  bits.set(63, true);
+  bits.set(69, true);
+  EXPECT_TRUE(bits.get(0));
+  EXPECT_TRUE(bits.get(63));
+  EXPECT_FALSE(bits.get(64));
+  EXPECT_TRUE(bits.get(69));
+  EXPECT_EQ(bits.words().size(), 2u);
+  // Tail bits past size() stay zero through every mutator.
+  EXPECT_EQ(bits.words()[1] >> 6, 0u);
+  bits.assign(70, true);
+  EXPECT_EQ(bits.words()[1], (~0ull) >> (64 - 6));
+  bits.resize(64);
+  bits.resize(70);
+  for (std::size_t i = 64; i < 70; ++i) EXPECT_FALSE(bits.get(i));
+}
+
+TEST(BitVecTest, CopyFromVectorBoolAndBitVec) {
+  std::vector<bool> src(130, false);
+  for (std::size_t i = 0; i < src.size(); i += 7) src[i] = true;
+  BitVec a;
+  a.copy_from(src);
+  ASSERT_EQ(a.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(a.get(i), src[i]);
+  BitVec b;
+  b.copy_from(a);
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_TRUE(std::equal(a.words().begin(), a.words().end(),
+                         b.words().begin(), b.words().end()));
 }
 
 // ---------------------------------------------------------- RunningStat ----

@@ -1,0 +1,181 @@
+// accu_bench_diff — compares two `micro_core --json` snapshots and flags
+// kernel-speed regressions.
+//
+//   accu_bench_diff BASELINE.json CURRENT.json [--threshold=R]
+//
+// The committed repo-root BENCH_micro_core.json is the per-PR baseline;
+// tools/ci.sh runs this tool against a freshly measured snapshot so a hot
+// kernel cannot silently lose its speedup.  Comparison is directional per
+// key: `*_ns` and `*allocs*` keys are better-lower, `*per_sec` and
+// `*_factor` keys are better-higher, anything else is informational.  A
+// key regresses when it is worse than baseline · threshold (default 2.0 —
+// CI machines are noisy and share cores; the gate exists to catch a lost
+// vector path or an accidentally quadratic drain, not 10% jitter).
+//
+// Keys present in only one snapshot are reported but never fail the run:
+// the per-ISA section legitimately differs across hosts (an AVX2 box
+// measures scalar+avx2 rows, an ARM box scalar+neon).
+//
+// Exit codes: 0 clean, 1 at least one regression, 2 usage/parse error.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/exit_codes.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace accu;
+
+/// Flat `path.to.key` → value view of one snapshot.  micro_core emits one
+/// `"key": value` pair per line with `{`/`}` nesting, which this line scan
+/// follows; it is not a general JSON parser and does not need to be.
+using FlatSnapshot = std::map<std::string, double>;
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+FlatSnapshot parse_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read snapshot: " + path);
+  }
+  FlatSnapshot flat;
+  std::vector<std::string> stack;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = strip(line);
+    if (t.empty() || t == "{") continue;
+    if (t == "}" || t == "},") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    // `"key": ...` — split on the first colon after the closing quote.
+    if (t.size() < 2 || t[0] != '"') continue;
+    const std::size_t close = t.find('"', 1);
+    if (close == std::string::npos) continue;
+    const std::string key = t.substr(1, close - 1);
+    const std::size_t colon = t.find(':', close);
+    if (colon == std::string::npos) continue;
+    const std::string value = strip(t.substr(colon + 1));
+    if (value == "{") {
+      stack.push_back(key);
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;  // string value — not tracked
+    std::string full;
+    for (const std::string& part : stack) full += part + ".";
+    flat[full + key] = v;
+  }
+  return flat;
+}
+
+enum class Direction { kLowerBetter, kHigherBetter, kInfo };
+
+Direction key_direction(const std::string& key) {
+  if (key.size() >= 3 && key.compare(key.size() - 3, 3, "_ns") == 0) {
+    return Direction::kLowerBetter;
+  }
+  if (key.find("_ns_") != std::string::npos ||
+      key.find("allocs") != std::string::npos) {
+    return Direction::kLowerBetter;
+  }
+  if (key.find("per_sec") != std::string::npos ||
+      key.find("_factor") != std::string::npos) {
+    return Direction::kHigherBetter;
+  }
+  return Direction::kInfo;
+}
+
+int run(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  opts.declare("threshold",
+               "regression ratio: fail when a key is worse than "
+               "baseline x R (default 2.0)");
+  opts.check_unknown();
+  const std::vector<std::string>& paths = opts.positional();
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: accu_bench_diff BASELINE.json CURRENT.json "
+                 "[--threshold=R]\n%s",
+                 opts.help_text().c_str());
+    return util::exit_code::kUsage;
+  }
+  const double threshold = opts.get_double("threshold", 2.0);
+  if (!(threshold > 1.0)) {
+    std::fprintf(stderr, "accu_bench_diff: --threshold must be > 1.0\n");
+    return util::exit_code::kUsage;
+  }
+
+  const FlatSnapshot baseline = parse_snapshot(paths[0]);
+  const FlatSnapshot current = parse_snapshot(paths[1]);
+
+  util::Table table({"key", "baseline", "current", "ratio", "status"});
+  int regressions = 0;
+  for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      table.row().cell(key).cell(base, 2).cell("-").cell("-").cell(
+          "missing (ok)");
+      continue;
+    }
+    const double cur = it->second;
+    const double ratio = base != 0.0 ? cur / base : 0.0;
+    const Direction dir = key_direction(key);
+    const char* status = "info";
+    if (dir == Direction::kLowerBetter) {
+      const bool bad = base > 0.0 && cur > base * threshold;
+      status = bad ? "REGRESSION" : (ratio < 1.0 ? "improved" : "ok");
+      regressions += bad ? 1 : 0;
+    } else if (dir == Direction::kHigherBetter) {
+      const bool bad = base > 0.0 && cur < base / threshold;
+      status = bad ? "REGRESSION" : (ratio > 1.0 ? "improved" : "ok");
+      regressions += bad ? 1 : 0;
+    }
+    table.row().cell(key).cell(base, 2).cell(cur, 2).cell(ratio, 2).cell(
+        status);
+  }
+  for (const auto& [key, cur] : current) {
+    if (baseline.find(key) == baseline.end()) {
+      table.row().cell(key).cell("-").cell(cur, 2).cell("-").cell("new (ok)");
+    }
+  }
+  table.print(std::cout);
+
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "accu_bench_diff: %d key(s) regressed beyond %.2fx of %s\n",
+                 regressions, threshold, paths[0].c_str());
+    return util::exit_code::kFailure;
+  }
+  std::printf("bench trend OK: no key worse than %.2fx baseline\n", threshold);
+  return util::exit_code::kOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "accu_bench_diff: %s\n", e.what());
+    return accu::util::exit_code::kUsage;
+  }
+}

@@ -26,6 +26,7 @@
 #include "core/feedback.hpp"
 #include "core/instance_io.hpp"
 #include "core/report.hpp"
+#include "core/score_simd.hpp"
 #include "core/strategies/abm.hpp"
 #include "core/strategies/baselines.hpp"
 #include "core/multibot/multibot.hpp"
@@ -189,6 +190,7 @@ int cmd_stats(const util::Options& opts) {
 }
 
 int cmd_attack(const util::Options& opts) {
+  simd::select(simd::parse_isa(opts.get("simd", "auto")));
   const AccuInstance instance = load_instance(opts);
   const auto k = static_cast<std::uint32_t>(opts.get_int("k", 100));
   util::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
@@ -312,6 +314,9 @@ int cmd_compare(const util::Options& opts) {
   config.runs = runs;
   config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   config.threads = static_cast<std::uint32_t>(opts.get_int("threads", 0));
+  config.cell_threads =
+      static_cast<std::uint32_t>(opts.get_int("cell-threads", 1));
+  config.simd = simd::parse_isa(opts.get("simd", "auto"));
   config.faults = fault_config(opts);
   config.retry = retry_policy(opts);
   config.feedback = feedback_model(opts);
@@ -647,6 +652,9 @@ int cmd_serve(const util::Options& opts) {
     spec.deadline_ms =
         static_cast<std::uint64_t>(opts.get_int("job-deadline-ms", 0));
     spec.threads = static_cast<std::uint32_t>(opts.get_int("threads", 1));
+    spec.cell_threads =
+        static_cast<std::uint32_t>(opts.get_int("cell-threads", 1));
+    spec.simd = opts.get("simd", "auto");
     spec.durability = opts.get("durability", spec.durability);
     spec.group_cells = static_cast<std::uint32_t>(
         opts.get_int("group-cells", spec.group_cells));
@@ -725,6 +733,12 @@ int dispatch(int argc, char** argv) {
       .declare("runs", "repetitions (compare)")
       .declare("trials", "Monte Carlo trials (assess)")
       .declare("threads", "worker threads (compare)")
+      .declare("cell-threads",
+               "intra-cell task-pool width; trace-invariant (compare, "
+               "serve submit)")
+      .declare("simd",
+               "score kernel ISA: auto | scalar | avx2 | neon (attack, "
+               "compare, serve submit)")
       .declare("report", "write a Markdown report (compare)")
       .declare("curves", "write long-format curve CSV (compare)")
       .declare("top", "how many users to list (assess)")

@@ -16,7 +16,19 @@
 #      checkpoint `feedback` header must survive the same abuse)
 #   6. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
-#      appends, cancellation, serve journal/daemon)
+#      appends, cancellation, serve journal/daemon, intra-cell task pool)
+#   7. forced-ISA dispatch              — the Score suites re-run under
+#      every kernel table the host supports (ACCU_SIMD=scalar/avx2/neon),
+#      in the plain, ASan, and TSan trees: every dispatch tail must be
+#      bit-identical and sanitizer-clean, not just the auto pick
+#   8. bench trend gate                 — accu_bench_diff compares a fresh
+#      `micro_core --json` run against the committed BENCH_micro_core.json
+#      so a kernel cannot silently lose its speedup
+#   9. -march=native build              — ACCU_NATIVE=ON (tuning flags;
+#      results must stay bit-identical, pinned by the same test suite)
+#  10. scalar-only build                — ACCU_SCALAR_ONLY=ON compiles the
+#      vector TUs out entirely, keeping the portable fallback a
+#      first-class build instead of dead code on vector hosts
 #
 # Every ctest run carries --timeout 300 so a hung test (deadlocked pool,
 # stuck watchdog) fails the stage instead of wedging CI.
@@ -57,6 +69,28 @@ awk -v a="${ALLOCS}" -v b="${BASELINE}" 'BEGIN { exit !(a <= b) }' || {
   echo "FAIL: pooled allocs/cell ${ALLOCS} exceeds baseline ${BASELINE}" >&2
   exit 1
 }
+
+echo "=== bench trend vs committed BENCH_micro_core.json ==="
+# Directional per-key comparison of the fresh snapshot against the
+# committed one; the generous 2x threshold catches a lost vector path or
+# an accidentally quadratic loop, not shared-runner jitter.
+./build-ci/tools/accu_bench_diff BENCH_micro_core.json \
+  build-ci/BENCH_micro_core.json --threshold=2.0
+
+echo "=== forced-ISA dispatch: Score suites under every kernel table ==="
+# The determinism contract (score_simd.hpp) says every dispatch tail is
+# bit-identical; re-run the score/kernel suites with each supported table
+# forced via ACCU_SIMD, in the plain and ASan trees.
+ISAS="scalar"
+if grep -q avx2 /proc/cpuinfo 2> /dev/null; then ISAS="${ISAS} avx2"; fi
+case "$(uname -m)" in aarch64 | arm64) ISAS="${ISAS} neon" ;; esac
+for ISA in ${ISAS}; do
+  echo "--- ACCU_SIMD=${ISA} (plain + ASan) ---"
+  ACCU_SIMD="${ISA}" ctest --test-dir build-ci --output-on-failure \
+    -j "${JOBS}" --timeout 300 -R 'Score'
+  ACCU_SIMD="${ISA}" ctest --test-dir build-ci-san --output-on-failure \
+    -j "${JOBS}" --timeout 300 -R 'Score'
+done
 
 echo "=== shard → kill → resume → merge round-trip ==="
 # End-to-end check of the sharding contract with real processes: three
@@ -173,5 +207,32 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}"
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" --timeout 300 \
   -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint|Feedback'
+# The intra-cell task pool and chunked rescore under TSan, per kernel
+# table: the pool's claim/join protocol and the const-scratch sharing of
+# score_batch_ranged must be race-free under every dispatch tail.
+for ISA in ${ISAS}; do
+  echo "--- ACCU_SIMD=${ISA} (TSan) ---"
+  ACCU_SIMD="${ISA}" ctest --test-dir build-ci-tsan --output-on-failure \
+    -j "${JOBS}" --timeout 300 -R 'Score'
+done
+
+echo "=== -march=native build (RelWithDebInfo, ACCU_NATIVE) ==="
+# Tuning flags only: -ffp-contract=off is global, so the tuned build must
+# pass the same bit-exactness suites as the portable one.
+cmake -B build-ci-native -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACCU_NATIVE=ON
+cmake --build build-ci-native -j "${JOBS}"
+ctest --test-dir build-ci-native --output-on-failure -j "${JOBS}" \
+  --timeout 300 -R 'Score|Engine|Experiment|Realization|Abm|Lookahead'
+
+echo "=== scalar-only build (RelWithDebInfo, ACCU_SCALAR_ONLY) ==="
+# The portable fallback as its own build: vector TUs compiled out, scalar
+# the only dispatch tail.  The full suite must pass — results are
+# bit-identical to the vector builds by the determinism contract.
+cmake -B build-ci-scalar -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACCU_SCALAR_ONLY=ON
+cmake --build build-ci-scalar -j "${JOBS}"
+ctest --test-dir build-ci-scalar --output-on-failure -j "${JOBS}" \
+  --timeout 300
 
 echo "=== CI OK ==="
