@@ -12,11 +12,20 @@
 // and `--checkpoint` making each shard resumable.  Per-shard wall time and
 // cells/s quantify the scale-out; the shard checkpoints recombine
 // bit-identically with accu_merge.
+//
+// `--load-latency` switches to the instance-load study (DESIGN.md §17):
+// each scale is written as both the text format and the binary .accui
+// format, then re-loaded from each — text parse vs zero-parse mmap — and
+// the table reports bytes on disk and best-of-three load times.  A pinned
+// snapshot of this mode lives at bench/study_scalability_load.snapshot.
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 
 #include "bench_common.hpp"
+#include "core/instance_format.hpp"
+#include "core/instance_io.hpp"
 #include "core/strategies/abm.hpp"
 #include "graph/pagerank.hpp"
 #include "util/timer.hpp"
@@ -71,6 +80,63 @@ int run_sweep_mode(const accu::util::Options& opts,
   return 0;
 }
 
+/// Instance-load study: text parse vs binary mmap load per scale.
+int run_load_mode(accu::bench::CommonConfig& config,
+                  const std::string& dataset, double max_scale) {
+  using namespace accu;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "accu_load_study").string();
+  std::filesystem::create_directories(dir);
+  util::Table table({"scale", "nodes", "edges", "text bytes", "accui bytes",
+                     "text parse ms", "mmap load ms", "speedup"});
+  for (double scale = 0.02; scale <= max_scale + 1e-9; scale *= 2.0) {
+    datasets::DatasetConfig dataset_config;
+    dataset_config.scale = scale;
+    dataset_config.num_cautious = config.num_cautious;
+    util::Rng rng(config.seed);
+    const AccuInstance instance =
+        datasets::make_dataset(dataset, dataset_config, rng);
+    const std::string text_path = dir + "/inst.accu";
+    const std::string bin_path = dir + "/inst.accui";
+    write_instance_file(instance, text_path);
+    write_instance_binary_file(instance, bin_path);
+    // Best of three: the first load pays the page-cache warm-up for both
+    // formats, so the minimum isolates the parse-vs-mmap difference.
+    double text_ms = 0.0, bin_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer text_timer;
+      const AccuInstance from_text = read_instance_file(text_path);
+      const double t = text_timer.milliseconds();
+      if (rep == 0 || t < text_ms) text_ms = t;
+      util::Timer bin_timer;
+      const AccuInstance from_bin = read_instance_binary_file(bin_path);
+      const double b = bin_timer.milliseconds();
+      if (rep == 0 || b < bin_ms) bin_ms = b;
+      if (from_text.num_nodes() != from_bin.num_nodes() ||
+          from_text.graph().num_edges() != from_bin.graph().num_edges()) {
+        std::fprintf(stderr, "error: format loads disagree at scale %.2f\n",
+                     scale);
+        return 1;
+      }
+    }
+    table.row()
+        .cell(scale, 2)
+        .cell_int(instance.num_nodes())
+        .cell_int(instance.graph().num_edges())
+        .cell_int(static_cast<long long>(
+            std::filesystem::file_size(text_path)))
+        .cell_int(static_cast<long long>(
+            std::filesystem::file_size(bin_path)))
+        .cell(text_ms, 2)
+        .cell(bin_ms, 2)
+        .cell(bin_ms > 0 ? text_ms / bin_ms : 0.0, 1);
+  }
+  std::filesystem::remove_all(dir);
+  bench::emit(table, "Study — instance load latency (" + dataset + ")",
+              config.csv_path);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   using namespace accu;
   util::Options opts(argc, argv);
@@ -84,12 +150,19 @@ int run(int argc, char** argv) {
   opts.declare("shard",
                "run one shard i/n of the sweep grid (with --sweep); merge "
                "the per-shard checkpoints with accu_merge");
+  opts.declare("load-latency",
+               "instance-load mode: write each scale as text and binary "
+               ".accui, report parse vs mmap load times");
   opts.check_unknown();
   bench::CommonConfig config = bench::read_common_config(opts);
   if (opts.get_bool("sweep", false)) {
     if (!opts.has("k")) config.budget = 50;
     return run_sweep_mode(opts, config,
                           opts.get("dataset", "twitter"));
+  }
+  if (opts.get_bool("load-latency", false)) {
+    return run_load_mode(config, opts.get("dataset", "twitter"),
+                         opts.get_double("max-scale", 0.32));
   }
   if (!opts.has("k")) config.budget = 300;
   const std::string dataset = opts.get("dataset", "twitter");

@@ -88,13 +88,25 @@ AccuInstance read_instance(std::istream& is) {
   {
     std::istringstream header(line);
     std::string nodes_kw, edges_kw;
-    unsigned long n_raw = 0, m_raw = 0;
+    unsigned long long n_raw = 0, m_raw = 0;
     if (!(header >> nodes_kw >> n_raw >> edges_kw >> m_raw) ||
         nodes_kw != "nodes" || edges_kw != "edges") {
       malformed(line_no, "expected 'nodes <n> edges <m>'");
     }
+    // Explicit limits instead of a silent narrowing cast: node ids are
+    // uint32 (kInvalidNode reserved) and every edge needs two uint32 slots.
+    if (n_raw >= graph::kInvalidNode) {
+      malformed(line_no, "node count " + std::to_string(n_raw) +
+                             " exceeds the uint32 id space (max " +
+                             std::to_string(graph::kInvalidNode - 1) + ")");
+    }
+    if (m_raw >= (1ull << 31)) {
+      malformed(line_no, "edge count " + std::to_string(m_raw) +
+                             " exceeds the 2m uint32 slot space (max " +
+                             std::to_string((1ull << 31) - 1) + ")");
+    }
     n = static_cast<NodeId>(n_raw);
-    m = m_raw;
+    m = static_cast<std::size_t>(m_raw);
   }
 
   graph::GraphBuilder builder(n);
@@ -111,10 +123,14 @@ AccuInstance read_instance(std::istream& is) {
       malformed(line_no, "expected 'e <u> <v> <p>'");
     }
     if (u >= n || v >= n) malformed(line_no, "edge endpoint out of range");
+    if (u == v) {
+      malformed(line_no, "self-loop on node " + std::to_string(u));
+    }
     check_probability(line_no, "edge probability", p);
     if (!builder.try_add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v),
                               p)) {
-      malformed(line_no, "duplicate edge");
+      malformed(line_no, "duplicate edge (" + std::to_string(u) + "," +
+                             std::to_string(v) + ")");
     }
   }
 
@@ -131,7 +147,12 @@ AccuInstance read_instance(std::istream& is) {
     }
     std::istringstream ls(line);
     std::string tag, klass;
-    unsigned long id = 0, th = 0;
+    unsigned long id = 0;
+    // θ is parsed as a double and range-checked *before* the uint32 cast:
+    // an unsigned extraction would silently wrap "-1" to ULONG_MAX and a
+    // value like 4.3e9 would truncate mid-token; both now fail with the
+    // offending line number instead.
+    double th = 0.0;
     double qu = 0.0, f = 0.0, fof = 0.0, q1 = 0.0, q2 = 1.0;
     if (!(ls >> tag >> id >> klass >> qu >> th >> f >> fof >> q1 >> q2) ||
         tag != "n") {
@@ -139,6 +160,10 @@ AccuInstance read_instance(std::istream& is) {
                 "expected 'n <id> <R|C> <q> <theta> <B_f> <B_fof> <q1> <q2>'");
     }
     if (id >= n) malformed(line_no, "node id out of range");
+    check_finite(line_no, "threshold theta", th);
+    if (th < 0.0 || th > 4294967295.0 || th != std::floor(th)) {
+      malformed(line_no, "threshold theta must be an integer in [0, 2^32)");
+    }
     if (seen[id]) malformed(line_no, "duplicate node line");
     seen[id] = true;
     if (klass == "C") {
@@ -152,11 +177,17 @@ AccuInstance read_instance(std::istream& is) {
     check_finite(line_no, "friend benefit", f);
     check_finite(line_no, "friend-of-friend benefit", fof);
     q[id] = qu;
-    theta[id] = static_cast<std::uint32_t>(th);
+    theta[id] = static_cast<std::uint32_t>(th);  // range-checked above
     bf[id] = f;
     bfof[id] = fof;
     cautious.below[id] = q1;
     cautious.above[id] = q2;
+  }
+
+  if (next_line()) {
+    malformed(line_no, "trailing content after the declared " +
+                           std::to_string(m) + " edge and " +
+                           std::to_string(n) + " node lines");
   }
 
   // AccuInstance / BenefitModel constructors re-validate everything else.

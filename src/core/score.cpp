@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <limits>
 
 #include "core/score_simd.hpp"
@@ -53,6 +54,31 @@ void ScorePack::build(const AccuInstance& instance) {
       q_below_[u] = 0.0;
       q_above_[u] = 1.0;
     }
+  }
+
+  // Pre-laid-out slot tables (binary instance format): the file already
+  // stores mirror / d_init / i_gain / slot_theta in exactly this layout, so
+  // adopt them by memcpy and skip both the per-slot walk and the mirror
+  // linking.  The format writer produced them with this very function (or a
+  // transform pinned bit-identical to it in tests), so adopted packs score
+  // bit-for-bit like recomputed ones.
+  if (const PackTables* tables = instance.pack_tables();
+      tables != nullptr && tables->num_slots == slots) {
+    const std::span<const std::size_t> offsets = g.raw_offsets();
+    for (NodeId u = 0; u <= n; ++u) {
+      row_begin_[u] = static_cast<std::uint32_t>(offsets[u]);
+    }
+    const std::span<const graph::Neighbor> adj = g.raw_adjacency();
+    for (std::size_t i = 0; i < slots; ++i) adj_node_[i] = adj[i].node;
+    if (slots > 0) {
+      std::memcpy(mirror_.data(), tables->mirror,
+                  slots * sizeof(std::uint32_t));
+      std::memcpy(d_init_.data(), tables->d_init, slots * sizeof(double));
+      std::memcpy(i_gain_.data(), tables->i_gain, slots * sizeof(double));
+      std::memcpy(slot_theta_.data(), tables->slot_theta,
+                  slots * sizeof(std::uint32_t));
+    }
+    return;
   }
 
   std::uint32_t s = 0;

@@ -127,6 +127,9 @@ class ScorePack {
   [[nodiscard]] std::span<const double> d_init_all() const noexcept {
     return d_init_;
   }
+  [[nodiscard]] std::span<const std::uint32_t> mirror_all() const noexcept {
+    return mirror_;
+  }
   [[nodiscard]] std::span<const double> i_gain_all() const noexcept {
     return i_gain_;
   }

@@ -30,6 +30,88 @@ double Graph::expected_num_edges() const {
   return sum;
 }
 
+Graph Graph::from_csr(NodeId num_nodes, std::vector<std::size_t> offsets,
+                      std::vector<Neighbor> adjacency,
+                      std::vector<double> probs,
+                      std::vector<EdgeEndpoints> endpoints) {
+  const auto fail = [](const std::string& what) {
+    throw InvalidArgument("Graph::from_csr: " + what);
+  };
+  if (num_nodes == kInvalidNode) fail("node count out of range");
+  if (offsets.size() != static_cast<std::size_t>(num_nodes) + 1) {
+    fail("offsets size " + std::to_string(offsets.size()) + " != n+1 = " +
+         std::to_string(static_cast<std::size_t>(num_nodes) + 1));
+  }
+  const std::size_t m = endpoints.size();
+  if (m >= static_cast<std::size_t>(kInvalidEdge)) fail("edge count overflow");
+  if (probs.size() != m) {
+    fail("probs size " + std::to_string(probs.size()) + " != m = " +
+         std::to_string(m));
+  }
+  if (adjacency.size() != 2 * m) {
+    fail("adjacency size " + std::to_string(adjacency.size()) +
+         " != 2m = " + std::to_string(2 * m));
+  }
+  if (offsets.front() != 0 || offsets.back() != 2 * m) {
+    fail("offsets must start at 0 and end at 2m");
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto [lo, hi] = endpoints[e];
+    if (!(lo < hi && hi < num_nodes)) {
+      fail("edge " + std::to_string(e) + " endpoints (" + std::to_string(lo) +
+           "," + std::to_string(hi) + ") not normalized in-range");
+    }
+    if (!(probs[e] >= 0.0 && probs[e] <= 1.0)) {
+      fail("edge " + std::to_string(e) + " probability outside [0,1]");
+    }
+  }
+  // One linear sweep establishes everything else.  Per row: offsets
+  // monotonic, neighbors strictly ascending (no duplicates), no self-loops,
+  // edge ids in range, and each slot's endpoints entry equal to its own
+  // (row, neighbor) pair.  Since endpoints[e] pins exactly one (lo,hi) and
+  // strict sortedness forbids repeating a pair within a row, edge e can
+  // label at most the slot lo->hi and the slot hi->lo — at most twice over
+  // the whole adjacency.  With sum(row lengths) == 2m slots total and m
+  // distinct edges that "at most twice" is forced to "exactly twice", so no
+  // per-edge counter array is needed.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const std::size_t begin = offsets[u];
+    const std::size_t end = offsets[u + 1];
+    if (begin > end) {
+      fail("offsets not monotonic at node " + std::to_string(u));
+    }
+    NodeId prev = kInvalidNode;
+    for (std::size_t s = begin; s < end; ++s) {
+      const auto [v, e] = adjacency[s];
+      if (v == u) fail("self-loop on node " + std::to_string(u));
+      if (v >= num_nodes) {
+        fail("neighbor out of range in row " + std::to_string(u));
+      }
+      if (prev != kInvalidNode && v <= prev) {
+        fail("row " + std::to_string(u) +
+             " not strictly ascending (duplicate or unsorted neighbor " +
+             std::to_string(v) + ")");
+      }
+      prev = v;
+      if (e >= m) {
+        fail("edge id " + std::to_string(e) + " out of range in row " +
+             std::to_string(u));
+      }
+      if (endpoints[e].lo != std::min(u, v) ||
+          endpoints[e].hi != std::max(u, v)) {
+        fail("slot (" + std::to_string(u) + "," + std::to_string(v) +
+             ") disagrees with endpoints of edge " + std::to_string(e));
+      }
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.probs_ = std::move(probs);
+  g.endpoints_ = std::move(endpoints);
+  return g;
+}
+
 struct GraphBuilder::EdgeSet {
   std::unordered_set<std::uint64_t> keys;
 };

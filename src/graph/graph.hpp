@@ -99,6 +99,42 @@ class Graph {
   /// Total probability mass of all edges (expected edge count).
   [[nodiscard]] double expected_num_edges() const;
 
+  // --- raw CSR views + trusted-load factory (binary instance format) ------
+
+  /// Raw CSR arrays, exposed for serialization (core/instance_format):
+  /// row offsets into `raw_adjacency` (size n+1), one Neighbor per
+  /// direction (size 2m, sorted per row), per-edge priors and normalized
+  /// endpoints in EdgeId order.
+  [[nodiscard]] std::span<const std::size_t> raw_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const Neighbor> raw_adjacency() const noexcept {
+    return adjacency_;
+  }
+  [[nodiscard]] std::span<const double> raw_probs() const noexcept {
+    return probs_;
+  }
+  [[nodiscard]] std::span<const EdgeEndpoints> raw_endpoints()
+      const noexcept {
+    return endpoints_;
+  }
+
+  /// Adopts pre-built CSR arrays after a single linear validation pass —
+  /// the zero-parse load path of the binary instance format.  Checks, in
+  /// O(V + E) with no hashing or sorting: offsets start at 0, are
+  /// monotonic and end at adjacency.size() == 2·endpoints.size(); every
+  /// row is strictly ascending by neighbor id (which excludes duplicate
+  /// edges and self-loops); every slot's edge id is in range and its
+  /// endpoints entry matches the slot's (row, neighbor) pair — which,
+  /// with strict sortedness, forces each edge to appear exactly once per
+  /// direction; endpoints are normalized (lo < hi) and probabilities lie
+  /// in [0,1].  Throws InvalidArgument naming the first violation.
+  [[nodiscard]] static Graph from_csr(NodeId num_nodes,
+                                      std::vector<std::size_t> offsets,
+                                      std::vector<Neighbor> adjacency,
+                                      std::vector<double> probs,
+                                      std::vector<EdgeEndpoints> endpoints);
+
  private:
   friend class GraphBuilder;
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/feedback.hpp"
+#include "core/instance_format.hpp"
 #include "core/instance_io.hpp"
 #include "core/score_simd.hpp"
 #include "core/strategies/abm.hpp"
@@ -296,7 +297,8 @@ InstanceFactory job_instance_factory(const JobSpec& spec) {
   // daemon.  samples = 1 means it is read exactly once per shard.
   const std::string path = spec.instance;
   return [path](std::uint32_t, std::uint64_t) {
-    return read_instance_file(path);
+    // Auto-detects text vs binary by magic, so packed instances serve too.
+    return load_instance_auto(path);
   };
 }
 

@@ -225,6 +225,101 @@ std::uint64_t DurableAppender::size() const {
 }
 
 // ---------------------------------------------------------------------------
+// AtomicFileWriter
+
+namespace {
+// Small appends (section padding, per-row batches) coalesce into writes of
+// this size; large appends bypass the buffer entirely.
+constexpr std::size_t kWriterBufferBytes = 1u << 20;
+}  // namespace
+
+AtomicFileWriter::~AtomicFileWriter() { abort(); }
+
+void AtomicFileWriter::open(const std::string& path) {
+  abort();
+  path_ = path;
+  tmp_ = path + ".tmp";
+  written_ = 0;
+  buffer_.clear();
+#ifdef ACCU_HAVE_POSIX_IO
+  fd_ = io_env().open_write(tmp_, OpenMode::kTruncate);
+  if (fd_ < 0) io_fail("cannot create", tmp_);
+#endif
+  open_ = true;
+}
+
+void AtomicFileWriter::append(const void* data, std::size_t len) {
+  if (!open_) throw IoError("AtomicFileWriter: append on closed writer");
+  written_ += len;
+#ifdef ACCU_HAVE_POSIX_IO
+  const char* bytes = static_cast<const char*>(data);
+  if (buffer_.size() + len <= kWriterBufferBytes) {
+    buffer_.append(bytes, len);
+    return;
+  }
+  flush_buffer();
+  if (len >= kWriterBufferBytes) {
+    write_all(fd_, bytes, len, tmp_);
+  } else {
+    buffer_.append(bytes, len);
+  }
+#else
+  buffer_.append(static_cast<const char*>(data), len);
+#endif
+}
+
+void AtomicFileWriter::flush_buffer() {
+#ifdef ACCU_HAVE_POSIX_IO
+  if (!buffer_.empty()) {
+    write_all(fd_, buffer_.data(), buffer_.size(), tmp_);
+    buffer_.clear();
+  }
+#endif
+}
+
+void AtomicFileWriter::commit() {
+  if (!open_) throw IoError("AtomicFileWriter: commit on closed writer");
+#ifdef ACCU_HAVE_POSIX_IO
+  IoEnv& env = io_env();
+  try {
+    flush_buffer();
+    if (env.fsync(fd_) != 0) sync_fail("cannot fsync", tmp_);
+  } catch (...) {
+    abort();
+    throw;
+  }
+  (void)env.close(fd_);
+  fd_ = -1;
+  if (env.rename(tmp_, path_) != 0) {
+    const int rename_errno = errno;
+    abort();
+    errno = rename_errno;
+    io_fail("cannot rename into place", path_);
+  }
+  open_ = false;
+  checked_fsync_parent_dir(path_);
+#else
+  open_ = false;
+  std::string content;
+  content.swap(buffer_);
+  write_file_atomic(path_, content);
+#endif
+}
+
+void AtomicFileWriter::abort() noexcept {
+  if (!open_) return;
+  open_ = false;
+  buffer_.clear();
+#ifdef ACCU_HAVE_POSIX_IO
+  if (fd_ >= 0) {
+    (void)io_env().close(fd_);
+    fd_ = -1;
+  }
+  (void)io_env().unlink(tmp_);
+#endif
+}
+
+// ---------------------------------------------------------------------------
 // DurabilityPolicy + GroupCommitAppender
 
 DurabilityPolicy::Mode DurabilityPolicy::parse_mode(const std::string& name) {

@@ -105,6 +105,58 @@ class DurableAppender {
   std::string path_;
 };
 
+/// Streaming counterpart of write_file_atomic for payloads too large to
+/// buffer in memory (the binary instance format's multi-gigabyte section
+/// stream).  Appends go to `path + ".tmp"` through util::IoEnv, coalesced
+/// into batched write() calls by an internal buffer; commit() flushes,
+/// fsyncs, renames over the target and fsyncs the directory.  Until
+/// commit() returns, the target file is untouched; destruction without a
+/// commit (including via an exception) unlinks the temp file.  Error
+/// taxonomy matches write_file_atomic: DiskFullError on ENOSPC/EDQUOT,
+/// SyncFailedError on a failed fsync, IoError otherwise.
+///
+/// On non-POSIX platforms the writer degrades to accumulating the content
+/// in memory and committing through write_file_atomic (correct, but not
+/// memory-bounded — the streaming guarantee is POSIX-only).
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Starts writing `path` (via its ".tmp" sibling).  Throws IoError.
+  void open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  /// Appends `len` bytes.  Throws IoError / DiskFullError.
+  void append(const void* data, std::size_t len);
+  void append(std::string_view data) { append(data.data(), data.size()); }
+
+  /// Bytes appended so far (committed + buffered).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return written_;
+  }
+
+  /// Flush + fsync + rename into place + directory fsync.  After a
+  /// successful commit the writer is closed; on failure the temp file is
+  /// removed and the exception propagates.
+  void commit();
+
+  /// Drops the temp file without touching the target.  Safe to call
+  /// repeatedly; the destructor calls it for uncommitted writers.
+  void abort() noexcept;
+
+ private:
+  void flush_buffer();
+
+  bool open_ = false;
+  int fd_ = -1;
+  std::string path_, tmp_;
+  std::uint64_t written_ = 0;
+  std::string buffer_;
+};
+
 // ---------------------------------------------------------------------------
 // Durability policy + group commit.
 

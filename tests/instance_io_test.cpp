@@ -129,6 +129,100 @@ TEST(InstanceIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(InstanceIoTest, RejectsSelfLoopWithLineNumber) {
+  std::stringstream in(
+      "nodes 2 edges 1\n"
+      "e 1 1 0.5\n");
+  try {
+    read_instance(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("self-loop"), std::string::npos) << what;
+  }
+}
+
+TEST(InstanceIoTest, DuplicateEdgeDiagnosticNamesEndpoints) {
+  std::stringstream in(
+      "nodes 3 edges 2\n"
+      "e 0 1 0.5\n"
+      "e 1 0 0.25\n");  // same undirected pair, reversed
+  try {
+    read_instance(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("0"), std::string::npos) << what;
+    EXPECT_NE(what.find("1"), std::string::npos) << what;
+  }
+}
+
+TEST(InstanceIoTest, RejectsOverflowingCounts) {
+  {
+    // One past the uint32 id space: silently narrowing would wrap to 0.
+    std::stringstream in("nodes 4294967295 edges 0\n");
+    try {
+      read_instance(in);
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // 2^31 edges would overflow the 2m slot space.
+    std::stringstream in("nodes 10 edges 2147483648\n");
+    EXPECT_THROW(read_instance(in), IoError);
+  }
+  {
+    // Far beyond 64 bits: must not wrap through unsigned long long either.
+    std::stringstream in("nodes 99999999999999999999 edges 0\n");
+    EXPECT_THROW(read_instance(in), IoError);
+  }
+}
+
+TEST(InstanceIoTest, RejectsOutOfRangeTheta) {
+  const auto expect_theta_rejected = [](const std::string& theta) {
+    std::stringstream in(
+        "nodes 2 edges 1\n"
+        "e 0 1 0.5\n"
+        "n 0 R 0.5 1 2 1 0 1\n"
+        "n 1 C 0 " + theta + " 50 1 0 1\n");
+    try {
+      read_instance(in);
+      FAIL() << "expected IoError for theta=" << theta;
+    } catch (const IoError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("theta"), std::string::npos) << what;
+    }
+  };
+  // Each of these used to wrap silently through the uint32 cast.
+  expect_theta_rejected("-1");
+  expect_theta_rejected("4.3e9");
+  expect_theta_rejected("1.5");
+  expect_theta_rejected("nan");
+}
+
+TEST(InstanceIoTest, RejectsTrailingContent) {
+  std::stringstream in(
+      "nodes 2 edges 1\n"
+      "e 0 1 0.5\n"
+      "n 0 R 0.5 1 2 1 0 1\n"
+      "n 1 R 0.5 1 2 1 0 1\n"
+      "e 0 1 0.5\n");
+  try {
+    read_instance(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(InstanceIoTest, RejectsNonFiniteValues) {
   {
     std::stringstream in("nodes 2 edges 1\ne 0 1 nan\n");

@@ -7,9 +7,14 @@
 //   compare    run the full policy roster and print a comparison table
 //   assess     defender-side vulnerability report (Monte Carlo ABM)
 //   ratio      brute-force submodularity ratios of a small instance
+//   pack       convert a text instance to the mmap-able binary format
+//   unpack     convert a binary instance back to the text format
+//   synth      out-of-core generator: build a large binary instance
 //
-// Every subcommand accepts --help.  Instances travel as the text format of
-// core/instance_io.hpp, so a `generate`d file reproduces exactly the same
+// Every subcommand accepts --help.  Instances travel either as the text
+// format of core/instance_io.hpp or the binary ".accui" format of
+// core/instance_format.hpp; every --in=FILE auto-detects which by magic,
+// so a `generate`d or `synth`ed file reproduces exactly the same
 // experiment anywhere.
 
 #include <csignal>
@@ -24,6 +29,7 @@
 #include "core/defense.hpp"
 #include "core/experiment.hpp"
 #include "core/feedback.hpp"
+#include "core/instance_format.hpp"
 #include "core/instance_io.hpp"
 #include "core/report.hpp"
 #include "core/score_simd.hpp"
@@ -35,6 +41,7 @@
 #include "core/strategies/retrying.hpp"
 #include "core/theory/ratios.hpp"
 #include "datasets/datasets.hpp"
+#include "datasets/stream_gen.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/dot.hpp"
 #include "serve/daemon.hpp"
@@ -86,6 +93,14 @@ constexpr const char* kUsage =
     "  swarm      multi-bot coalition sweep (--in=FILE, --k, --runs, --wd,\n"
     "             --wi, --seed)\n"
     "  ratio      submodularity ratios, small instances only (--in=FILE)\n"
+    "  pack       text instance -> binary .accui for zero-parse mmap loads\n"
+    "             (--in=FILE, --out=FILE, --no-pack-tables)\n"
+    "  unpack     binary .accui -> canonical text instance (--in=FILE,\n"
+    "             --out=FILE)\n"
+    "  synth      out-of-core generator, writes binary directly (--nodes,\n"
+    "             --avg-degree, --alpha, --cautious, --cautious-bf,\n"
+    "             --theta, --seed, --batch-bytes, --no-pack-tables,\n"
+    "             --out=FILE)\n"
     "  serve      crash-safe sweep daemon (accu serve <run|submit|status|\n"
     "             stop> --root=DIR; run: --workers, --max-queued, --rate,\n"
     "             --burst, --crash-budget, --poll-ms, --exit-when-idle;\n"
@@ -99,7 +114,7 @@ AccuInstance load_instance(const util::Options& opts) {
     throw InvalidArgument("missing --in=FILE (generate one with 'accu "
                           "generate')");
   }
-  return read_instance_file(path);
+  return load_instance_auto(path);
 }
 
 /// Shared fault-injection knobs: `--fault-rate` spreads its value evenly
@@ -163,6 +178,60 @@ int cmd_generate(const util::Options& opts) {
   std::printf("wrote %s: %u users (%u cautious), %u potential edges\n",
               out.c_str(), instance.num_nodes(), instance.num_cautious(),
               instance.graph().num_edges());
+  return 0;
+}
+
+int cmd_pack(const util::Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) throw InvalidArgument("missing --in=FILE (text instance)");
+  const std::string out = opts.get("out", in + ".accui");
+  const AccuInstance instance =
+      InstanceSource{in, InstanceSource::Format::kText}.load();
+  write_instance_binary_file(instance, out, !opts.has("no-pack-tables"));
+  std::printf("packed %s -> %s: %u users, %u edges%s\n", in.c_str(),
+              out.c_str(), instance.num_nodes(), instance.graph().num_edges(),
+              opts.has("no-pack-tables") ? "" : ", score tables embedded");
+  return 0;
+}
+
+int cmd_unpack(const util::Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (in.empty()) throw InvalidArgument("missing --in=FILE (binary instance)");
+  const std::string out = opts.get("out", in + ".accu");
+  const AccuInstance instance =
+      InstanceSource{in, InstanceSource::Format::kBinary}.load();
+  write_instance_file(instance, out);
+  std::printf("unpacked %s -> %s: %u users, %u edges\n", in.c_str(),
+              out.c_str(), instance.num_nodes(), instance.graph().num_edges());
+  return 0;
+}
+
+int cmd_synth(const util::Options& opts) {
+  datasets::StreamGenConfig config;
+  config.num_nodes =
+      static_cast<std::uint64_t>(opts.get_int("nodes", 1'000'000));
+  config.avg_degree = opts.get_double("avg-degree", config.avg_degree);
+  config.alpha = opts.get_double("alpha", config.alpha);
+  config.num_cautious = static_cast<std::uint32_t>(
+      opts.get_int("cautious", static_cast<long long>(config.num_cautious)));
+  config.cautious_friend_benefit =
+      opts.get_double("cautious-bf", config.cautious_friend_benefit);
+  config.threshold_fraction =
+      opts.get_double("theta", config.threshold_fraction);
+  config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  config.batch_bytes = static_cast<std::uint64_t>(opts.get_int(
+      "batch-bytes", static_cast<long long>(config.batch_bytes)));
+  config.pack_tables = !opts.has("no-pack-tables");
+  const std::string out = opts.get("out", "synth.accui");
+  const datasets::StreamGenStats stats =
+      datasets::generate_instance_stream(config, out);
+  std::printf("wrote %s: %llu users (%u cautious), %llu potential edges, "
+              "%llu spool scans\n",
+              out.c_str(),
+              static_cast<unsigned long long>(stats.num_nodes),
+              stats.num_cautious,
+              static_cast<unsigned long long>(stats.num_edges),
+              static_cast<unsigned long long>(stats.spool_scans));
   return 0;
 }
 
@@ -793,7 +862,14 @@ int dispatch(int argc, char** argv) {
                "grouped durability: fsync every N cells (default 64)")
       .declare("group-ms",
                "grouped durability: fsync at least every T ms "
-               "(default 100)");
+               "(default 100)")
+      .declare("no-pack-tables",
+               "omit the embedded score slot tables (pack, synth)")
+      .declare("nodes", "user count (synth)")
+      .declare("avg-degree", "target mean total degree (synth)")
+      .declare("alpha", "degree-tail exponent in (2, 8] (synth)")
+      .declare("batch-bytes",
+               "scatter-pass bucket buffer cap in bytes (synth)");
   opts.check_unknown();
   if (command == "generate") return cmd_generate(opts);
   if (command == "stats") return cmd_stats(opts);
@@ -804,6 +880,9 @@ int dispatch(int argc, char** argv) {
   if (command == "swarm") return cmd_swarm(opts);
   if (command == "ratio") return cmd_ratio(opts);
   if (command == "serve") return cmd_serve(opts);
+  if (command == "pack") return cmd_pack(opts);
+  if (command == "unpack") return cmd_unpack(opts);
+  if (command == "synth") return cmd_synth(opts);
   std::fputs(kUsage, stderr);
   return util::exit_code::kUsage;
 }

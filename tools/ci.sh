@@ -8,25 +8,30 @@
 #   4. shard round-trip                 — a sweep split into three shard
 #      processes (one SIGKILLed mid-run and resumed) merged with accu_merge
 #      must reproduce the unsharded report byte-for-byte
-#   5. serve drill                      — the real `accu serve` daemon is
+#   5. pack round-trip                  — `accu pack` converts a generated
+#      instance to the binary .accui format; the mmap-loaded sweep report
+#      must match the text-path report byte-for-byte, the unpack leg must
+#      reproduce the original text bytes, and a truncated pack must be
+#      rejected
+#   6. serve drill                      — the real `accu serve` daemon is
 #      SIGKILLed mid-job, restarted, SIGTERM-drained, and restarted again;
 #      the finished report must match the direct sweep byte-for-byte.
 #      Run once per durability mode (strict, grouped), plus a
 #      batched-feedback pass (the pending-revelation queue and the
 #      checkpoint `feedback` header must survive the same abuse)
-#   6. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
+#   7. Debug with ACCU_SANITIZE=thread  — ThreadSanitizer over the
 #      concurrency-heavy suites (experiment pool, watchdog, checkpoint
 #      appends, cancellation, serve journal/daemon, intra-cell task pool)
-#   7. forced-ISA dispatch              — the Score suites re-run under
+#   8. forced-ISA dispatch              — the Score suites re-run under
 #      every kernel table the host supports (ACCU_SIMD=scalar/avx2/neon),
 #      in the plain, ASan, and TSan trees: every dispatch tail must be
 #      bit-identical and sanitizer-clean, not just the auto pick
-#   8. bench trend gate                 — accu_bench_diff compares a fresh
+#   9. bench trend gate                 — accu_bench_diff compares a fresh
 #      `micro_core --json` run against the committed BENCH_micro_core.json
 #      so a kernel cannot silently lose its speedup
-#   9. -march=native build              — ACCU_NATIVE=ON (tuning flags;
+#  10. -march=native build              — ACCU_NATIVE=ON (tuning flags;
 #      results must stay bit-identical, pinned by the same test suite)
-#  10. scalar-only build                — ACCU_SCALAR_ONLY=ON compiles the
+#  11. scalar-only build                — ACCU_SCALAR_ONLY=ON compiles the
 #      vector TUs out entirely, keeping the portable fallback a
 #      first-class build instead of dead code on vector hosts
 #
@@ -59,7 +64,7 @@ echo "=== engine + score-engine equivalence under ASan + allocation budget ==="
 # recorded allocations-per-cell ceiling (the O(1)-allocations property of
 # SimWorkspace).
 ctest --test-dir build-ci-san --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Engine|Score|Shard|Merge|Serve|IoEnv|GroupCommit|CrashPoint|Feedback'
+  -R 'Engine|Score|Shard|Merge|Serve|IoEnv|GroupCommit|CrashPoint|Feedback|InstanceFormat'
 ./build-ci/bench/micro_core --json build-ci/BENCH_micro_core.json
 ALLOCS="$(sed -n 's/.*"pooled_allocs_per_cell": \([0-9.]*\).*/\1/p' \
   build-ci/BENCH_micro_core.json)"
@@ -121,6 +126,43 @@ diff <(tail -n +2 "${RT}/reference.md") <(tail -n +2 "${RT}/merged.md") || {
   exit 1
 }
 echo "shard round-trip OK: merged report matches the unsharded sweep"
+
+echo "=== binary format: pack → mmap-load → sweep → byte-identical report ==="
+# End-to-end check of the .accui contract with the real CLI: the same
+# logical instance, loaded once from text and once from the packed binary
+# (mmap, zero parse), must drive `accu compare` to byte-identical reports.
+# Both runs use the same relative --in path so even the title line (which
+# embeds the path) matches — the diff below is over the whole file.  The
+# unpack leg re-checks text → binary → text byte-identity at the CLI
+# level, and a deliberately truncated pack must be rejected, not loaded.
+PK="build-ci/pack-roundtrip"
+rm -rf "${PK}"
+mkdir -p "${PK}/text" "${PK}/bin"
+./build-ci/tools/accu generate --dataset=facebook --scale=0.05 \
+  --cautious=8 --seed=4 --out="${PK}/text/net.accu" > /dev/null
+./build-ci/tools/accu pack "--in=${PK}/text/net.accu" \
+  "--out=${PK}/bin/net.accu" > /dev/null
+./build-ci/tools/accu unpack "--in=${PK}/bin/net.accu" \
+  "--out=${PK}/unpacked.accu" > /dev/null
+cmp "${PK}/text/net.accu" "${PK}/unpacked.accu" || {
+  echo "FAIL: text -> pack -> unpack is not byte-identical" >&2
+  exit 1
+}
+ACCU_BIN="$(pwd)/build-ci/tools/accu"
+(cd "${PK}/text" && "${ACCU_BIN}" compare --in=net.accu --k=12 --runs=6 \
+  --seed=9 --report=report.md > /dev/null)
+(cd "${PK}/bin" && "${ACCU_BIN}" compare --in=net.accu --k=12 --runs=6 \
+  --seed=9 --report=report.md > /dev/null)
+cmp "${PK}/text/report.md" "${PK}/bin/report.md" || {
+  echo "FAIL: mmap-loaded sweep report differs from the text-path report" >&2
+  exit 1
+}
+head -c 1000 "${PK}/bin/net.accu" > "${PK}/torn.accui"
+if ./build-ci/tools/accu stats "--in=${PK}/torn.accui" > /dev/null 2>&1; then
+  echo "FAIL: a truncated .accui file loaded instead of being rejected" >&2
+  exit 1
+fi
+echo "pack round-trip OK: binary sweep report matches the text path"
 
 echo "=== serve drill: kill -9 mid-flight, restart, SIGTERM drain, finish ==="
 # End-to-end check of the serve contract with the real daemon binary, run
@@ -206,7 +248,7 @@ echo "=== sanitized build (Debug, thread) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DACCU_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}"
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" --timeout 300 \
-  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint|Feedback'
+  -R 'Experiment|Checkpoint|Fault|Resilience|Backoff|Cancel|Crc|AtomicFile|DurableAppender|Serve|IoEnv|GroupCommit|CrashPoint|Feedback|InstanceFormat'
 # The intra-cell task pool and chunked rescore under TSan, per kernel
 # table: the pool's claim/join protocol and the const-scratch sharing of
 # score_batch_ranged must be race-free under every dispatch tail.
