@@ -1,5 +1,6 @@
 #include "core/instance_format.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -416,6 +417,59 @@ AccuInstance read_instance_binary_file(const std::string& path) {
                           BenefitModel(std::move(bf), std::move(bfof)),
                           std::move(cautious));
     if ((h.flags & fmt::kFlagPackTables) != 0) {
+      // CRCs prove the tables arrived intact, not that they are *right*: a
+      // crafted or buggy-writer file can be CRC-consistent and still carry
+      // tables that break the engine (ScoreEngine writes through
+      // contrib[mirror[s]] unchecked, and reset() forms 1/slot_theta[s]).
+      // One O(2m) pass re-establishes the structural invariants against the
+      // CSR that Graph::from_csr just validated; the d_init/i_gain payloads
+      // are additionally required to be finite (reckless slots exactly
+      // zero — the invariant the P_I gathers rely on).
+      const std::span<const graph::Neighbor> adj =
+          instance.graph().raw_adjacency();
+      const std::byte* mirror_bytes = sec(fmt::kMirror);
+      const std::byte* d_init_bytes = sec(fmt::kDInit);
+      const std::byte* i_gain_bytes = sec(fmt::kIGain);
+      const std::byte* slot_theta_bytes = sec(fmt::kSlotTheta);
+      const auto u32_at = [](const std::byte* p, std::size_t i) {
+        std::uint32_t v;
+        std::memcpy(&v, p + i * 4, 4);
+        return v;
+      };
+      const auto f64_at = [](const std::byte* p, std::size_t i) {
+        double v;
+        std::memcpy(&v, p + i * 8, 8);
+        return v;
+      };
+      for (std::size_t s = 0; s < slots; ++s) {
+        // from_csr proved each edge labels exactly two adjacency slots, so
+        // "a different slot of my own edge" pins the unique twin — and once
+        // every slot passes, mirror[mirror[s]] == s follows for free.
+        const std::uint32_t ms = u32_at(mirror_bytes, s);
+        if (ms >= slots || ms == s || adj[ms].edge != adj[s].edge) {
+          corrupt(path, "pack table mirror[" + std::to_string(s) +
+                            "] does not link the twin slot of edge " +
+                            std::to_string(adj[s].edge));
+        }
+        const NodeId v = adj[s].node;
+        const bool cautious_v = instance.is_cautious(v);
+        const std::uint32_t expected_theta =
+            cautious_v ? instance.threshold(v) : 1;
+        if (u32_at(slot_theta_bytes, s) != expected_theta) {
+          corrupt(path, "pack table slot_theta[" + std::to_string(s) +
+                            "] disagrees with neighbor " + std::to_string(v) +
+                            "'s class/threshold");
+        }
+        const double gain = f64_at(i_gain_bytes, s);
+        if (!std::isfinite(gain) || (!cautious_v && gain != 0.0)) {
+          corrupt(path, "pack table i_gain[" + std::to_string(s) +
+                            "] violates the finite/reckless-zero invariant");
+        }
+        if (!std::isfinite(f64_at(d_init_bytes, s))) {
+          corrupt(path,
+                  "pack table d_init[" + std::to_string(s) + "] not finite");
+        }
+      }
       auto tables = std::make_shared<PackTables>();
       tables->owner = std::shared_ptr<const void>(file, file->data());
       tables->num_slots = static_cast<std::uint32_t>(slots);

@@ -38,7 +38,10 @@
 // (size == footer_offset + footer_length) that catches torn tails even
 // before CRCs run.  Semantic validity (CSR shape, probability ranges, the
 // paper's standing assumptions) is re-checked by Graph::from_csr and the
-// AccuInstance constructor — a CRC-valid file still cannot smuggle in a
+// AccuInstance constructor, and the adopted slot tables get their own
+// O(2m) pass (mirror links the twin slot of its edge, slot_theta matches
+// the neighbor's class/threshold, i_gain/d_init finite with reckless
+// slots exactly zero) — a CRC-valid file still cannot smuggle in a
 // malformed instance.
 //
 // Durability: writers stream through util::AtomicFileWriter (temp + fsync
@@ -197,7 +200,8 @@ void write_instance_binary_file(const AccuInstance& instance,
 /// Loads a binary instance: mmaps the file, verifies header/footer/CRCs,
 /// adopts the CSR arrays through Graph::from_csr and re-validates the
 /// instance through its constructor.  When the file carries pack tables
-/// they are attached to the returned instance (aliasing the mapping, which
+/// they are validated against the adopted CSR (see the integrity notes
+/// above) and attached to the returned instance (aliasing the mapping, which
 /// stays alive as long as any copy of the instance does).  Throws IoError
 /// on any structural or integrity violation.
 [[nodiscard]] AccuInstance read_instance_binary_file(const std::string& path);

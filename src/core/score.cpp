@@ -61,7 +61,9 @@ void ScorePack::build(const AccuInstance& instance) {
   // adopt them by memcpy and skip both the per-slot walk and the mirror
   // linking.  The format writer produced them with this very function (or a
   // transform pinned bit-identical to it in tests), so adopted packs score
-  // bit-for-bit like recomputed ones.
+  // bit-for-bit like recomputed ones; the binary loader re-checked the
+  // structural invariants (mirror twin links, slot_theta, reckless-zero
+  // i_gain) against the CSR before attaching.
   if (const PackTables* tables = instance.pack_tables();
       tables != nullptr && tables->num_slots == slots) {
     const std::span<const std::size_t> offsets = g.raw_offsets();

@@ -80,6 +80,11 @@ Graph Graph::from_csr(NodeId num_nodes, std::vector<std::size_t> offsets,
     if (begin > end) {
       fail("offsets not monotonic at node " + std::to_string(u));
     }
+    // Bound the row *before* indexing it: pairwise monotonicity alone lets
+    // offsets like [0, huge, 2m] send the inner loop far past adjacency.
+    if (end > adjacency.size()) {
+      fail("offsets exceed 2m at node " + std::to_string(u));
+    }
     NodeId prev = kInvalidNode;
     for (std::size_t s = begin; s < end; ++s) {
       const auto [v, e] = adjacency[s];

@@ -122,7 +122,8 @@ class Graph {
   /// Adopts pre-built CSR arrays after a single linear validation pass —
   /// the zero-parse load path of the binary instance format.  Checks, in
   /// O(V + E) with no hashing or sorting: offsets start at 0, are
-  /// monotonic and end at adjacency.size() == 2·endpoints.size(); every
+  /// monotonic, stay within adjacency.size() == 2·endpoints.size() (each
+  /// row is bounds-checked before it is scanned) and end there; every
   /// row is strictly ascending by neighbor id (which excludes duplicate
   /// edges and self-loops); every slot's edge id is in range and its
   /// endpoints entry matches the slot's (row, neighbor) pair — which,

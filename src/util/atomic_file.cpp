@@ -244,6 +244,9 @@ void AtomicFileWriter::open(const std::string& path) {
 #ifdef ACCU_HAVE_POSIX_IO
   fd_ = io_env().open_write(tmp_, OpenMode::kTruncate);
   if (fd_ < 0) io_fail("cannot create", tmp_);
+#else
+  file_ = std::fopen(tmp_.c_str(), "wb");
+  if (file_ == nullptr) io_fail("cannot create", tmp_);
 #endif
   open_ = true;
 }
@@ -264,7 +267,10 @@ void AtomicFileWriter::append(const void* data, std::size_t len) {
     buffer_.append(bytes, len);
   }
 #else
-  buffer_.append(static_cast<const char*>(data), len);
+  // Stream straight to the temp file (stdio buffers the small appends), so
+  // the bounded-memory guarantee holds on the fallback too — stream_gen's
+  // --batch-bytes must not silently degrade to whole-file RAM usage here.
+  if (std::fwrite(data, 1, len, file_) != len) io_fail("cannot write", tmp_);
 #endif
 }
 
@@ -299,10 +305,19 @@ void AtomicFileWriter::commit() {
   open_ = false;
   checked_fsync_parent_dir(path_);
 #else
+  const bool flushed = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!flushed) {
+    abort();
+    io_fail("cannot write", tmp_);
+  }
   open_ = false;
-  std::string content;
-  content.swap(buffer_);
-  write_file_atomic(path_, content);
+  std::remove(path_.c_str());  // non-POSIX rename may not replace
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    io_fail("cannot rename into place", path_);
+  }
 #endif
 }
 
@@ -316,6 +331,12 @@ void AtomicFileWriter::abort() noexcept {
     fd_ = -1;
   }
   (void)io_env().unlink(tmp_);
+#else
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(tmp_.c_str());
 #endif
 }
 

@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <string_view>
 
@@ -115,9 +116,10 @@ class DurableAppender {
 /// taxonomy matches write_file_atomic: DiskFullError on ENOSPC/EDQUOT,
 /// SyncFailedError on a failed fsync, IoError otherwise.
 ///
-/// On non-POSIX platforms the writer degrades to accumulating the content
-/// in memory and committing through write_file_atomic (correct, but not
-/// memory-bounded — the streaming guarantee is POSIX-only).
+/// On non-POSIX platforms the writer streams to the same temp file through
+/// stdio, so the bounded-memory guarantee holds everywhere; what degrades
+/// is only durability (no fsync, no fault injection — like the rest of the
+/// stdio fallbacks in this file).
 class AtomicFileWriter {
  public:
   AtomicFileWriter() = default;
@@ -151,7 +153,8 @@ class AtomicFileWriter {
   void flush_buffer();
 
   bool open_ = false;
-  int fd_ = -1;
+  int fd_ = -1;                 // POSIX path
+  std::FILE* file_ = nullptr;   // stdio fallback
   std::string path_, tmp_;
   std::uint64_t written_ = 0;
   std::string buffer_;

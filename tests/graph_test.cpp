@@ -64,6 +64,33 @@ TEST(GraphBuilderTest, SetProbAndEdgeAt) {
   EXPECT_THROW(b.set_prob(0, 2.0), InvalidArgument);
 }
 
+TEST(GraphTest, FromCsrRoundTripsRawArrays) {
+  const Graph g = triangle_plus_tail();
+  const Graph h = Graph::from_csr(
+      g.num_nodes(), {g.raw_offsets().begin(), g.raw_offsets().end()},
+      {g.raw_adjacency().begin(), g.raw_adjacency().end()},
+      {g.raw_probs().begin(), g.raw_probs().end()},
+      {g.raw_endpoints().begin(), g.raw_endpoints().end()});
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.degree(2), g.degree(2));
+}
+
+TEST(GraphTest, FromCsrRejectsOffsetsPastTheSlotSpace) {
+  const Graph g = triangle_plus_tail();
+  std::vector<std::size_t> offsets(g.raw_offsets().begin(),
+                                   g.raw_offsets().end());
+  // Row 0 passes the pairwise begin <= end check, so the per-row upper
+  // bound must fire before the scan ever indexes adjacency.
+  offsets[1] = 1u << 20;
+  EXPECT_THROW(
+      Graph::from_csr(g.num_nodes(), offsets,
+                      {g.raw_adjacency().begin(), g.raw_adjacency().end()},
+                      {g.raw_probs().begin(), g.raw_probs().end()},
+                      {g.raw_endpoints().begin(), g.raw_endpoints().end()}),
+      InvalidArgument);
+}
+
 TEST(GraphTest, AdjacencyIsSortedAndSymmetric) {
   const Graph g = triangle_plus_tail();
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

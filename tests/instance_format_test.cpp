@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,28 @@ void refresh_footer_crc(std::vector<char>& bytes) {
 void refresh_header_crc(std::vector<char>& bytes) {
   const std::uint32_t crc = util::crc32(bytes.data(), sizeof(fmt::Header) - 4);
   std::memcpy(bytes.data() + sizeof(fmt::Header) - 4, &crc, sizeof crc);
+}
+
+/// Recomputes one section's footer CRC entry (plus the footer CRC) after a
+/// deliberate payload edit, so the loader reaches the semantic check under
+/// test instead of stopping at the CRC mismatch.
+void refresh_section_crc(std::vector<char>& bytes, std::uint32_t id) {
+  fmt::Header h;
+  std::memcpy(&h, bytes.data(), sizeof h);
+  const fmt::FileLayout layout =
+      fmt::FileLayout::compute(h.num_nodes, h.num_edges, h.flags);
+  for (std::size_t i = 0; i < layout.sections.size(); ++i) {
+    const fmt::SectionLayout& s = layout.sections[i];
+    if (s.id != id) continue;
+    const std::uint32_t crc = util::crc32(bytes.data() + s.offset,
+                                          static_cast<std::size_t>(s.length));
+    std::memcpy(
+        bytes.data() + h.footer_offset + i * sizeof(fmt::SectionEntry) + 4,
+        &crc, sizeof crc);
+    refresh_footer_crc(bytes);
+    return;
+  }
+  FAIL() << "section " << id << " absent from the layout";
 }
 
 TEST(InstanceFormatTest, LayoutIsPureFunctionOfShape) {
@@ -154,6 +178,80 @@ TEST(InstanceFormatTest, PackTableAdoptionIsBitIdentical) {
                         recomputed.slot_nodes_all().data(),
                         slots * sizeof(NodeId)),
             0);
+}
+
+TEST(InstanceFormatTest, TamperedPackTablesAreRejected) {
+  // CRC-*consistent* tampering: the payload edit and the footer CRCs agree,
+  // so only the loader's semantic pass over the adopted tables can catch
+  // it.  Each case is an invariant the engine relies on for memory safety
+  // or finite arithmetic.
+  const AccuInstance original = small_instance(10);
+  const std::string bin = testing::TempDir() + "fmt_pack_tamper.accui";
+  write_instance_binary_file(original, bin, /*with_pack_tables=*/true);
+  const std::vector<char> pristine = read_bytes(bin);
+  fmt::Header h;
+  std::memcpy(&h, pristine.data(), sizeof h);
+  ASSERT_NE(h.flags & fmt::kFlagPackTables, 0u);
+  const fmt::FileLayout layout =
+      fmt::FileLayout::compute(h.num_nodes, h.num_edges, h.flags);
+  const auto offset_of = [&](std::uint32_t id) -> std::size_t {
+    for (const fmt::SectionLayout& s : layout.sections) {
+      if (s.id == id) return static_cast<std::size_t>(s.offset);
+    }
+    throw std::logic_error("section missing");
+  };
+
+  const auto expect_rejected = [&](std::vector<char> bytes, std::uint32_t id,
+                                   const std::string& needle) {
+    refresh_section_crc(bytes, id);
+    write_bytes(bin, bytes);
+    try {
+      (void)read_instance_binary_file(bin);
+      FAIL() << "expected IoError mentioning '" << needle << "'";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  {  // mirror index past the slot space: would drive OOB contrib writes
+    std::vector<char> bytes = pristine;
+    const std::uint32_t oob = 0x7FFFFFF0u;
+    std::memcpy(bytes.data() + offset_of(fmt::kMirror), &oob, 4);
+    expect_rejected(std::move(bytes), fmt::kMirror, "mirror");
+  }
+  {  // in-range self-link: still not the twin slot of its edge
+    std::vector<char> bytes = pristine;
+    const std::uint32_t self = 0;
+    std::memcpy(bytes.data() + offset_of(fmt::kMirror), &self, 4);
+    expect_rejected(std::move(bytes), fmt::kMirror, "mirror");
+  }
+  {  // slot_theta = 0 would put 1/0 into the engine's blank contributions
+    std::vector<char> bytes = pristine;
+    const std::uint32_t zero = 0;
+    std::memcpy(bytes.data() + offset_of(fmt::kSlotTheta), &zero, 4);
+    expect_rejected(std::move(bytes), fmt::kSlotTheta, "slot_theta");
+  }
+  {  // nonzero i_gain on a reckless-neighbor slot breaks the P_I gathers
+    const auto adj = original.graph().raw_adjacency();
+    std::size_t s = 0;
+    while (s < adj.size() && original.is_cautious(adj[s].node)) ++s;
+    ASSERT_LT(s, adj.size());
+    std::vector<char> bytes = pristine;
+    const double one = 1.0;
+    std::memcpy(bytes.data() + offset_of(fmt::kIGain) + s * 8, &one, 8);
+    expect_rejected(std::move(bytes), fmt::kIGain, "i_gain");
+  }
+  {  // non-finite d_init
+    std::vector<char> bytes = pristine;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(bytes.data() + offset_of(fmt::kDInit), &nan, 8);
+    expect_rejected(std::move(bytes), fmt::kDInit, "d_init");
+  }
+
+  // Restored, the file loads and matches — the tampering matrix is sound.
+  write_bytes(bin, pristine);
+  EXPECT_EQ(text_of(read_instance_binary_file(bin)), text_of(original));
 }
 
 TEST(InstanceFormatTest, SimulationTraceIdenticalAcrossFormats) {
